@@ -1,0 +1,14 @@
+"""Benchmark for the ST node-layout ablation."""
+
+from repro.experiments import run_experiment
+
+
+def test_ablation_st_layout(benchmark, disk_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("ablation-st-layout", scale=disk_scale),
+        rounds=1, iterations=1)
+    # The paper's claim targets the creation-order layout.
+    assert result.data["beats_creation"]
+    # The relayout must actually help the ST (sanity of the ablation).
+    assert result.data["bfs"] < result.data["creation"]
+    benchmark.extra_info["rows"] = result.rows

@@ -1,0 +1,13 @@
+"""Benchmark + shape check for the amortized construction effort."""
+
+from repro.experiments import run_experiment
+
+
+def test_construction_effort(benchmark, memory_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("construction-effort",
+                               scale=memory_scale),
+        rounds=1, iterations=1)
+    assert result.data["bounded"]
+    assert result.data["spread"] < 2.0
+    benchmark.extra_info["rows"] = result.rows

@@ -1,0 +1,29 @@
+"""Benchmark + shape check for Figure 6 (in-memory construction)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig6_construction(benchmark, memory_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6", scale=memory_scale),
+        rounds=1, iterations=1)
+    # Shape: SPINE completes on every genome; ST exceeds the scaled
+    # memory budget on the longest one; where both run, SPINE is not
+    # slower.
+    assert result.data["spine_completes"]
+    assert result.data["st_oom"]
+    for name, length, st_cell, spine_cell in result.rows:
+        if st_cell != "OOM" and spine_cell != "OOM":
+            assert spine_cell <= st_cell * 1.05
+    benchmark.extra_info["rows"] = result.rows
+
+
+def test_fig6_space(benchmark, memory_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig6-space", scale=memory_scale,
+                               genomes=["ECO", "CEL"]),
+        rounds=1, iterations=1)
+    # Shape: SPINE about a third smaller than the suffix tree.
+    for name, length, spine_bpc, st_bpc, smaller_pct in result.rows:
+        assert smaller_pct > 20.0
+    benchmark.extra_info["rows"] = result.rows

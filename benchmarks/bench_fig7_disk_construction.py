@@ -1,0 +1,13 @@
+"""Benchmark + shape check for Figure 7 (disk construction)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig7_disk_construction(benchmark, disk_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig7", scale=disk_scale),
+        rounds=1, iterations=1)
+    # Shape: SPINE builds with materially less I/O on every genome
+    # large enough to stress the buffer (paper: about half the time).
+    assert result.data["mean_ratio"] > 1.3
+    benchmark.extra_info["rows"] = result.rows

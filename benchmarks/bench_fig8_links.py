@@ -1,0 +1,14 @@
+"""Benchmark + shape check for Figure 8 (link destinations)."""
+
+from repro.experiments import run_experiment
+
+
+def test_fig8_link_distribution(benchmark, memory_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("fig8", scale=memory_scale),
+        rounds=1, iterations=1)
+    assert result.data["shape_ok"]
+    for name, series in result.data["series"].items():
+        # Most links point to the upper backbone.
+        assert series[0] == max(series), name
+    benchmark.extra_info["series"] = result.data["series"]

@@ -1,0 +1,70 @@
+"""Operation-level benchmarks beyond the paper's tables: persistence,
+approximate search, generalized collections — the numbers an adopter
+asks about first.
+"""
+
+import pytest
+
+from repro.align.approximate import (
+    approximate_find_all, hamming_find_all, sellers_scan)
+from repro.alphabet import dna_alphabet
+from repro.core import GeneralizedSpineIndex, SpineIndex
+from repro.core.serialize import load_index, save_index
+from repro.sequences import generate_dna
+
+N = 30_000
+
+
+@pytest.fixture(scope="module")
+def text():
+    return generate_dna(N, seed=81)
+
+
+@pytest.fixture(scope="module")
+def index(text):
+    return SpineIndex(text, alphabet=dna_alphabet())
+
+
+def test_save_index(benchmark, index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "x.spine"
+    benchmark(save_index, index, path)
+    assert path.stat().st_size > 0
+    benchmark.extra_info["bytes"] = path.stat().st_size
+
+
+def test_load_index(benchmark, index, tmp_path_factory):
+    path = tmp_path_factory.mktemp("bench") / "x.spine"
+    save_index(index, path)
+    loaded = benchmark(load_index, path)
+    assert len(loaded) == len(index)
+
+
+def test_seeded_approximate_vs_full_dp(benchmark, index, text):
+    """The point of the index: seeded k-error search must beat the
+    full Sellers DP by a wide margin on a long text."""
+    import time
+
+    pattern = text[12_000:12_040]
+    mutated = pattern[:13] + "A" + pattern[14:29] + "T" + pattern[30:]
+    t0 = time.perf_counter()
+    oracle = sellers_scan(text, mutated, 2)
+    dp_secs = time.perf_counter() - t0
+    result = benchmark(approximate_find_all, index, mutated, 2)
+    assert dict(result) == dict(oracle)
+    benchmark.extra_info["full_dp_seconds"] = round(dp_secs, 4)
+
+
+def test_hamming_search(benchmark, index, text):
+    pattern = text[20_000:20_032]
+    hits = benchmark(hamming_find_all, index, pattern, 2)
+    assert any(start == 20_000 for start, _ in hits)
+
+
+def test_generalized_collection_query(benchmark):
+    database = GeneralizedSpineIndex(dna_alphabet())
+    for i in range(8):
+        database.add_string(generate_dna(4_000, seed=300 + i))
+    member = generate_dna(4_000, seed=303)
+    probe = member[1_000:1_020]
+    hits = benchmark(database.find_all, probe)
+    assert (3, 1000) in hits

@@ -1,0 +1,14 @@
+"""Benchmark + shape check for the Section 5.2 proteome quantities."""
+
+from repro.experiments import run_experiment
+
+
+def test_proteins(benchmark, memory_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("proteins", scale=memory_scale),
+        rounds=1, iterations=1)
+    assert result.data["shape_ok"]
+    for row in result.rows:
+        # Downstream-edge nodes stay a minority (paper: < 30 %).
+        assert row[3] < 40.0
+    benchmark.extra_info["rows"] = result.rows

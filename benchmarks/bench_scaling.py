@@ -1,0 +1,75 @@
+"""Construction complexity checks.
+
+The paper claims linear-time online construction for SPINE (and for the
+suffix tree), and attributes supra-linear behaviour to suffix arrays
+(Section 7). This bench measures per-character build time across a 4x
+length range and asserts near-linearity for SPINE/ST while allowing the
+suffix array its O(n log n) growth.
+"""
+
+import time
+
+from repro.alphabet import dna_alphabet
+from repro.core import SpineIndex
+from repro.sequences import generate_dna
+from repro.suffixarray import SuffixArrayIndex
+from repro.suffixtree import SuffixTree
+
+SIZES = (10_000, 20_000, 40_000)
+
+
+def _per_char_times(builder):
+    import gc
+
+    out = []
+    for n in SIZES:
+        text = generate_dna(n, seed=1_000 + n)
+        # The cyclic collector's pauses scale with the number of live
+        # objects and would masquerade as algorithmic growth; disable
+        # it around the timed region.
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            builder(text)
+            out.append((time.perf_counter() - t0) / n)
+        finally:
+            gc.enable()
+    return out
+
+
+def test_spine_construction_linear(benchmark):
+    times = benchmark.pedantic(
+        lambda: _per_char_times(
+            lambda t: SpineIndex(t, alphabet=dna_alphabet())),
+        rounds=1, iterations=1)
+    # Per-char time must stay within a small factor across a 4x range
+    # (noise allowance for a Python loop).
+    assert max(times) / min(times) < 2.5, times
+    benchmark.extra_info["us_per_char"] = [round(t * 1e6, 3)
+                                           for t in times]
+
+
+def test_suffix_tree_construction_linear(benchmark):
+    times = benchmark.pedantic(
+        lambda: _per_char_times(
+            lambda t: SuffixTree(t, alphabet=dna_alphabet())),
+        rounds=1, iterations=1)
+    assert max(times) / min(times) < 2.5, times
+    benchmark.extra_info["us_per_char"] = [round(t * 1e6, 3)
+                                           for t in times]
+
+
+def test_spine_not_slower_growth_than_suffix_array(benchmark):
+    spine_times = _per_char_times(
+        lambda t: SpineIndex(t, alphabet=dna_alphabet()))
+    sa_times = benchmark.pedantic(
+        lambda: _per_char_times(
+            lambda t: SuffixArrayIndex(t, alphabet=dna_alphabet())),
+        rounds=1, iterations=1)
+    # Growth factor across the size range: SPINE must not scale worse
+    # than the (supra-linear) suffix array.
+    spine_growth = spine_times[-1] / spine_times[0]
+    sa_growth = sa_times[-1] / sa_times[0]
+    assert spine_growth < sa_growth * 1.5
+    benchmark.extra_info["spine_growth"] = round(spine_growth, 3)
+    benchmark.extra_info["sa_growth"] = round(sa_growth, 3)

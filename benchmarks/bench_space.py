@@ -1,0 +1,11 @@
+"""Benchmark + shape check for the Section 7 space comparison."""
+
+from repro.experiments import run_experiment
+
+
+def test_space_comparison(benchmark, memory_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("space", scale=memory_scale),
+        rounds=1, iterations=1)
+    assert result.data["ordering_ok"]
+    benchmark.extra_info["rows"] = result.rows

@@ -1,0 +1,10 @@
+"""The whole-reproduction health check as one bench."""
+
+from repro.experiments import run_experiment
+
+
+def test_reproduction_summary(benchmark):
+    result = benchmark.pedantic(lambda: run_experiment("summary"),
+                                rounds=1, iterations=1)
+    assert result.data["all_hold"], result.format()
+    benchmark.extra_info["rows"] = result.rows

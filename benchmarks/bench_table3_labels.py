@@ -1,0 +1,15 @@
+"""Benchmark + shape check for Table 3 (maximum label values)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table3_max_labels(benchmark, memory_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table3", scale=memory_scale),
+        rounds=1, iterations=1)
+    # Shape: every numeric label fits the optimized two-byte fields and
+    # is far below the string length (the paper's Table 3 point).
+    assert result.data["two_byte_fit"]
+    for name, length, max_label, *_ in result.rows:
+        assert max_label < length / 10
+    benchmark.extra_info["rows"] = result.rows

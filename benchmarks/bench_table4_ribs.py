@@ -1,0 +1,17 @@
+"""Benchmark + shape check for Table 4 (rib fanout distribution)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table4_rib_distribution(benchmark, memory_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table4", scale=memory_scale),
+        rounds=1, iterations=1)
+    assert result.data["shape_ok"]
+    for row in result.rows:
+        name, p1, p2, p3, p4, total = row
+        # Decaying fanout, minority with downstream edges (paper:
+        # 28-33 %; generous bound for small scales).
+        assert p1 >= p2 >= p3 >= p4
+        assert total < 45.0
+    benchmark.extra_info["rows"] = result.rows

@@ -1,0 +1,16 @@
+"""Benchmark + shape check for Table 5 (in-memory matching times)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table5_matching_times(benchmark, match_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table5", scale=match_scale),
+        rounds=1, iterations=1)
+    # Shape: SPINE at least as fast as ST on every pair where both run
+    # (paper: ~30 % faster), and the longest pair's ST hits the budget.
+    assert result.data["mean_ratio"] > 1.0
+    dash_rows = [row for row in result.rows if row[2] == "-"]
+    assert dash_rows, "expected the HC19 pair to exceed the ST budget"
+    benchmark.extra_info["rows"] = [tuple(map(str, r))
+                                    for r in result.rows]

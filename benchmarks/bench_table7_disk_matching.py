@@ -1,0 +1,13 @@
+"""Benchmark + shape check for Table 7 (disk matching speedup)."""
+
+from repro.experiments import run_experiment
+
+
+def test_table7_disk_matching(benchmark, disk_scale):
+    result = benchmark.pedantic(
+        lambda: run_experiment("table7", scale=disk_scale),
+        rounds=1, iterations=1)
+    # Shape: SPINE faster on every pair; the paper reports ~50 %
+    # speedups — require a clearly positive mean at reduced scale.
+    assert result.data["mean_speedup"] > 15.0
+    benchmark.extra_info["rows"] = result.rows

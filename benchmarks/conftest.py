@@ -1,0 +1,35 @@
+"""Shared scales for the benchmark suite.
+
+Benchmarks run every experiment at reduced scales so the whole suite
+finishes in minutes of pure Python; set ``REPRO_BENCH_SCALE_FACTOR`` to
+enlarge them uniformly for a higher-fidelity run.
+"""
+
+import os
+
+import pytest
+
+
+def _factor():
+    try:
+        return float(os.environ.get("REPRO_BENCH_SCALE_FACTOR", "1"))
+    except ValueError:
+        return 1.0
+
+
+@pytest.fixture(scope="session")
+def memory_scale():
+    """Chars per paper-Mbp for in-memory structure experiments."""
+    return max(200, int(5_000 * _factor()))
+
+
+@pytest.fixture(scope="session")
+def match_scale():
+    """Chars per paper-Mbp for streaming-match experiments."""
+    return max(200, int(2_500 * _factor()))
+
+
+@pytest.fixture(scope="session")
+def disk_scale():
+    """Chars per paper-Mbp for page-level disk experiments."""
+    return max(100, int(500 * _factor()))

@@ -1,0 +1,75 @@
+"""Streaming search: online queries against an online index.
+
+Run with::
+
+    python examples/streaming_search.py
+
+SPINE builds online (Section 1.1); the cursor API makes querying online
+too. This example simulates two streaming scenarios:
+
+1. *find-as-you-type*: a `SearchCursor` narrows occurrences character
+   by character, the way an editor or browser incremental-search does;
+2. *live sequence feed*: a `StreamMatcher` watches an unbounded stream
+   of bases arriving from a (simulated) sequencer and emits maximal
+   match events against a reference the moment they complete — no
+   buffering of the query.
+"""
+
+from repro import SpineIndex
+from repro.core.cursor import SearchCursor, StreamMatcher
+from repro.sequences import derive_sequence, generate_dna
+
+
+def find_as_you_type():
+    print("=== Find-as-you-type over a 30 kb reference ===")
+    reference = generate_dna(30_000, seed=42)
+    index = SpineIndex(reference)
+    target = reference[17_000:17_014]
+    cursor = SearchCursor(index)
+    print(f"typing {target!r}:")
+    for i, ch in enumerate(target, start=1):
+        alive = cursor.feed(ch)
+        hits = cursor.occurrences() if alive else []
+        print(f"  after {i:>2} chars: "
+              f"{len(hits):>5} occurrence(s)"
+              + (f", first at {hits[0]}" if hits else ""))
+        if len(hits) == 1:
+            print(f"  -> unique after {i} characters")
+            break
+
+
+def live_feed_matching():
+    print()
+    print("=== Live feed against a reference (StreamMatcher) ===")
+    reference = generate_dna(20_000, seed=43)
+    index = SpineIndex(reference)
+    # The "sequencer" emits a diverged read mix: related stretches
+    # interleaved with noise.
+    related = derive_sequence(reference[5_000:6_000], seed=44,
+                              snp_rate=0.05)
+    noise = generate_dna(800, seed=45)
+    stream = noise[:400] + related + noise[400:]
+    matcher = StreamMatcher(index, min_length=18)
+    events = []
+    for position, base in enumerate(stream):
+        event = matcher.feed(base)
+        if event is not None:
+            events.append(event)
+    final = matcher.finish()
+    if final is not None:
+        events.append(final)
+    print(f"stream of {len(stream)} bases -> {len(events)} maximal "
+          "match event(s) >= 18 bp, emitted as they completed:")
+    for event in events[:6]:
+        print(f"  stream[{event.query_start}:{event.query_end}] "
+              f"matches reference around {event.data_start} "
+              f"({event.length} bp)")
+    if len(events) > 6:
+        print(f"  ... and {len(events) - 6} more")
+    print(f"suffix-set checks performed: {matcher.checks} "
+          f"({matcher.checks / len(stream):.2f} per base)")
+
+
+if __name__ == "__main__":
+    find_as_you_type()
+    live_feed_matching()

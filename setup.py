@@ -1,0 +1,13 @@
+"""Offline-friendly install shim (``python setup.py develop``).
+
+The canonical metadata lives in pyproject.toml; this shim exists because
+fully offline environments cannot run pip's isolated PEP 517 build.
+"""
+
+from setuptools import setup
+
+setup(
+    entry_points={
+        "console_scripts": ["spine = repro.cli:main"],
+    },
+)

@@ -1,0 +1,78 @@
+"""repro — a reproduction of "SPINE: Putting Backbone into String
+Indexing" (Neelapala, Mittal & Haritsa, ICDE 2004).
+
+SPINE is a *horizontally compacted* suffix trie: the whole trie
+collapses onto a linear backbone of ``n + 1`` nodes connected by
+vertebras, ribs, extribs and links, with numeric PT/PRT/LEL labels
+excluding false positives. This package implements the index, every
+substrate its evaluation depends on (suffix tree / suffix array / DAWG
+baselines, synthetic genome corpus, page-level disk subsystem), and one
+experiment module per paper table and figure.
+
+Quick start::
+
+    from repro import SpineIndex
+    idx = SpineIndex("aaccacaaca")
+    idx.find_all("ac")            # [1, 4, 7]
+    idx.contains("accaa")         # False (the paper's false positive)
+
+See README.md for the full tour and ``python -m repro.experiments`` for
+the evaluation.
+"""
+
+from repro.alphabet import (
+    Alphabet,
+    alphabet_for,
+    dna_alphabet,
+    protein_alphabet,
+)
+from repro.core import (
+    GeneralizedSpineIndex,
+    SpineIndex,
+    collect_statistics,
+    load_index,
+    longest_common_substring,
+    longest_repeated_substring,
+    matching_statistics,
+    maximal_matches,
+    save_index,
+    verify_index,
+)
+from repro.core.packed import PackedSpineIndex
+from repro.exceptions import (
+    AlphabetError,
+    ConstructionError,
+    CorpusError,
+    ReproError,
+    SearchError,
+    StorageError,
+    VerificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Alphabet",
+    "alphabet_for",
+    "dna_alphabet",
+    "protein_alphabet",
+    "SpineIndex",
+    "GeneralizedSpineIndex",
+    "PackedSpineIndex",
+    "collect_statistics",
+    "load_index",
+    "longest_common_substring",
+    "longest_repeated_substring",
+    "matching_statistics",
+    "maximal_matches",
+    "save_index",
+    "verify_index",
+    "ReproError",
+    "AlphabetError",
+    "ConstructionError",
+    "CorpusError",
+    "SearchError",
+    "StorageError",
+    "VerificationError",
+    "__version__",
+]

@@ -1,0 +1,46 @@
+"""Sequence-alignment application layer.
+
+The paper motivates SPINE with genome alignment: MUMmer-style anchoring
+needs all maximal matching substrings between two genomes (Section 4's
+"complex matching operation"). This package packages that operation —
+and the classic maximal *unique* match (MUM) refinement used for global
+alignment — on top of any of the library's indexes.
+"""
+
+from repro.align.approximate import (
+    approximate_find_all,
+    approximate_occurrences,
+    hamming_find_all,
+    hamming_scan,
+    sellers_scan,
+)
+from repro.align.dotplot import (
+    SyntenyBlock,
+    dotplot_segments,
+    render_dotplot,
+    synteny_blocks,
+)
+from repro.align.mum import (
+    AnchorChain,
+    align_anchors,
+    chain_anchors,
+    find_maximal_matches,
+    find_mums,
+)
+
+__all__ = [
+    "AnchorChain",
+    "align_anchors",
+    "approximate_find_all",
+    "approximate_occurrences",
+    "chain_anchors",
+    "find_maximal_matches",
+    "find_mums",
+    "hamming_find_all",
+    "hamming_scan",
+    "sellers_scan",
+    "SyntenyBlock",
+    "dotplot_segments",
+    "render_dotplot",
+    "synteny_blocks",
+]

@@ -1,0 +1,246 @@
+"""Approximate pattern matching over a SPINE index.
+
+The paper repeatedly credits suffix links with enabling "approximate
+and substring matching" (its Section 7 critique of lazy suffix trees is
+precisely that they cannot do this). This module supplies the classic
+index-accelerated k-error search on top of SPINE:
+
+*pigeonhole seeding* — split the pattern into ``k + 1`` pieces; any
+occurrence with at most ``k`` edit errors must contain at least one
+piece exactly, so the pieces' exact occurrences (a SPINE ``find_all``
+each) enumerate a complete candidate set; *banded verification* — a
+Sellers semi-global DP over a small window around each candidate
+confirms real matches and their edit distances.
+
+``sellers_scan`` (the direct O(nm) DP over the whole text) doubles as
+the oracle in tests and as the baseline the seeded search is measured
+against.
+"""
+
+from __future__ import annotations
+
+from repro.core.index import SpineIndex
+from repro.exceptions import SearchError
+
+
+def sellers_scan(text, pattern, max_errors):
+    """Direct semi-global DP: all ``(end, distance)`` with
+    ``distance <= max_errors``.
+
+    ``distance`` is the minimum edit distance between ``pattern`` and
+    any substring of ``text`` ending at (1-indexed) position ``end``.
+    O(len(text) * len(pattern)); the brute-force baseline.
+    """
+    _validate(pattern, max_errors)
+    m = len(pattern)
+    if m == 0:
+        return [(end, 0) for end in range(len(text) + 1)]
+    previous = list(range(m + 1))
+    hits = []
+    if previous[m] <= max_errors:
+        hits.append((0, previous[m]))
+    for j, ch in enumerate(text, start=1):
+        current = [0] * (m + 1)
+        for i in range(1, m + 1):
+            cost = 0 if pattern[i - 1] == ch else 1
+            current[i] = min(previous[i - 1] + cost,
+                             previous[i] + 1,
+                             current[i - 1] + 1)
+        if current[m] <= max_errors:
+            hits.append((j, current[m]))
+        previous = current
+    return hits
+
+
+def _validate(pattern, max_errors):
+    if max_errors < 0:
+        raise SearchError("max_errors must be non-negative")
+    if pattern == "":
+        return
+
+
+def _find_all_safe(index, piece):
+    """``find_all`` treating characters outside the index alphabet as
+    simply absent (a piece containing them cannot occur exactly)."""
+    from repro.exceptions import AlphabetError
+
+    try:
+        return index.find_all(piece)
+    except AlphabetError:
+        return []
+
+
+def _pieces(pattern, count):
+    """Split ``pattern`` into ``count`` contiguous near-equal pieces,
+    returned as ``(offset, piece)`` pairs."""
+    m = len(pattern)
+    base, extra = divmod(m, count)
+    pieces = []
+    offset = 0
+    for i in range(count):
+        length = base + (1 if i < extra else 0)
+        pieces.append((offset, pattern[offset:offset + length]))
+        offset += length
+    return pieces
+
+
+def approximate_find_all(index, pattern, max_errors):
+    """All ``(end, distance)`` pairs with ``distance <= max_errors``.
+
+    Semantics identical to :func:`sellers_scan` on the indexed text,
+    but the text is only touched inside candidate windows discovered by
+    the pigeonhole seeds — the payoff of having the index.
+
+    Parameters
+    ----------
+    index:
+        A built :class:`~repro.core.index.SpineIndex` (or anything with
+        ``find_all``, ``text`` and ``__len__``).
+    pattern, max_errors:
+        The query and its error budget (edit distance: substitutions,
+        insertions, deletions).
+    """
+    _validate(pattern, max_errors)
+    text = index.text
+    n = len(text)
+    m = len(pattern)
+    if m == 0:
+        return [(end, 0) for end in range(n + 1)]
+    if max_errors >= m:
+        # Deleting the whole pattern costs m <= max_errors: every
+        # position qualifies (distance capped by the empty match).
+        return [(end, min(m, _best_local(text, pattern, end)))
+                for end in range(n + 1)]
+    if max_errors == 0:
+        return [(start + m, 0)
+                for start in _find_all_safe(index, pattern)]
+
+    windows = []
+    for offset, piece in _pieces(pattern, max_errors + 1):
+        if not piece:
+            continue
+        for hit in _find_all_safe(index, piece):
+            # Pattern aligned around this exact piece: its end lies
+            # within max_errors of the error-free position.
+            lo = hit - offset - max_errors
+            hi = hit - offset + m + max_errors
+            windows.append((max(0, lo), min(n, hi)))
+    if not windows:
+        return []
+    windows.sort()
+    merged = [windows[0]]
+    for lo, hi in windows[1:]:
+        last_lo, last_hi = merged[-1]
+        if lo <= last_hi:
+            merged[-1] = (last_lo, max(last_hi, hi))
+        else:
+            merged.append((lo, hi))
+    best = {}
+    for lo, hi in merged:
+        for end, dist in sellers_scan(text[lo:hi], pattern, max_errors):
+            global_end = lo + end
+            if lo > 0 and end == 0:
+                # A zero-length prefix inside a window is only the
+                # window boundary, not a real text prefix; the DP for
+                # the enclosing window already covers the real ends.
+                continue
+            current = best.get(global_end)
+            if current is None or dist < current:
+                best[global_end] = dist
+    return sorted(best.items())
+
+
+def _best_local(text, pattern, end):
+    """Exact minimal distance at ``end`` for the trivial-budget path."""
+    window = text[max(0, end - 2 * len(pattern)):end]
+    hits = dict(sellers_scan(window, pattern, len(pattern)))
+    return hits.get(len(window), len(pattern))
+
+
+def hamming_find_all(index, pattern, max_mismatches):
+    """All ``(start, mismatches)`` with Hamming distance at most
+    ``max_mismatches`` (fixed-length, substitutions only).
+
+    The cheaper cousin of :func:`approximate_find_all` for SNP-style
+    queries: pigeonhole seeds from the index, then one vectorized
+    mismatch count over the candidate starts.
+    """
+    import numpy as np
+
+    if max_mismatches < 0:
+        raise SearchError("max_mismatches must be non-negative")
+    text = index.text
+    n = len(text)
+    m = len(pattern)
+    if m == 0 or m > n:
+        return []
+    if max_mismatches >= m:
+        # Every window qualifies (at most m mismatches are possible);
+        # pigeonhole seeding is void here — report all distances.
+        candidates = set(range(n - m + 1))
+        return _verify_hamming(text, pattern, candidates, m)
+    candidates = set()
+    if max_mismatches == 0:
+        return [(start, 0) for start in _find_all_safe(index, pattern)]
+    for offset, piece in _pieces(pattern, max_mismatches + 1):
+        if not piece:
+            continue
+        for hit in _find_all_safe(index, piece):
+            start = hit - offset
+            if 0 <= start <= n - m:
+                candidates.add(start)
+    if not candidates:
+        return []
+    return _verify_hamming(text, pattern, candidates, m,
+                           max_mismatches)
+
+
+def _verify_hamming(text, pattern, candidates, m, max_mismatches=None):
+    """Vectorized mismatch counting over candidate start positions."""
+    import numpy as np
+
+    starts = np.array(sorted(candidates), dtype=np.int64)
+    text_arr = np.frombuffer(text.encode("latin-1"), dtype=np.uint8)
+    pat_arr = np.frombuffer(pattern.encode("latin-1"), dtype=np.uint8)
+    windows = text_arr[starts[:, None] + np.arange(m)]
+    mismatches = (windows != pat_arr).sum(axis=1)
+    if max_mismatches is not None:
+        keep = mismatches <= max_mismatches
+        starts, mismatches = starts[keep], mismatches[keep]
+    return [(int(s), int(d)) for s, d in zip(starts, mismatches)]
+
+
+def hamming_scan(text, pattern, max_mismatches):
+    """Brute-force Hamming occurrences (oracle and tiny-input path)."""
+    if max_mismatches < 0:
+        raise SearchError("max_mismatches must be non-negative")
+    m = len(pattern)
+    out = []
+    for start in range(len(text) - m + 1):
+        distance = sum(1 for a, b in zip(text[start:start + m], pattern)
+                       if a != b)
+        if distance <= max_mismatches:
+            out.append((start, distance))
+    return out
+
+
+def approximate_occurrences(data, pattern, max_errors, index=None):
+    """Convenience wrapper returning merged occurrence intervals.
+
+    Returns a list of ``(start_hint, end, distance)`` triples, one per
+    locally-minimal match end (ends whose distance is no worse than
+    both neighbours), with ``start_hint = end - len(pattern)`` clamped
+    to 0 — a practical report format for display purposes.
+    """
+    if index is None:
+        index = SpineIndex(data)
+    hits = approximate_find_all(index, pattern, max_errors)
+    results = []
+    for i, (end, dist) in enumerate(hits):
+        left = hits[i - 1][1] if i > 0 and hits[i - 1][0] == end - 1 \
+            else max_errors + 1
+        right = hits[i + 1][1] if i + 1 < len(hits) \
+            and hits[i + 1][0] == end + 1 else max_errors + 1
+        if dist <= left and dist <= right:
+            results.append((max(0, end - len(pattern)), end, dist))
+    return results

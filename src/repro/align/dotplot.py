@@ -1,0 +1,117 @@
+"""Dot plots and synteny blocks from maximal matches.
+
+The visual companion to whole-genome comparison: every maximal match
+between two sequences is a diagonal segment in the (data, query) plane;
+clustering near-collinear segments yields *synteny blocks* — the
+conserved, possibly relocated regions a rearrangement analysis reports.
+Everything here is built on the Section 4 matching machinery.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.align.mum import find_maximal_matches
+from repro.exceptions import SearchError
+
+
+@dataclass(frozen=True)
+class SyntenyBlock:
+    """A cluster of near-collinear match segments."""
+
+    data_start: int
+    data_end: int
+    query_start: int
+    query_end: int
+    matched: int       # total matched characters inside the block
+    segments: int      # number of contributing match segments
+
+    @property
+    def diagonal(self):
+        """Offset ``data_start - query_start`` of the block."""
+        return self.data_start - self.query_start
+
+
+def dotplot_segments(data, query, min_length=20, index=None):
+    """Diagonal segments for a match dot plot.
+
+    Returns ``(data_start, query_start, length)`` triples — identical
+    to :func:`find_maximal_matches`, re-exported under the plotting
+    name for clarity of intent.
+    """
+    return find_maximal_matches(data, query, min_length=min_length,
+                                index=index)
+
+
+def render_dotplot(segments, data_length, query_length, width=64,
+                   height=24):
+    """ASCII dot plot (data on x, query on y) for terminal inspection."""
+    if data_length <= 0 or query_length <= 0:
+        raise SearchError("sequence lengths must be positive")
+    grid = [[" "] * width for _ in range(height)]
+    for data_start, query_start, length in segments:
+        steps = max(1, min(length, width))
+        for k in range(steps):
+            frac = k / steps
+            x = int((data_start + frac * length) * (width - 1)
+                    / data_length)
+            y = int((query_start + frac * length) * (height - 1)
+                    / query_length)
+            if 0 <= x < width and 0 <= y < height:
+                grid[y][x] = "*"
+    border = "+" + "-" * width + "+"
+    body = "\n".join("|" + "".join(row) + "|" for row in grid)
+    return f"{border}\n{body}\n{border}"
+
+
+def synteny_blocks(segments, max_diagonal_drift=32, max_gap=2000):
+    """Cluster match segments into synteny blocks.
+
+    Two segments join the same block when their diagonals differ by at
+    most ``max_diagonal_drift`` (allowing small indels) and they are
+    within ``max_gap`` of each other along the query. Greedy
+    single-pass clustering over query-sorted segments — adequate for
+    anchor-scale inputs.
+    """
+    if max_diagonal_drift < 0 or max_gap < 0:
+        raise SearchError("drift and gap bounds must be non-negative")
+    ordered = sorted(segments, key=lambda t: (t[1], t[0]))
+    open_blocks = []  # mutable dicts while clustering
+    done = []
+    for data_start, query_start, length in ordered:
+        diagonal = data_start - query_start
+        home = None
+        for block in open_blocks:
+            if abs(block["diag"] - diagonal) <= max_diagonal_drift \
+                    and query_start - block["q_end"] <= max_gap:
+                home = block
+                break
+        if home is None:
+            home = {"d_start": data_start, "d_end": data_start + length,
+                    "q_start": query_start,
+                    "q_end": query_start + length,
+                    "diag": diagonal, "matched": length, "segments": 1}
+            open_blocks.append(home)
+        else:
+            home["d_start"] = min(home["d_start"], data_start)
+            home["d_end"] = max(home["d_end"], data_start + length)
+            home["q_end"] = max(home["q_end"], query_start + length)
+            home["matched"] += length
+            home["segments"] += 1
+            # Track the running diagonal so drift accumulates sanely.
+            home["diag"] = diagonal
+        # Retire blocks that can no longer accept segments.
+        still_open = []
+        for block in open_blocks:
+            if query_start - block["q_end"] > max_gap:
+                done.append(block)
+            else:
+                still_open.append(block)
+        open_blocks = still_open
+    done.extend(open_blocks)
+    blocks = [SyntenyBlock(
+        data_start=b["d_start"], data_end=b["d_end"],
+        query_start=b["q_start"], query_end=b["q_end"],
+        matched=b["matched"], segments=b["segments"]) for b in done]
+    blocks.sort(key=lambda b: (b.query_start, b.data_start))
+    return blocks

@@ -1,0 +1,127 @@
+"""Maximal matches, MUMs, and anchor chaining for pairwise alignment.
+
+``find_maximal_matches`` is the paper's Section 4 operation: every
+right-maximal matching substring between a data string (indexed) and a
+query string, repetitions included, above a length threshold. MUMmer's
+global alignment pipeline then keeps only the matches unique in both
+sequences (MUMs) and chains the longest consistent subsequence of
+anchors — both steps implemented here so the examples can run an
+end-to-end alignment.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.index import SpineIndex
+from repro.core.matching import maximal_matches
+from repro.exceptions import SearchError
+
+
+@dataclass(frozen=True)
+class AnchorChain:
+    """Result of :func:`chain_anchors`."""
+
+    anchors: tuple          # ((data_start, query_start, length), ...)
+    total_matched: int      # sum of anchor lengths
+
+
+def find_maximal_matches(data, query, min_length=20, index=None):
+    """All right-maximal matches of ``query`` against ``data``.
+
+    Builds a SPINE index over ``data`` unless one is supplied. Returns a
+    list of ``(data_start, query_start, length)`` triples, one per
+    (occurrence, match) pair, sorted by query position then data
+    position — the paper's boldface output for its S1/S2 example.
+    """
+    if min_length < 1:
+        raise SearchError("min_length must be >= 1")
+    if index is None:
+        # Cover the union of both strings' characters so query-only
+        # characters act as plain mismatches rather than errors.
+        from repro.alphabet import alphabet_for
+
+        index = SpineIndex(data, alphabet=alphabet_for(data + query))
+    matches, _ = maximal_matches(index, query, min_length=min_length)
+    triples = []
+    for match in matches:
+        for data_start in match.data_starts:
+            triples.append((data_start, match.query_start, match.length))
+    triples.sort(key=lambda t: (t[1], t[0]))
+    return triples
+
+
+def find_mums(data, query, min_length=20, index=None):
+    """Maximal unique matches: maximal matches occurring exactly once in
+    *both* sequences (MUMmer's anchor definition)."""
+    triples = find_maximal_matches(data, query, min_length=min_length,
+                                   index=index)
+    # Uniqueness in the data string: exactly one data occurrence for the
+    # match event; uniqueness in the query: the same matched substring
+    # must not be reported from two query positions.
+    by_key = {}
+    for data_start, query_start, length in triples:
+        key = (query_start, length)
+        by_key.setdefault(key, []).append(data_start)
+    query_substring_counts = {}
+    for (query_start, length), starts in by_key.items():
+        word = query[query_start:query_start + length]
+        query_substring_counts[word] = query_substring_counts.get(word, 0) + 1
+    mums = []
+    for (query_start, length), starts in sorted(by_key.items()):
+        if len(starts) != 1:
+            continue
+        word = query[query_start:query_start + length]
+        if query_substring_counts[word] != 1:
+            continue
+        mums.append((starts[0], query_start, length))
+    return mums
+
+
+def chain_anchors(anchors):
+    """Longest consistent anchor chain (classic LIS-style chaining).
+
+    ``anchors`` are ``(data_start, query_start, length)``; a chain is
+    consistent when both coordinates strictly increase between
+    successive anchors and the spans do not overlap. Maximizes total
+    matched length via patience-sorting on the data coordinate with a
+    weighted LIS (O(k^2) for simplicity — anchor sets are small).
+    """
+    if not anchors:
+        return AnchorChain(anchors=(), total_matched=0)
+    items = sorted(anchors, key=lambda t: (t[1], t[0]))
+    k = len(items)
+    best = [it[2] for it in items]  # best chain weight ending at i
+    prev = [-1] * k
+    for i in range(k):
+        di, qi, li = items[i]
+        for j in range(i):
+            dj, qj, lj = items[j]
+            if dj + lj <= di and qj + lj <= qi:
+                if best[j] + li > best[i]:
+                    best[i] = best[j] + li
+                    prev[i] = j
+    end = max(range(k), key=best.__getitem__)
+    chain = []
+    while end != -1:
+        chain.append(items[end])
+        end = prev[end]
+    chain.reverse()
+    return AnchorChain(anchors=tuple(chain),
+                       total_matched=sum(a[2] for a in chain))
+
+
+def align_anchors(data, query, min_length=20, unique_only=True):
+    """End-to-end anchoring: find (unique) maximal matches and chain
+    them. Returns an :class:`AnchorChain` — the skeleton a global
+    aligner (MUMmer's pipeline) would fill in with local alignments."""
+    finder = find_mums if unique_only else find_maximal_matches
+    anchors = finder(data, query, min_length=min_length)
+    return chain_anchors(anchors)
+
+
+def coverage(chain, query_length):
+    """Fraction of the query covered by a chain's anchors."""
+    if query_length <= 0:
+        raise SearchError("query_length must be positive")
+    return min(1.0, chain.total_matched / query_length)

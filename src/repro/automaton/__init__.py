@@ -1,0 +1,13 @@
+"""Suffix automaton / DAWG baseline (paper Section 7).
+
+DAWGs (directed acyclic word graphs) are the only prior horizontal-ish
+compaction the paper acknowledges — and dismisses for their ~34 bytes
+per character and lack of positional information. The suffix automaton
+here is the online linear-time DAWG construction (Blumer et al.),
+included so the space comparison experiment covers the full related-work
+table.
+"""
+
+from repro.automaton.dawg import SuffixAutomaton
+
+__all__ = ["SuffixAutomaton"]

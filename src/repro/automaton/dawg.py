@@ -1,0 +1,151 @@
+"""Online suffix automaton (DAWG) construction.
+
+The classic Blumer et al. automaton: states recognize the right-extension
+equivalence classes of substrings; ``transitions + suffix links`` give the
+smallest automaton accepting every subword. Built online in O(n).
+
+As the paper notes (Section 7), DAWG nodes do not correspond to string
+positions, so the structure cannot report *where* a pattern occurs without
+auxiliary data; we expose ``contains``/``count_distinct_substrings`` plus
+the byte model used in the space comparison.
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import alphabet_for
+
+
+class _State:
+    __slots__ = ("transitions", "link", "length")
+
+    def __init__(self, length):
+        self.transitions = {}
+        self.link = -1
+        self.length = length
+
+
+class SuffixAutomaton:
+    """Suffix automaton over a single string (online)."""
+
+    def __init__(self, text="", alphabet=None):
+        if alphabet is None:
+            alphabet = alphabet_for(text) if text else None
+        self.alphabet = alphabet
+        self._states = [_State(0)]
+        self._last = 0
+        self._n = 0
+        if text:
+            self.extend(text)
+
+    def __len__(self):
+        return self._n
+
+    @property
+    def state_count(self):
+        """Number of automaton states."""
+        return len(self._states)
+
+    @property
+    def transition_count(self):
+        """Total number of transitions."""
+        return sum(len(s.transitions) for s in self._states)
+
+    def extend(self, text):
+        """Append ``text`` online."""
+        if self.alphabet is None:
+            self.alphabet = alphabet_for(text)
+        for ch in text:
+            self._extend_code(self.alphabet.encode_char(ch))
+
+    def _extend_code(self, code):
+        states = self._states
+        cur = len(states)
+        states.append(_State(states[self._last].length + 1))
+        self._n += 1
+        p = self._last
+        while p != -1 and code not in states[p].transitions:
+            states[p].transitions[code] = cur
+            p = states[p].link
+        if p == -1:
+            states[cur].link = 0
+        else:
+            q = states[p].transitions[code]
+            if states[p].length + 1 == states[q].length:
+                states[cur].link = q
+            else:
+                clone = len(states)
+                clone_state = _State(states[p].length + 1)
+                clone_state.transitions = dict(states[q].transitions)
+                clone_state.link = states[q].link
+                states.append(clone_state)
+                while p != -1 and states[p].transitions.get(code) == q:
+                    states[p].transitions[code] = clone
+                    p = states[p].link
+                states[q].link = clone
+                states[cur].link = clone
+        self._last = cur
+
+    def contains(self, pattern):
+        """True iff ``pattern`` is a substring."""
+        state = 0
+        for code in self.alphabet.encode(pattern):
+            state = self._states[state].transitions.get(code)
+            if state is None:
+                return False
+        return True
+
+    def count_distinct_substrings(self):
+        """Number of distinct non-empty substrings (automaton paths)."""
+        return sum(s.length - self._states[s.link].length
+                   for s in self._states[1:])
+
+    def cdawg_statistics(self):
+        """Counts and space model of the *compacted* DAWG (CDAWG).
+
+        The CDAWG (Inenaga et al., cited in the paper's Section 7)
+        contracts every non-branching state into its successor, the
+        DAWG analogue of suffix-tree edge compression. We derive its
+        state/edge counts by chasing unary out-chains from each kept
+        (branching or sink) state; each compacted edge then needs a
+        label span (start, length) instead of one character, which is
+        why CDAWGs still cost 22+ bytes per character in the paper's
+        accounting.
+        """
+        states = self._states
+        sink = self._last
+        kept = {0, sink}
+        for sid, state in enumerate(states):
+            if len(state.transitions) != 1:
+                kept.add(sid)
+        edge_count = 0
+        for sid in kept:
+            for target in states[sid].transitions.values():
+                while target not in kept:
+                    target = next(iter(states[target]
+                                       .transitions.values()))
+                edge_count += 1
+        state_bytes = 8           # suffix link + length
+        edge_bytes = 4 + 6        # target + (label start, label length)
+        total = len(kept) * state_bytes + edge_count * edge_bytes
+        n = self._n
+        return {
+            "states": len(kept),
+            "edges": edge_count,
+            "total": total,
+            "bytes_per_char": total / n if n else float(total),
+        }
+
+    def measured_bytes(self):
+        """The paper's DAWG space model (~34 B/char for DNA): per state
+        a suffix link (4 B), a length (4 B) and per transition a label +
+        target (5 B)."""
+        states = self.state_count
+        transitions = self.transition_count
+        total = states * 8 + transitions * 5
+        n = self._n
+        return {
+            "states": states,
+            "transitions": transitions,
+            "total": total,
+            "bytes_per_char": total / n if n else float(total),
+        }

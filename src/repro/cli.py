@@ -1,0 +1,282 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+A small operational surface over the library for shell users:
+
+========  =============================================================
+command   purpose
+========  =============================================================
+corpus    materialize a named pseudo-genome to FASTA
+build     build a SPINE index from a FASTA file and save it
+search    find a pattern's occurrences in a saved index
+match     stream a query FASTA against a saved index (Section 4's
+          maximal-match operation)
+stats     structural statistics and the space model of a saved index
+verify    check a saved index's invariants
+========  =============================================================
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.exceptions import ReproError
+
+
+def _cmd_corpus(args):
+    from repro.sequences import load_corpus_sequence, write_fasta
+
+    text = load_corpus_sequence(args.name, scale=args.scale)
+    write_fasta(args.output, [(f"{args.name} scale={args.scale}", text)])
+    print(f"wrote {len(text)} chars to {args.output}")
+    return 0
+
+
+def _load_first_record(path):
+    from repro.sequences import read_fasta
+
+    records = read_fasta(path)
+    if not records:
+        raise ReproError(f"{path}: no FASTA records")
+    return records[0]
+
+
+def _cmd_build(args):
+    from repro.core.index import SpineIndex
+    from repro.core.serialize import save_generalized, save_index
+
+    if args.generalized:
+        from repro.alphabet import alphabet_for
+        from repro.core.generalized import GeneralizedSpineIndex
+        from repro.sequences import read_fasta
+
+        records = read_fasta(args.fasta)
+        if not records:
+            raise ReproError(f"{args.fasta}: no FASTA records")
+        alphabet = alphabet_for("".join(seq for _, seq in records))
+        gindex = GeneralizedSpineIndex(alphabet)
+        started = time.perf_counter()
+        for header, text in records:
+            gindex.add_string(text, name=header)
+        elapsed = time.perf_counter() - started
+        save_generalized(gindex, args.output)
+        total = sum(gindex.string_length(s)
+                    for s in range(gindex.string_count))
+        print(f"indexed {gindex.string_count} records "
+              f"({total} chars) in {elapsed:.2f}s -> {args.output}")
+        return 0
+    header, text = _load_first_record(args.fasta)
+    started = time.perf_counter()
+    index = SpineIndex(text)
+    elapsed = time.perf_counter() - started
+    save_index(index, args.output)
+    print(f"indexed {header!r}: {len(index)} chars in {elapsed:.2f}s "
+          f"-> {args.output}")
+    return 0
+
+
+def _cmd_search(args):
+    from repro.core.serialize import load_generalized, load_index
+    from repro.exceptions import StorageError
+
+    if args.generalized:
+        gindex = load_generalized(args.index)
+        hits = gindex.find_all(args.pattern)
+        print(f"{len(hits)} occurrence(s)")
+        for sid, local in hits:
+            print(f"{gindex.string_name(sid)}\t{local}")
+        return 0 if hits else 1
+    index = load_index(args.index)
+    if args.all:
+        starts = index.find_all(args.pattern)
+        print(f"{len(starts)} occurrence(s)")
+        for start in starts:
+            print(start)
+        return 0 if starts else 1
+    start = index.find_first(args.pattern)
+    if start is None:
+        print("not found")
+        return 1
+    print(start)
+    return 0
+
+
+def _cmd_match(args):
+    from repro.core.matching import maximal_matches
+    from repro.core.serialize import load_index
+
+    index = load_index(args.index)
+    header, query = _load_first_record(args.query)
+    matches, result = maximal_matches(index, query,
+                                      min_length=args.min_length)
+    print(f"query {header!r}: {len(matches)} maximal match(es) "
+          f">= {args.min_length} (checked {result.checks} nodes)")
+    for match in matches:
+        positions = ",".join(map(str, match.data_starts))
+        print(f"{match.query_start}\t{match.length}\t{positions}")
+    return 0
+
+
+def _cmd_approx(args):
+    from repro.align.approximate import approximate_find_all
+    from repro.core.serialize import load_index
+
+    index = load_index(args.index)
+    hits = approximate_find_all(index, args.pattern, args.max_errors)
+    print(f"{len(hits)} end position(s) within {args.max_errors} "
+          "error(s)")
+    for end, distance in hits:
+        print(f"{end}\t{distance}")
+    return 0 if hits else 1
+
+
+def _cmd_repeats(args):
+    from repro.core.analysis import (
+        longest_repeated_substring, repeat_fraction)
+    from repro.core.serialize import load_index
+
+    index = load_index(args.index)
+    sub, hit = longest_repeated_substring(index)
+    if hit is None:
+        print("no repeated substrings")
+        return 0
+    print(f"longest repeat: {hit.length} chars at "
+          f"{hit.earlier_start} and {hit.later_start}")
+    preview = sub if len(sub) <= 60 else sub[:57] + "..."
+    print(f"  {preview}")
+    for min_length in args.thresholds:
+        frac = repeat_fraction(index, min_length)
+        print(f"repeat(>= {min_length}) coverage: {100 * frac:.1f}%")
+    return 0
+
+
+def _cmd_dot(args):
+    from repro.core.serialize import load_index
+    from repro.viz import spine_to_dot, spine_to_text
+
+    index = load_index(args.index)
+    if args.text:
+        print(spine_to_text(index))
+    else:
+        print(spine_to_dot(index))
+    return 0
+
+
+def _cmd_stats(args):
+    from repro.core.layout import layout_report
+    from repro.core.serialize import load_index
+    from repro.core.stats import collect_statistics
+
+    index = load_index(args.index)
+    stats = collect_statistics(index)
+    report = layout_report(stats)
+    print(f"length:               {stats.length}")
+    print(f"alphabet size:        {stats.alphabet_size}")
+    print(f"ribs / extribs:       {stats.rib_count} / "
+          f"{stats.extrib_count}")
+    print(f"max label (LEL/PT):   {stats.max_label} "
+          f"({stats.max_lel}/{stats.max_pt})")
+    print(f"downstream nodes:     {stats.downstream_percentage:.1f}%")
+    print(f"optimized layout:     "
+          f"{report['optimized_bytes_per_char']:.2f} bytes/char")
+    return 0
+
+
+def _cmd_verify(args):
+    from repro.core.serialize import load_index
+    from repro.core.verify import verify_index
+
+    index = load_index(args.index)
+    verify_index(index, deep=args.deep)
+    print("OK")
+    return 0
+
+
+def build_parser():
+    """Construct the argparse parser for the `repro` CLI."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SPINE string index (ICDE 2004 reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("corpus", help="materialize a pseudo-genome")
+    p.add_argument("name", help="corpus name (ECO, CEL, HC21, ...)")
+    p.add_argument("-o", "--output", required=True)
+    p.add_argument("--scale", type=int, default=17_000,
+                   help="chars per paper-Mbp (default 17000)")
+    p.set_defaults(func=_cmd_corpus)
+
+    p = sub.add_parser("build", help="index a FASTA file")
+    p.add_argument("fasta")
+    p.add_argument("-o", "--output", required=True,
+                   help="index file to write")
+    p.add_argument("--generalized", action="store_true",
+                   help="index every record into one collection")
+    p.set_defaults(func=_cmd_build)
+
+    p = sub.add_parser("search", help="find a pattern")
+    p.add_argument("index")
+    p.add_argument("pattern")
+    p.add_argument("--all", action="store_true",
+                   help="report every occurrence")
+    p.add_argument("--generalized", action="store_true",
+                   help="the index is a multi-record collection")
+    p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser("match", help="maximal matches of a query FASTA")
+    p.add_argument("index")
+    p.add_argument("query", help="query FASTA file")
+    p.add_argument("--min-length", type=int, default=20)
+    p.set_defaults(func=_cmd_match)
+
+    p = sub.add_parser("approx", help="approximate (k-error) search")
+    p.add_argument("index")
+    p.add_argument("pattern")
+    p.add_argument("-k", "--max-errors", type=int, default=1)
+    p.set_defaults(func=_cmd_approx)
+
+    p = sub.add_parser("repeats", help="repeat analysis of an index")
+    p.add_argument("index")
+    p.add_argument("--thresholds", type=int, nargs="*",
+                   default=[10, 20, 50])
+    p.set_defaults(func=_cmd_repeats)
+
+    p = sub.add_parser("dot", help="emit Graphviz DOT (small indexes)")
+    p.add_argument("index")
+    p.add_argument("--text", action="store_true",
+                   help="ASCII listing instead of DOT")
+    p.set_defaults(func=_cmd_dot)
+
+    p = sub.add_parser("stats", help="index statistics")
+    p.add_argument("index")
+    p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser("verify", help="check index invariants")
+    p.add_argument("index")
+    p.add_argument("--deep", action="store_true",
+                   help="exhaustive oracle checks (small indexes)")
+    p.set_defaults(func=_cmd_verify)
+    return parser
+
+
+def main(argv=None):
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except BrokenPipeError:
+        # Output consumer (e.g. `| head`) went away; exit quietly.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

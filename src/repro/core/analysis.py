@@ -1,0 +1,132 @@
+"""String analyses that fall out of SPINE's link structure.
+
+The LEL labels *are* a repeat analysis: ``LEL(i)`` is the length of the
+longest suffix of the first ``i`` characters that occurred earlier, so
+the longest repeated substring of the whole string is simply the
+maximum LEL — no traversal required. Similar one-liners give repeat
+annotations and, together with matching statistics, longest common
+substrings between two strings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.matching import matching_statistics
+from repro.exceptions import SearchError
+
+
+@dataclass(frozen=True)
+class RepeatHit:
+    """A repeated substring occurrence pair.
+
+    ``later_start``/``earlier_start`` are 0-indexed starts of the two
+    occurrences (the earlier one is the first occurrence).
+    """
+
+    length: int
+    later_start: int
+    earlier_start: int
+
+
+def longest_repeated_substring(index):
+    """The longest substring occurring at least twice.
+
+    Returns ``(substring, RepeatHit)`` or ``("", None)`` when nothing
+    repeats. This is a single scan of the link labels: the node with
+    the maximum LEL ends the later occurrence, and its link destination
+    ends the first one.
+    """
+    link_lel = index._link_lel
+    link_dest = index._link_dest
+    best_node = 0
+    best = 0
+    for i in range(1, len(index) + 1):
+        if link_lel[i] > best:
+            best = link_lel[i]
+            best_node = i
+    if best == 0:
+        return "", None
+    hit = RepeatHit(length=best,
+                    later_start=best_node - best,
+                    earlier_start=link_dest[best_node] - best)
+    text = index.text
+    return text[hit.later_start:hit.later_start + best], hit
+
+
+def repeat_annotation(index, min_length=1):
+    """Per-position repeat structure: all maximal repeat ends.
+
+    Yields a :class:`RepeatHit` for every position ``i`` where the
+    repeated-suffix length is at least ``min_length`` and locally
+    maximal (the repeat cannot be extended to ``i + 1``) — the repeat
+    landscape plots genome browsers draw, directly off the link labels.
+    """
+    if min_length < 1:
+        raise SearchError("min_length must be >= 1")
+    link_lel = index._link_lel
+    link_dest = index._link_dest
+    n = len(index)
+    for i in range(1, n + 1):
+        lel = link_lel[i]
+        if lel < min_length:
+            continue
+        if i < n and link_lel[i + 1] == lel + 1:
+            continue  # still extending
+        yield RepeatHit(length=lel, later_start=i - lel,
+                        earlier_start=link_dest[i] - lel)
+
+
+def repeat_fraction(index, min_length):
+    """Fraction of positions covered by a later-occurrence repeat of at
+    least ``min_length`` characters.
+
+    A cheap repetitiveness score: the union of the spans
+    ``[i - LEL(i), i)`` over all nodes with ``LEL(i) >= min_length``
+    (i.e. the characters that are part of some repeated suffix),
+    divided by the string length.
+    """
+    if min_length < 1:
+        raise SearchError("min_length must be >= 1")
+    n = len(index)
+    if n == 0:
+        return 0.0
+    link_lel = index._link_lel
+    intervals = [(i - link_lel[i], i) for i in range(1, n + 1)
+                 if link_lel[i] >= min_length]
+    if not intervals:
+        return 0.0
+    intervals.sort()
+    covered = 0
+    cur_lo, cur_hi = intervals[0]
+    for lo, hi in intervals[1:]:
+        if lo <= cur_hi:
+            cur_hi = max(cur_hi, hi)
+        else:
+            covered += cur_hi - cur_lo
+            cur_lo, cur_hi = lo, hi
+    covered += cur_hi - cur_lo
+    return covered / n
+
+
+def longest_common_substring(index, other_text):
+    """Longest substring shared by the indexed string and
+    ``other_text``.
+
+    Returns ``(substring, data_start, other_start)``; empty string and
+    ``None`` positions when nothing is shared. One matching-statistics
+    stream over ``other_text``.
+    """
+    result = matching_statistics(index, other_text)
+    best = 0
+    best_j = -1
+    for j, length in enumerate(result.lengths):
+        if length > best:
+            best = length
+            best_j = j
+    if best == 0:
+        return "", None, None
+    other_start = best_j + 1 - best
+    data_end = result.end_nodes[best_j]
+    return (other_text[other_start:other_start + best],
+            data_end - best, other_start)

@@ -1,0 +1,64 @@
+"""Structural index comparison — a debugging companion.
+
+``diff_indexes`` explains *why* two SPINE indexes differ, instead of
+the bare boolean of :meth:`SpineIndex.structurally_equal`. Used by the
+test suite for readable failures and handy when bisecting a
+serialization or construction regression.
+"""
+
+from __future__ import annotations
+
+
+def diff_indexes(left, right, limit=20):
+    """Human-readable differences between two SPINE indexes.
+
+    Returns a list of difference strings, at most ``limit`` long
+    (a final ellipsis entry signals truncation); empty list means
+    structurally identical.
+    """
+    diffs = []
+
+    def note(message):
+        diffs.append(message)
+        return len(diffs) >= limit
+
+    if left._n != right._n:
+        note(f"lengths differ: {left._n} vs {right._n}")
+        return diffs
+    if left.alphabet.symbols != right.alphabet.symbols:
+        if note(f"alphabets differ: {left.alphabet.symbols!r} vs "
+                f"{right.alphabet.symbols!r}"):
+            return diffs
+    n = left._n
+    for i in range(1, n + 1):
+        if left._codes[i] != right._codes[i]:
+            if note(f"character {i}: code {left._codes[i]} vs "
+                    f"{right._codes[i]}"):
+                return diffs
+        if (left._link_dest[i], left._link_lel[i]) != \
+                (right._link_dest[i], right._link_lel[i]):
+            if note(f"link of node {i}: "
+                    f"({left._link_dest[i]}, {left._link_lel[i]}) vs "
+                    f"({right._link_dest[i]}, {right._link_lel[i]})"):
+                return diffs
+    asize = left._asize
+    keys = set(left._ribs) | set(right._ribs)
+    for key in sorted(keys):
+        a = left._ribs.get(key)
+        b = right._ribs.get(key)
+        if a != b:
+            node, code = divmod(key, asize)
+            if note(f"rib at node {node} code {code}: {a} vs {b}"):
+                return diffs
+    chain_keys = set(left._extchains) | set(right._extchains)
+    for key in sorted(chain_keys):
+        a = left._extchains.get(key)
+        b = right._extchains.get(key)
+        if a != b:
+            node, code = divmod(key, asize)
+            if note(f"extrib chain of rib at node {node} code {code}: "
+                    f"{a} vs {b}"):
+                return diffs
+    if len(diffs) >= limit:
+        diffs.append("... (truncated)")
+    return diffs

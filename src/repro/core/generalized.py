@@ -1,0 +1,131 @@
+"""Generalized SPINE: one index over multiple strings (Section 1.1).
+
+The paper notes that "a single SPINE index can be used to index multiple
+different strings, using techniques similar to those employed in
+Generalized Suffix Trees". We concatenate member strings with a reserved
+separator symbol that is barred from queries; since no query contains the
+separator, no match can span a string boundary, and global backbone
+positions map back to ``(string_id, local_offset)`` pairs through the
+recorded boundaries.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+
+from repro.core.index import SpineIndex
+from repro.core.matching import matching_statistics, maximal_matches
+from repro.exceptions import SearchError
+
+
+class GeneralizedSpineIndex:
+    """SPINE index over a growing collection of strings.
+
+    Parameters
+    ----------
+    alphabet:
+        Base alphabet of the member strings; a separator symbol is
+        reserved automatically.
+
+    Examples
+    --------
+    >>> from repro.alphabet import dna_alphabet
+    >>> gidx = GeneralizedSpineIndex(dna_alphabet())
+    >>> gidx.add_string("ACGTACGT", name="s1")
+    0
+    >>> gidx.add_string("TTACGG", name="s2")
+    1
+    >>> sorted(gidx.find_all("ACG"))
+    [(0, 0), (0, 4), (1, 2)]
+    """
+
+    def __init__(self, alphabet):
+        self.alphabet = alphabet.with_separator()
+        self._sep_code = self.alphabet.separator_code
+        self.index = SpineIndex(alphabet=self.alphabet)
+        # _starts[i] = global 0-indexed offset of string i's first char
+        self._starts = []
+        self._lengths = []
+        self._names = []
+
+    def add_string(self, text, name=None):
+        """Append ``text`` as a new member string; returns its id."""
+        if self._names:
+            self.index.append_code(self._sep_code)
+        sid = len(self._names)
+        self._starts.append(len(self.index))
+        self._lengths.append(len(text))
+        self._names.append(name if name is not None else f"string{sid}")
+        self.index.extend(text)
+        return sid
+
+    @property
+    def string_count(self):
+        """Number of member strings."""
+        return len(self._names)
+
+    def string_name(self, sid):
+        """Name of member ``sid``."""
+        return self._names[sid]
+
+    def string_length(self, sid):
+        """Length of member ``sid``."""
+        return self._lengths[sid]
+
+    def _check_pattern(self, pattern):
+        from repro.alphabet import SEPARATOR_CHAR
+
+        if SEPARATOR_CHAR in pattern:
+            raise SearchError(
+                f"patterns may not contain the separator {SEPARATOR_CHAR!r}"
+            )
+
+    def locate(self, global_start, length=1):
+        """Map a global 0-indexed start to ``(string_id, local_start)``.
+
+        Raises :class:`SearchError` when the span crosses a separator or
+        lies on one.
+        """
+        sid = bisect_right(self._starts, global_start) - 1
+        if sid < 0:
+            raise SearchError(f"offset {global_start} before first string")
+        local = global_start - self._starts[sid]
+        if local + length > self._lengths[sid]:
+            raise SearchError(
+                f"span at {global_start} (+{length}) crosses a boundary"
+            )
+        return sid, local
+
+    def contains(self, pattern):
+        """True iff ``pattern`` occurs in any member string."""
+        self._check_pattern(pattern)
+        return self.index.contains(pattern)
+
+    def find_all(self, pattern):
+        """All occurrences as ``(string_id, local_start)`` pairs."""
+        self._check_pattern(pattern)
+        out = []
+        for start in self.index.find_all(pattern):
+            out.append(self.locate(start, len(pattern)))
+        return out
+
+    def matching_statistics(self, query):
+        """Matching statistics of ``query`` against the whole collection."""
+        self._check_pattern(query)
+        return matching_statistics(self.index, query)
+
+    def maximal_matches(self, query, min_length=1):
+        """Right-maximal matches of ``query`` against every member string.
+
+        Returns a list of ``(string_id, data_local_start, query_start,
+        length)`` tuples.
+        """
+        self._check_pattern(query)
+        matches, _ = maximal_matches(self.index, query,
+                                     min_length=min_length)
+        out = []
+        for match in matches:
+            for start in match.data_starts:
+                sid, local = self.locate(start, match.length)
+                out.append((sid, local, match.query_start, match.length))
+        return out

@@ -1,0 +1,168 @@
+"""Space models for SPINE node layouts (Section 5, Table 2, Figure 5).
+
+Two layouts are modeled:
+
+* the **naive** layout — every node reserves the full complement of
+  fields (Table 2): character label, vertebra destination, link, a rib
+  slot per non-vertebra alphabet character, and one extrib. For DNA this
+  is the paper's 48.25 bytes per node;
+* the **optimized** layout — implicit vertebra destinations, two-byte
+  numeric labels (with an overflow table for the rare large values), and
+  the LT/RT split where only nodes that actually carry downstream edges
+  pay for them (Figure 5). The paper measures this below 12 bytes per
+  indexed character.
+
+The models are parameterized by alphabet size so the protein discussion
+of Section 5.2 falls out of the same code, and `optimized_bytes_per_node`
+takes a *measured* fanout histogram so the reported number reflects the
+actual index, not an assumption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Paper-quoted per-character space of competing indexes (Section 7),
+#: used by the space-comparison experiment.
+COMPETITOR_BYTES_PER_CHAR = {
+    "suffix tree (standard / MUMmer-class)": 17.0,
+    "suffix tree (Kurtz 1999)": 12.5,
+    "lazy suffix tree (Giegerich et al.)": 8.5,
+    "suffix array (Manber & Myers)": 6.0,
+    "DAWG (Blumer et al.)": 34.0,
+    "CDAWG (Inenaga et al.)": 22.0,
+}
+
+POINTER_BYTES = 4
+FULL_LABEL_BYTES = 4
+SHORT_LABEL_BYTES = 2
+
+
+@dataclass(frozen=True)
+class FieldSpec:
+    """One row of Table 2."""
+
+    name: str
+    bytes_each: float
+    count: int
+
+    @property
+    def total(self):
+        """Total bytes this field contributes per node."""
+        return self.bytes_each * self.count
+
+
+def naive_node_fields(alphabet_size=4):
+    """The Table 2 field inventory for one naive SPINE node.
+
+    ``alphabet_size`` of 4 (DNA) reproduces the paper's 48.25-byte row
+    set: one vertebra, one link, ``alphabet_size - 1`` rib slots and one
+    extrib, all with 4-byte destinations and labels.
+    """
+    cl_bytes = _label_bits(alphabet_size) / 8.0
+    rib_slots = max(1, alphabet_size - 1)
+    return [
+        FieldSpec("CharacterLabel", cl_bytes, 1),
+        FieldSpec("VertebraDest", POINTER_BYTES, 1),
+        FieldSpec("LinkDest", POINTER_BYTES, 1),
+        FieldSpec("LinkLEL", FULL_LABEL_BYTES, 1),
+        FieldSpec("RibDest", POINTER_BYTES, rib_slots),
+        FieldSpec("RibPT", FULL_LABEL_BYTES, rib_slots),
+        FieldSpec("ExtRibDest", POINTER_BYTES, 1),
+        FieldSpec("ExtRibPT", FULL_LABEL_BYTES, 1),
+        FieldSpec("ExtRibPRT", FULL_LABEL_BYTES, 1),
+    ]
+
+
+def naive_bytes_per_node(alphabet_size=4):
+    """Worst-case bytes per node in the naive layout (48.25 for DNA)."""
+    return sum(field.total for field in naive_node_fields(alphabet_size))
+
+
+def _label_bits(alphabet_size):
+    return max(1, (alphabet_size - 1).bit_length())
+
+
+def lt_entry_bytes():
+    """One Link Table entry: LD-or-PTR (4 B) + LEL (2 B)."""
+    return POINTER_BYTES + SHORT_LABEL_BYTES
+
+
+def rt_entry_bytes(fanout, has_extrib, alphabet_size=4):
+    """One Rib Table entry for a node with ``fanout`` downstream edges.
+
+    Layout per Figure 5: the node's link destination (LD, displaced from
+    the LT entry by the PTR), then one ``(RD, PT)`` pair per downstream
+    edge, a PRT when one of them is an extrib, plus the rib character
+    labels (2 bits each for DNA, bit-packed and rounded up to a byte).
+    """
+    rib_count = fanout - (1 if has_extrib else 0)
+    size = POINTER_BYTES  # displaced link destination
+    size += fanout * (POINTER_BYTES + SHORT_LABEL_BYTES)
+    if has_extrib:
+        size += SHORT_LABEL_BYTES  # PRT
+    cl_bits = rib_count * _label_bits(alphabet_size)
+    size += -(-cl_bits // 8)  # ceil to bytes
+    return size
+
+
+def optimized_bytes_per_node(fanout_histogram, extrib_nodes, length,
+                             alphabet_size=4, overflow_entries=0):
+    """Average optimized-layout bytes per indexed character.
+
+    Parameters
+    ----------
+    fanout_histogram:
+        ``{fanout: node count}`` over downstream edges (ribs + extrib),
+        as measured by :func:`repro.core.stats.collect_statistics`.
+    extrib_nodes:
+        Number of nodes that carry an extrib (they pay the PRT field).
+    length:
+        Indexed string length.
+    overflow_entries:
+        Numeric labels exceeding two bytes, stored out of line at a full
+        4-byte word each.
+    """
+    if length == 0:
+        return float(lt_entry_bytes())
+    total = (length + 1) * lt_entry_bytes()
+    # The vertebra character labels themselves (2 bits/char for DNA).
+    total += (length * _label_bits(alphabet_size)) / 8.0
+    extribs_left = extrib_nodes
+    for fanout in sorted(fanout_histogram, reverse=True):
+        count = fanout_histogram[fanout]
+        # Attribute extribs to the highest-fanout nodes first; the split
+        # only moves a 2-byte PRT so the approximation is tight.
+        with_ext = min(count, extribs_left)
+        extribs_left -= with_ext
+        total += with_ext * rt_entry_bytes(fanout, True, alphabet_size)
+        total += (count - with_ext) * rt_entry_bytes(fanout, False,
+                                                     alphabet_size)
+    total += overflow_entries * FULL_LABEL_BYTES
+    return total / length
+
+
+def layout_report(stats):
+    """Summarize naive vs optimized space for measured statistics.
+
+    ``stats`` is a :class:`repro.core.stats.SpineStatistics`. Returns a
+    dict with the Table 2 quantities plus the measured optimized
+    bytes-per-character figure the paper quotes as "less than 12".
+    """
+    asize = stats.alphabet_size
+    naive = naive_bytes_per_node(asize)
+    optimized = optimized_bytes_per_node(
+        stats.fanout_histogram,
+        stats.extrib_count,
+        stats.length,
+        alphabet_size=asize,
+        overflow_entries=0 if stats.labels_fit_two_bytes() else 1,
+    )
+    return {
+        "alphabet_size": asize,
+        "naive_bytes_per_node": naive,
+        "optimized_bytes_per_char": optimized,
+        "lt_entry_bytes": lt_entry_bytes(),
+        "rt_nodes_percent": stats.downstream_percentage,
+        "labels_fit_two_bytes": stats.labels_fit_two_bytes(),
+    }

@@ -1,0 +1,209 @@
+"""Matching statistics and maximal matching substrings over SPINE.
+
+This is the paper's complex search operation (Section 4): stream a query
+string through the index of the data string; whenever the match cannot be
+extended, report the matched substring (if long enough) and fall back to
+the longest extendable shorter suffix. SPINE reaches the shorter suffixes
+through its link chain, and — crucially — each link hop disposes of a
+whole *set* of suffixes at once (all lengths between the destination's
+LEL and the current match length terminate at the current node), which is
+why SPINE checks far fewer suffixes than a suffix tree (Section 4.1,
+Table 6). The per-hop work is instrumented so the Table 6 comparison can
+be regenerated.
+
+Fallback handling is slightly richer than a bare link hop: suffix lengths
+between ``LEL(cur)`` and the current length all terminate at ``cur``, so
+their extensions, when they exist, are recorded *at* ``cur`` as rib/extrib
+entries with smaller PT values. The walk therefore first considers the
+best in-node threshold (the longest of those suffixes that extends) and
+only takes the link when nothing at the node covers a longer suffix.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.search import OccurrenceScanner
+from repro.exceptions import SearchError
+
+
+@dataclass
+class MatchingResult:
+    """Outcome of streaming a query through an index.
+
+    Attributes
+    ----------
+    lengths:
+        ``lengths[j]`` — length of the longest suffix of ``query[:j+1]``
+        that is a substring of the data string (matching statistics,
+        end-aligned).
+    end_nodes:
+        ``end_nodes[j]`` — backbone node where that suffix's first
+        occurrence ends (0 when ``lengths[j] == 0``).
+    checks:
+        Number of suffix-set checks performed (one per node at which an
+        extension was attempted) — the paper's "number of nodes checked"
+        metric of Table 6.
+    link_hops:
+        Number of upstream link traversals taken during fallback.
+    """
+
+    lengths: list = field(default_factory=list)
+    end_nodes: list = field(default_factory=list)
+    checks: int = 0
+    link_hops: int = 0
+
+
+@dataclass(frozen=True)
+class MaximalMatch:
+    """One right-maximal matching substring between data and query.
+
+    ``data_starts`` lists every 0-indexed occurrence start in the data
+    string ("including repetitions", Section 4); ``query_start`` is the
+    0-indexed start in the query; ``length`` the match length.
+    """
+
+    query_start: int
+    length: int
+    data_starts: tuple
+
+    @property
+    def query_end(self):
+        """0-indexed exclusive end in the query."""
+        return self.query_start + self.length
+
+
+def _extend_longest(index, cur, length, code, result):
+    """Extend the longest possible suffix of the current match by ``code``.
+
+    Returns ``(node, new_length)`` or ``None`` when ``code`` extends not
+    even the empty suffix (the character does not occur in the data
+    string). ``cur`` must be the first-occurrence end node of the current
+    length-``length`` match.
+    """
+    codes = index._codes
+    ribs = index._ribs
+    extchains = index._extchains
+    link_dest = index._link_dest
+    link_lel = index._link_lel
+    asize = index._asize
+    n = index._n
+    while True:
+        result.checks += 1
+        if cur < n and codes[cur + 1] == code:
+            return cur + 1, length + 1
+        cand_dest = -1
+        cand_pt = -1
+        key = cur * asize + code
+        rib = ribs.get(key)
+        if rib is not None:
+            d, pt = rib
+            if length <= pt:
+                return d, length + 1
+            # Walk the extrib chain for a full-length extension; remember
+            # the longest threshold seen as the shortened fallback
+            # candidate.
+            cand_dest, cand_pt = d, pt
+            for e_dest, e_pt in extchains.get(key, ()):
+                if e_pt >= length:
+                    return e_dest, length + 1
+                cand_dest, cand_pt = e_dest, e_pt
+        if cur == 0:
+            # At the root the match length is zero; no edge means the
+            # character is absent from the data string.
+            return None
+        lel = link_lel[cur]
+        if cand_pt >= lel:
+            # The longest extendable suffix is recorded at this node.
+            return cand_dest, cand_pt + 1
+        cur = link_dest[cur]
+        length = lel
+        result.link_hops += 1
+
+
+def matching_statistics(index, query):
+    """End-aligned matching statistics of ``query`` against the index.
+
+    Returns a :class:`MatchingResult`; ``lengths[j]`` is the longest
+    suffix of ``query[:j+1]`` occurring in the data string.
+    """
+    codes = index.alphabet.encode(query)
+    result = MatchingResult()
+    lengths = result.lengths
+    end_nodes = result.end_nodes
+    cur = 0
+    length = 0
+    for code in codes:
+        hit = _extend_longest(index, cur, length, code, result)
+        if hit is None:
+            cur, length = 0, 0
+        else:
+            cur, length = hit
+        lengths.append(length)
+        end_nodes.append(cur)
+    return result
+
+
+def maximal_matches(index, query, min_length=1, with_positions=True):
+    """All right-maximal matching substrings of ``query`` in the data.
+
+    A match is reported at query position ``j`` when the running match of
+    length ``L`` cannot be extended past ``j`` and ``L >= min_length``;
+    its data occurrences ("including repetitions") are resolved in one
+    shared backbone scan (:class:`repro.core.search.OccurrenceScanner`),
+    exactly the deferred strategy of Section 4.
+
+    Returns ``(matches, result)`` with ``matches`` a list of
+    :class:`MaximalMatch` ordered by query position and ``result`` the
+    underlying :class:`MatchingResult` (for check accounting).
+    """
+    if min_length < 1:
+        raise SearchError("min_length must be >= 1")
+    result = matching_statistics(index, query)
+    lengths = result.lengths
+    end_nodes = result.end_nodes
+    m = len(lengths)
+    events = []
+    for j in range(m):
+        length = lengths[j]
+        if length < min_length:
+            continue
+        extended = j + 1 < m and lengths[j + 1] == length + 1
+        if not extended:
+            events.append((j, length, end_nodes[j]))
+    if not with_positions:
+        matches = [MaximalMatch(j - length + 1, length, ())
+                   for j, length, _ in events]
+        return matches, result
+    scanner = OccurrenceScanner(index)
+    pids = [scanner.add(end_node, length)
+            for _, length, end_node in events]
+    starts = scanner.resolve_starts() if events else {}
+    matches = []
+    for pid, (j, length, _) in zip(pids, events):
+        matches.append(MaximalMatch(
+            query_start=j - length + 1,
+            length=length,
+            data_starts=tuple(starts[pid]),
+        ))
+    return matches, result
+
+
+def brute_force_matching_statistics(data, query):
+    """Oracle matching statistics by direct substring testing.
+
+    Quadratic-ish; for tests only. ``lengths[j]`` = longest suffix of
+    ``query[:j+1]`` that is a substring of ``data``.
+    """
+    lengths = []
+    prev = 0
+    for j in range(len(query)):
+        # The statistic can grow by at most one per position.
+        best = 0
+        for length in range(min(prev + 1, j + 1), 0, -1):
+            if query[j + 1 - length:j + 1] in data:
+                best = length
+                break
+        lengths.append(best)
+        prev = best
+    return lengths

@@ -1,0 +1,174 @@
+"""Searching a SPINE index (paper Section 4).
+
+Finding the *first* occurrence of a pattern is a single root-to-node
+traversal obeying the PT/PRT edge constraints. Finding *all* occurrences
+exploits the link property — a link ``(d, v)`` at node ``j`` certifies
+that the ``v`` characters before ``j`` equal the ``v`` characters before
+``d`` — with one downstream scan of the backbone collecting every node
+whose link lands in the growing target set with sufficient LEL.
+
+The paper defers the downstream scan and resolves *all* patterns found
+during a matching run in one shared sequential pass;
+:class:`OccurrenceScanner` implements that batched form.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import SearchError
+
+
+def find_first_end(index, codes):
+    """End node of the first occurrence of ``codes``, or ``None``.
+
+    ``codes`` is a sequence of alphabet codes; the empty sequence ends
+    at the root (node 0).
+    """
+    node = 0
+    step = index.step
+    for pathlength, code in enumerate(codes):
+        node = step(node, pathlength, code)
+        if node is None:
+            return None
+    return node
+
+
+def find_first(index, pattern):
+    """0-indexed start of the first occurrence of ``pattern``.
+
+    Returns ``None`` when the pattern does not occur. The empty pattern
+    trivially occurs at position 0.
+    """
+    codes = index.alphabet.encode(pattern)
+    end = find_first_end(index, codes)
+    if end is None:
+        return None
+    return end - len(codes)
+
+
+def find_all(index, pattern):
+    """Sorted 0-indexed starts of all occurrences of ``pattern``.
+
+    First occurrence by traversal, remaining occurrences by the
+    link-scan of Section 4: walk downstream from the first match's end
+    node; node ``j`` ends another occurrence exactly when its link
+    destination is already in the target set and its LEL is at least the
+    pattern length.
+    """
+    if pattern == "":
+        raise SearchError("find_all of the empty pattern is ill-defined")
+    codes = index.alphabet.encode(pattern)
+    first_end = find_first_end(index, codes)
+    if first_end is None:
+        return []
+    m = len(codes)
+    ends = _scan_occurrences(index, first_end, m)
+    return [end - m for end in ends]
+
+
+def _scan_occurrences(index, first_end, m):
+    """All end nodes of a pattern of length ``m`` first ending at
+    ``first_end``, in ascending order."""
+    link_dest = index._link_dest
+    link_lel = index._link_lel
+    n = index._n
+    targets = {first_end}
+    ends = [first_end]
+    for j in range(first_end + 1, n + 1):
+        if link_lel[j] >= m and link_dest[j] in targets:
+            targets.add(j)
+            ends.append(j)
+    return ends
+
+
+class OccurrenceScanner:
+    """Batched all-occurrence resolution with one backbone scan.
+
+    Register any number of first-occurrence hits with :meth:`add`, then
+    call :meth:`resolve` once; the scan visits each backbone node a
+    single time regardless of how many patterns were registered — the
+    paper's "one single final sequential scan" (Section 4).
+    """
+
+    def __init__(self, index):
+        self.index = index
+        # pattern id -> (first_end, length)
+        self._patterns = {}
+        self._next_id = 0
+
+    def add(self, first_end, length):
+        """Register a found pattern; returns its id for :meth:`resolve`."""
+        if length <= 0:
+            raise SearchError("pattern length must be positive")
+        if not 1 <= first_end <= self.index._n:
+            raise SearchError(f"end node {first_end} out of range")
+        pid = self._next_id
+        self._next_id += 1
+        self._patterns[pid] = (first_end, length)
+        return pid
+
+    def resolve(self):
+        """Run the shared scan; returns ``{pid: [end nodes ascending]}``."""
+        index = self.index
+        link_dest = index._link_dest
+        link_lel = index._link_lel
+        n = index._n
+        results = {pid: [first_end]
+                   for pid, (first_end, _) in self._patterns.items()}
+        # node -> list of (pid, length) target entries living there
+        node_targets = {}
+        min_start = n + 1
+        for pid, (first_end, length) in self._patterns.items():
+            node_targets.setdefault(first_end, []).append((pid, length))
+            min_start = min(min_start, first_end)
+        for j in range(min_start + 1, n + 1):
+            dest = link_dest[j]
+            entries = node_targets.get(dest)
+            if not entries:
+                continue
+            lel = link_lel[j]
+            hits = [(pid, length) for pid, length in entries
+                    if lel >= length]
+            if not hits:
+                continue
+            node_targets.setdefault(j, []).extend(hits)
+            for pid, _ in hits:
+                results[pid].append(j)
+        return results
+
+    def resolve_starts(self):
+        """Like :meth:`resolve` but mapping to 0-indexed start lists."""
+        ends = self.resolve()
+        return {
+            pid: [e - self._patterns[pid][1] for e in end_list]
+            for pid, end_list in ends.items()
+        }
+
+
+def trace_path(index, pattern):
+    """The node sequence of the valid path spelling ``pattern``.
+
+    Returns the list of visited nodes starting at the root, or ``None``
+    if the pattern has no valid path (i.e. is not a substring). Useful
+    for debugging and for the paper's Figure 3 walk-throughs.
+    """
+    codes = index.alphabet.encode(pattern)
+    node = 0
+    nodes = [0]
+    for pathlength, code in enumerate(codes):
+        node = index.step(node, pathlength, code)
+        if node is None:
+            return None
+        nodes.append(node)
+    return nodes
+
+
+def is_valid_path(index, pattern):
+    """True iff a valid path for ``pattern`` exists.
+
+    By the paper's correctness theorem this holds exactly when the
+    pattern is a substring of the data string — the property the PT/PRT
+    labels exist to guarantee (no false positives, Section 2.1).
+    """
+    if pattern == "":
+        return True
+    return find_first_end(index, index.alphabet.encode(pattern)) is not None

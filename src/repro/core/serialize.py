@@ -1,0 +1,196 @@
+"""Binary persistence for SPINE indexes.
+
+A built index can be saved once and reopened by later processes — the
+use case the paper's "linearity ... makes it more amenable for
+integration with database engines" remark points at. The format is a
+small self-describing container:
+
+``SPNE`` magic, format version, alphabet spec, then length-prefixed
+sections for the character labels, link arrays, ribs and extrib chains,
+each with a CRC32 so corruption is detected at load time rather than as
+wrong answers later.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from array import array
+
+from repro.alphabet import Alphabet
+from repro.exceptions import StorageError
+
+MAGIC = b"SPNE"
+VERSION = 1
+_HEADER = struct.Struct("<4sHHq")  # magic, version, flags, length
+_SECTION = struct.Struct("<4sqI")  # tag, payload bytes, crc32
+
+
+def _write_section(handle, tag, payload):
+    handle.write(_SECTION.pack(tag, len(payload),
+                               zlib.crc32(payload) & 0xFFFFFFFF))
+    handle.write(payload)
+
+
+def _read_section(handle, expected_tag):
+    raw = handle.read(_SECTION.size)
+    if len(raw) != _SECTION.size:
+        raise StorageError("truncated index file (section header)")
+    tag, size, crc = _SECTION.unpack(raw)
+    if tag != expected_tag:
+        raise StorageError(
+            f"unexpected section {tag!r}, wanted {expected_tag!r}")
+    payload = handle.read(size)
+    if len(payload) != size:
+        raise StorageError("truncated index file (section payload)")
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise StorageError(f"checksum mismatch in section {tag!r}")
+    return payload
+
+
+def save_index(index, path):
+    """Serialize a :class:`SpineIndex` to ``path``."""
+    n = index._n
+    with open(path, "wb") as handle:
+        handle.write(_HEADER.pack(MAGIC, VERSION, 0, n))
+        alpha = index.alphabet
+        sep = alpha.separator_code if alpha.separator_code is not None \
+            else -1
+        symbol_bytes = alpha.symbols.encode("utf-8")
+        alpha_payload = struct.pack(
+            "<hH", sep, len(symbol_bytes)
+        ) + symbol_bytes
+        _write_section(handle, b"ALPH", alpha_payload)
+        _write_section(handle, b"CLBL", bytes(index._codes))
+        _write_section(handle, b"LDST", index._link_dest.tobytes())
+        _write_section(handle, b"LLEL", index._link_lel.tobytes())
+        ribs = sorted(index._ribs.items())
+        rib_payload = struct.pack("<q", len(ribs)) + b"".join(
+            struct.pack("<qqq", key, dest, pt)
+            for key, (dest, pt) in ribs)
+        _write_section(handle, b"RIBS", rib_payload)
+        chains = sorted(index._extchains.items())
+        parts = [struct.pack("<q", len(chains))]
+        for key, chain in chains:
+            parts.append(struct.pack("<qq", key, len(chain)))
+            for dest, pt in chain:
+                parts.append(struct.pack("<qq", dest, pt))
+        _write_section(handle, b"EXTC", b"".join(parts))
+
+
+def save_generalized(gindex, path):
+    """Serialize a :class:`GeneralizedSpineIndex` (members included)."""
+    save_index(gindex.index, path)
+    with open(path, "ab") as handle:
+        parts = [struct.pack("<q", gindex.string_count)]
+        for sid in range(gindex.string_count):
+            name = gindex.string_name(sid).encode("utf-8")
+            parts.append(struct.pack("<qqH", gindex._starts[sid],
+                                     gindex._lengths[sid], len(name)))
+            parts.append(name)
+        _write_section(handle, b"MEMB", b"".join(parts))
+
+
+def load_generalized(path):
+    """Load a collection saved by :func:`save_generalized`."""
+    from repro.core.generalized import GeneralizedSpineIndex
+
+    index = load_index(path)
+    if index.alphabet.separator_code is None:
+        raise StorageError(f"{path}: index has no separator alphabet; "
+                           "not a generalized index")
+    with open(path, "rb") as handle:
+        handle.seek(_member_section_offset(handle))
+        payload = _read_section(handle, b"MEMB")
+    (count,) = struct.unpack_from("<q", payload)
+    offset = 8
+    gindex = GeneralizedSpineIndex.__new__(GeneralizedSpineIndex)
+    gindex.alphabet = index.alphabet
+    gindex._sep_code = index.alphabet.separator_code
+    gindex.index = index
+    gindex._starts = []
+    gindex._lengths = []
+    gindex._names = []
+    for _ in range(count):
+        start, length, name_len = struct.unpack_from("<qqH", payload,
+                                                     offset)
+        offset += 18
+        name = payload[offset:offset + name_len].decode("utf-8")
+        offset += name_len
+        gindex._starts.append(start)
+        gindex._lengths.append(length)
+        gindex._names.append(name)
+    return gindex
+
+
+def _member_section_offset(handle):
+    """File offset of the MEMB section (after the core sections)."""
+    handle.seek(0)
+    handle.read(_HEADER.size)
+    for _ in range(6):  # ALPH, CLBL, LDST, LLEL, RIBS, EXTC
+        raw = handle.read(_SECTION.size)
+        if len(raw) != _SECTION.size:
+            raise StorageError("truncated index file (section header)")
+        _, size, _ = _SECTION.unpack(raw)
+        handle.seek(size, 1)
+    return handle.tell()
+
+
+def load_index(path):
+    """Load a :class:`SpineIndex` saved by :func:`save_index`."""
+    from repro.core.index import SpineIndex
+
+    with open(path, "rb") as handle:
+        raw = handle.read(_HEADER.size)
+        if len(raw) != _HEADER.size:
+            raise StorageError("not a SPINE index file (short header)")
+        magic, version, _flags, n = _HEADER.unpack(raw)
+        if magic != MAGIC:
+            raise StorageError("not a SPINE index file (bad magic)")
+        if version != VERSION:
+            raise StorageError(f"unsupported format version {version}")
+        alpha_payload = _read_section(handle, b"ALPH")
+        sep, sym_len = struct.unpack_from("<hH", alpha_payload)
+        symbols = alpha_payload[4:4 + sym_len].decode("utf-8")
+        alphabet = Alphabet(symbols)
+        if sep >= 0:
+            alphabet.separator_code = sep
+        index = SpineIndex(alphabet=alphabet)
+        codes = _read_section(handle, b"CLBL")
+        if len(codes) != n + 1:
+            raise StorageError("character section length mismatch")
+        index._codes = bytearray(codes)
+        link_dest = array("i")
+        link_dest.frombytes(_read_section(handle, b"LDST"))
+        link_lel = array("i")
+        link_lel.frombytes(_read_section(handle, b"LLEL"))
+        if len(link_dest) != n + 1 or len(link_lel) != n + 1:
+            raise StorageError("link section length mismatch")
+        index._link_dest = link_dest
+        index._link_lel = link_lel
+        rib_payload = _read_section(handle, b"RIBS")
+        (count,) = struct.unpack_from("<q", rib_payload)
+        offset = 8
+        ribs = {}
+        for _ in range(count):
+            key, dest, pt = struct.unpack_from("<qqq", rib_payload,
+                                               offset)
+            offset += 24
+            ribs[key] = (dest, pt)
+        index._ribs = ribs
+        ext_payload = _read_section(handle, b"EXTC")
+        (count,) = struct.unpack_from("<q", ext_payload)
+        offset = 8
+        chains = {}
+        for _ in range(count):
+            key, length = struct.unpack_from("<qq", ext_payload, offset)
+            offset += 16
+            chain = []
+            for _ in range(length):
+                dest, pt = struct.unpack_from("<qq", ext_payload, offset)
+                offset += 16
+                chain.append((dest, pt))
+            chains[key] = chain
+        index._extchains = chains
+        index._n = n
+    return index

@@ -1,0 +1,124 @@
+"""Structural statistics of a SPINE index.
+
+These are the quantities the paper's evaluation reports directly:
+
+* maximum numeric label values — Table 3 (they stay tiny, motivating the
+  two-byte label fields of Section 5.1);
+* downstream-edge (rib/extrib) fanout distribution — Table 4 (only
+  ~30-35 % of nodes carry any downstream edge, motivating the LT/RT
+  split);
+* link-destination distribution over the backbone — Figure 8 (links
+  point overwhelmingly upstream, motivating the PinTop buffer policy).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class SpineStatistics:
+    """Measured structural statistics of one index."""
+
+    length: int
+    alphabet_size: int
+    max_lel: int
+    max_pt: int
+    max_prt: int
+    max_label: int
+    rib_count: int
+    extrib_count: int
+    #: fanout -> number of nodes with that many downstream edges
+    #: (ribs + extrib; fanout 0 omitted).
+    fanout_histogram: dict = field(default_factory=dict)
+    #: Fraction of links whose destination falls in each equal-width
+    #: backbone bin (ascending bins).
+    link_destination_bins: list = field(default_factory=list)
+
+    @property
+    def nodes_with_downstream(self):
+        """Number of nodes carrying at least one rib or extrib."""
+        return sum(self.fanout_histogram.values())
+
+    def fanout_percentages(self, max_fanout=None):
+        """``{fanout: percentage of all nodes}`` — the Table 4 rows."""
+        if self.length == 0:
+            return {}
+        if max_fanout is None:
+            max_fanout = max(self.fanout_histogram, default=0)
+        total = self.length + 1
+        return {
+            k: 100.0 * self.fanout_histogram.get(k, 0) / total
+            for k in range(1, max_fanout + 1)
+        }
+
+    @property
+    def downstream_percentage(self):
+        """Percentage of nodes with any downstream edge (Table 4 total)."""
+        if self.length == 0:
+            return 0.0
+        return 100.0 * self.nodes_with_downstream / (self.length + 1)
+
+    def labels_fit_two_bytes(self):
+        """Whether every numeric label fits the two-byte fields of the
+        optimized layout (Section 5.1's empirical claim)."""
+        return self.max_label < 65536
+
+
+def collect_statistics(index, link_bins=30):
+    """Compute :class:`SpineStatistics` for ``index``.
+
+    ``link_bins`` controls the Figure 8 histogram resolution.
+    """
+    n = len(index)
+    asize = index._asize
+    max_lel = 0
+    link_lel = index._link_lel
+    link_dest = index._link_dest
+    for i in range(1, n + 1):
+        lel = link_lel[i]
+        if lel > max_lel:
+            max_lel = lel
+    max_pt = 0
+    fanout = {}
+    for key, (dest, pt) in index._ribs.items():
+        node = key // asize
+        fanout[node] = fanout.get(node, 0) + 1
+        if pt > max_pt:
+            max_pt = pt
+    max_prt = 0
+    extrib_count = 0
+    for located, dest, pt, prt in index.extrib_elements():
+        fanout[located] = fanout.get(located, 0) + 1
+        extrib_count += 1
+        if pt > max_pt:
+            max_pt = pt
+        if prt > max_prt:
+            max_prt = prt
+    histogram = {}
+    for count in fanout.values():
+        histogram[count] = histogram.get(count, 0) + 1
+
+    bins = [0] * link_bins
+    if n > 0 and link_bins > 0:
+        width = n / link_bins
+        for i in range(1, n + 1):
+            b = int(link_dest[i] / width)
+            if b >= link_bins:
+                b = link_bins - 1
+            bins[b] += 1
+        total = float(n)
+        bins = [100.0 * b / total for b in bins]
+
+    return SpineStatistics(
+        length=n,
+        alphabet_size=asize,
+        max_lel=max_lel,
+        max_pt=max_pt,
+        max_prt=max_prt,
+        max_label=max(max_lel, max_pt, max_prt),
+        rib_count=len(index._ribs),
+        extrib_count=extrib_count,
+        fanout_histogram=histogram,
+        link_destination_bins=bins,
+    )

@@ -1,0 +1,156 @@
+"""Structural invariant checking for SPINE indexes.
+
+``verify_index`` raises :class:`~repro.exceptions.VerificationError` on
+the first violated invariant. The cheap checks are linear and safe to run
+on large indexes; ``deep=True`` adds quadratic oracle checks (brute-force
+LEL recomputation and exhaustive valid-path-equals-substring testing)
+meant for small strings in tests.
+"""
+
+from __future__ import annotations
+
+from repro.core.search import find_first_end
+from repro.exceptions import VerificationError
+
+
+def _fail(message):
+    raise VerificationError(message)
+
+
+def verify_index(index, deep=False, max_deep_length=400):
+    """Check the structural invariants of a :class:`SpineIndex`.
+
+    Linear invariants (always checked):
+
+    * array sizes consistent with the node count;
+    * every link points strictly upstream, ``LEL == 0`` iff the link
+      targets the root, ``LEL(i) <= LEL(i-1) + 1``, ``LEL(i) < i``;
+    * every rib points strictly downstream with ``0 <= PT <= source``,
+      and never duplicates the source's vertebra label;
+    * every extrib points strictly downstream with ``PRT < PT``; along
+      any chain, same-PRT thresholds strictly increase.
+
+    Deep invariants (``deep=True``, quadratic — small inputs only):
+
+    * ``LEL(i)`` equals the brute-force longest early-terminating suffix
+      length and the link destination is that suffix's first-occurrence
+      end;
+    * valid paths exist exactly for the substrings (no false positives:
+      every substring extended by one non-continuing character fails).
+
+    Returns ``True`` so it can sit inside ``assert``.
+    """
+    n = len(index)
+    codes = index._codes
+    link_dest = index._link_dest
+    link_lel = index._link_lel
+    asize = index._asize
+    if len(codes) != n + 1 or len(link_dest) != n + 1 \
+            or len(link_lel) != n + 1:
+        _fail("array lengths inconsistent with node count")
+    for i in range(1, n + 1):
+        dest = link_dest[i]
+        lel = link_lel[i]
+        if not 0 <= dest < i:
+            _fail(f"link of node {i} points to {dest}, not upstream")
+        if not 0 <= lel < i:
+            _fail(f"LEL of node {i} is {lel}, outside [0, {i})")
+        if (lel == 0) != (dest == 0):
+            _fail(f"node {i}: LEL {lel} and destination {dest} disagree "
+                  "about the null suffix")
+        if i > 1 and lel > link_lel[i - 1] + 1:
+            _fail(f"LEL jumped from {link_lel[i - 1]} to {lel} at node {i}")
+        if lel > dest:
+            _fail(f"node {i}: LEL {lel} exceeds its destination {dest}")
+    for key, (dest, pt) in index._ribs.items():
+        node, code = divmod(key, asize)
+        if not 0 <= node < dest <= n:
+            _fail(f"rib at {node} -> {dest} not strictly downstream")
+        if not 0 <= pt <= node:
+            _fail(f"rib at {node}: PT {pt} outside [0, {node}]")
+        if node < n and codes[node + 1] == code:
+            _fail(f"rib at {node} duplicates its vertebra label")
+    _verify_chains(index)
+    if deep:
+        if n > max_deep_length:
+            _fail(f"deep verification limited to {max_deep_length} chars")
+        _verify_links_deep(index)
+        _verify_paths_deep(index)
+    return True
+
+
+def _verify_chains(index):
+    """Extrib invariants: every chain belongs to a live rib, points
+    strictly downstream, and its thresholds strictly ascend starting
+    above the parent rib's PT; the paper's one-extrib-per-node physical
+    placement must be collision-free."""
+    n = len(index)
+    for key, chain in index._extchains.items():
+        rib = index._ribs.get(key)
+        if rib is None:
+            _fail("extrib chain attached to a non-existent rib")
+        rib_dest, rib_pt = rib
+        last_dest, last_pt = rib_dest, rib_pt
+        for e_dest, e_pt in chain:
+            if not last_dest < e_dest <= n:
+                _fail(f"extrib {last_dest} -> {e_dest} not strictly "
+                      "downstream along its chain")
+            if e_pt <= last_pt:
+                _fail(f"extrib chain thresholds not increasing "
+                      f"({last_pt} -> {e_pt})")
+            last_dest, last_pt = e_dest, e_pt
+    located = set()
+    for loc, dest, pt, prt in index.extrib_elements():
+        if loc in located:
+            _fail(f"two extribs located at node {loc} (paper layout "
+                  "allows at most one per node)")
+        located.add(loc)
+
+
+def _verify_links_deep(index):
+    """Brute-force recomputation of every LEL and link destination."""
+    text = index.text
+    for i in range(1, len(text) + 1):
+        prefix = text[:i]
+        expected_lel = 0
+        expected_dest = 0
+        for length in range(i - 1, 0, -1):
+            suffix = prefix[-length:]
+            pos = prefix.find(suffix)
+            if pos + length < i:
+                expected_lel = length
+                expected_dest = pos + length
+                break
+        dest, lel = index.link(i)
+        if lel != expected_lel:
+            _fail(f"node {i}: LEL {lel} != brute-force {expected_lel}")
+        if dest != expected_dest:
+            _fail(f"node {i}: link destination {dest} != first-occurrence "
+                  f"end {expected_dest}")
+
+
+def _verify_paths_deep(index):
+    """Valid paths == substrings, exhaustively over the frontier."""
+    text = index.text
+    n = len(text)
+    substrings = {text[i:j] for i in range(n) for j in range(i + 1, n + 1)}
+    alphabet = index.alphabet
+    for sub in substrings:
+        if find_first_end(index, alphabet.encode(sub)) is None:
+            _fail(f"false negative: substring {sub!r} has no valid path")
+    # False-positive frontier: every substring (and the empty string)
+    # extended by one character that does not continue it must fail.
+    candidates = substrings | {""}
+    for stem in candidates:
+        for ch in alphabet.symbols:
+            if alphabet.separator_code is not None \
+                    and alphabet.encode_char(ch) == alphabet.separator_code:
+                continue
+            word = stem + ch
+            if word in substrings:
+                continue
+            if word in text:
+                continue
+            if find_first_end(index, alphabet.encode(word)) is not None:
+                _fail(f"false positive: {word!r} has a valid path but is "
+                      "not a substring")

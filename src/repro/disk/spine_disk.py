@@ -1,0 +1,646 @@
+"""Disk-resident SPINE index (Section 5 layout, Section 6.2 evaluation).
+
+Every structural access — link reads while walking the chain, rib-table
+probes, extrib chains, Link Table appends — goes through a bounded
+:class:`~repro.storage.buffer.BufferPool` over struct-packed page
+records, so the I/O counters reflect exactly what a disk-resident
+implementation does. The regions mirror Figure 5:
+
+=========  =====================  ======================================
+Region     Record                 Meaning
+=========  =====================  ======================================
+CL         ``<B``                 vertebra character labels, packed
+                                  densely (the paper uses 2 bits/char;
+                                  one byte keeps the region equally tiny
+                                  and cache-hot)
+LT         ``<iH`` (6 bytes)      the paper's exact entry: a 4-byte
+                                  word holding the link destination (no
+                                  ribs) or the RT pointer (rib-bearing,
+                                  negative), plus a 2-byte LEL
+RT1..RTk   ``<(1+4k)i``           one row per node with fanout ``k``:
+                                  the displaced link destination, then
+                                  per rib a (code, dest, PT, chain head)
+                                  slot — all of a node's ribs in one
+                                  row, one page touch per probe
+EXT        ``<3i``                extrib element: dest, PT, next
+=========  =====================  ======================================
+
+Nodes migrate to the next RT class when they gain a rib, exactly as the
+paper describes ("movement of nodes across the RTs ... impact is
+negligible"); vacated rows go to a per-class free list. Record widths
+are implementation-convenient int32s; the paper-width byte model lives
+in :meth:`repro.core.packed.PackedSpineIndex.measured_bytes` — here the
+interesting output is page traffic.
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.alphabet import Alphabet
+from repro.core.matching import MatchingResult, MaximalMatch
+from repro.exceptions import ConstructionError, SearchError, StorageError
+from repro.storage.buffer import (
+    BufferPool, ClockPolicy, LRUPolicy, PinTopPolicy)
+from repro.storage.pager import PageFile
+
+_CL = struct.Struct("<B")
+_LT = struct.Struct("<iH")
+_EXT = struct.Struct("<3i")
+_SLOT_INTS = 4  # code, dest, pt, chain_head
+
+_PTR_CLASS_SHIFT = 26
+_PTR_ROW_MASK = (1 << _PTR_CLASS_SHIFT) - 1
+
+
+class _Region:
+    """One record region spread over pages of the shared file."""
+
+    __slots__ = ("pagefile", "pool", "record", "per_page", "pages", "count")
+
+    def __init__(self, pagefile, pool, record):
+        self.pagefile = pagefile
+        self.pool = pool
+        self.record = record
+        self.per_page = pagefile.page_size // record.size
+        self.pages = []
+        self.count = 0
+
+    def _locate(self, index):
+        page_no, slot = divmod(index, self.per_page)
+        return self.pages[page_no], slot * self.record.size
+
+    def ensure(self, index):
+        """Allocate pages so record ``index`` exists; returns True when a
+        fresh page was allocated for it."""
+        allocated = False
+        while index >= len(self.pages) * self.per_page:
+            self.pages.append(self.pagefile.allocate_page())
+            allocated = True
+        if index >= self.count:
+            self.count = index + 1
+        return allocated
+
+    def read(self, index):
+        """Unpack record ``index`` through the buffer pool."""
+        page_id, offset = self._locate(index)
+        frame = self.pool.get(page_id)
+        return self.record.unpack_from(frame, offset)
+
+    def write(self, index, *values):
+        """Pack ``values`` into record ``index`` (allocating pages)."""
+        fresh = self.ensure(index)
+        page_id, offset = self._locate(index)
+        # A freshly allocated page has no on-disk contents to load.
+        frame = self.pool.get(page_id, load=not fresh)
+        self.record.pack_into(frame, offset, *values)
+        self.pool.mark_dirty(page_id)
+
+
+class DiskSpineIndex:
+    """Online, page-resident SPINE over a single string.
+
+    Parameters
+    ----------
+    alphabet:
+        Coding alphabet (required up front — the index is built online).
+    path:
+        Backing file; ``None`` keeps pages in memory with identical I/O
+        accounting.
+    buffer_pages:
+        Buffer pool capacity in pages (the experiment knob).
+    policy:
+        ``"lru"`` (default), ``"clock"``, or ``"pintop"`` (the paper's
+        retain-the-top-of-the-Link-Table strategy).
+    sync_writes:
+        Count (and, with a real file, force) synchronous writes — the
+        paper's ``O_SYNC`` configuration.
+    pintop_fraction:
+        With ``policy="pintop"``: fraction of the buffer reserved for
+        the top of the LT region (plus the tiny CL region).
+    """
+
+    #: Magic bytes of the metadata page (page 0) of a persisted index.
+    META_MAGIC = b"SPDK"
+    META_VERSION = 1
+
+    def __init__(self, alphabet=None, path=None, page_size=4096,
+                 buffer_pages=64, policy="lru", sync_writes=False,
+                 pintop_fraction=0.5, _defer_init=False):
+        if alphabet is None:
+            alphabet = Alphabet("ACGT", name="dna")
+        self.alphabet = alphabet
+        self._asize = alphabet.total_size
+        self.pagefile = PageFile(path=path, page_size=page_size,
+                                 sync_writes=sync_writes)
+        self._protected = set()
+        if policy == "lru":
+            pol = LRUPolicy()
+        elif policy == "clock":
+            pol = ClockPolicy()
+        elif policy == "pintop":
+            pol = PinTopPolicy(self._protected)
+        else:
+            raise ConstructionError(f"unknown buffer policy {policy!r}")
+        self.policy_name = policy
+        self.pool = BufferPool(self.pagefile, buffer_pages, pol)
+        self._pintop_pages = max(1, int(buffer_pages * pintop_fraction))
+        self._cl = _Region(self.pagefile, self.pool, _CL)
+        self._lt = _Region(self.pagefile, self.pool, _LT)
+        max_fanout = max(1, self._asize - 1)
+        self._rt = {
+            k: _Region(self.pagefile, self.pool,
+                       struct.Struct(f"<{1 + _SLOT_INTS * k}i"))
+            for k in range(1, max_fanout + 1)
+        }
+        self._rt_free = {k: [] for k in self._rt}
+        self._ext = _Region(self.pagefile, self.pool, _EXT)
+        self._n = 0
+        self._rib_count = 0
+        if _defer_init:
+            return
+        # Page 0 is reserved for the checkpoint metadata.
+        self._meta_page = self.pagefile.allocate_page()
+        # The root's entries: sentinel code, no link, no ribs.
+        self._cl.write(0, 255)
+        self._lt_write(0, 0, 0)
+
+    # ------------------------------------------------------------------
+    # persistence (checkpoint to page 0 + continuation chain)
+    # ------------------------------------------------------------------
+
+    def _regions(self):
+        named = [("cl", self._cl), ("lt", self._lt), ("ext", self._ext)]
+        named.extend((f"rt{k}", region)
+                     for k, region in sorted(self._rt.items()))
+        return named
+
+    def _meta_blob(self):
+        symbols = self.alphabet.symbols.encode("utf-8")
+        sep = self.alphabet.separator_code
+        parts = [struct.pack("<qqhH", self._n, self._rib_count,
+                             -1 if sep is None else sep, len(symbols)),
+                 symbols]
+        for _, region in self._regions():
+            parts.append(struct.pack("<qi", region.count,
+                                     len(region.pages)))
+            parts.append(struct.pack(f"<{len(region.pages)}i",
+                                     *region.pages))
+        for k in sorted(self._rt_free):
+            free = self._rt_free[k]
+            parts.append(struct.pack("<i", len(free)))
+            parts.append(struct.pack(f"<{len(free)}i", *free))
+        return b"".join(parts)
+
+    def checkpoint(self):
+        """Persist the in-memory directories so :meth:`open` can reload
+        the index later. Writes the metadata to page 0 (continuation
+        pages are allocated as needed) and flushes everything."""
+        blob = self._meta_blob()
+        page_size = self.pagefile.page_size
+        header = struct.Struct("<4sHq")
+        payload_per_page = page_size - 4  # 4-byte next-page pointer
+        first_payload = payload_per_page - header.size
+        chunks = [blob[:first_payload]]
+        rest = blob[first_payload:]
+        while rest:
+            chunks.append(rest[:payload_per_page])
+            rest = rest[payload_per_page:]
+        page_ids = [self._meta_page]
+        while len(page_ids) < len(chunks):
+            page_ids.append(self.pagefile.allocate_page())
+        for i, chunk in enumerate(chunks):
+            frame = bytearray(page_size)
+            offset = 0
+            if i == 0:
+                header.pack_into(frame, 0, self.META_MAGIC,
+                                 self.META_VERSION, len(blob))
+                offset = header.size
+            frame[offset:offset + len(chunk)] = chunk
+            nxt = page_ids[i + 1] if i + 1 < len(chunks) else -1
+            struct.pack_into("<i", frame, page_size - 4, nxt)
+            self.pagefile.write_page(page_ids[i], frame)
+        self.pool.flush()
+
+    @classmethod
+    def open(cls, path, alphabet=None, page_size=4096, buffer_pages=64,
+             policy="lru", sync_writes=False, pintop_fraction=0.5):
+        """Reopen an index persisted with :meth:`checkpoint`.
+
+        ``alphabet`` may be omitted; it is restored from the metadata.
+        """
+        import os
+
+        if not os.path.exists(path):
+            raise StorageError(f"{path}: no such index file")
+        size = os.path.getsize(path)
+        if size < page_size:
+            raise StorageError(f"{path}: too small to hold an index")
+        probe_alphabet = alphabet if alphabet is not None             else Alphabet("ACGT", name="dna")
+        index = cls(alphabet=probe_alphabet, path=path,
+                    page_size=page_size, buffer_pages=buffer_pages,
+                    policy=policy, sync_writes=sync_writes,
+                    pintop_fraction=pintop_fraction, _defer_init=True)
+        index.pagefile._page_count = size // page_size
+        index._meta_page = 0
+        header = struct.Struct("<4sHq")
+        frame = index.pagefile.read_page(0)
+        magic, version, blob_len = header.unpack_from(frame)
+        if magic != cls.META_MAGIC:
+            raise StorageError(f"{path}: not a disk SPINE index")
+        if version != cls.META_VERSION:
+            raise StorageError(f"unsupported disk format {version}")
+        payload_per_page = page_size - 4
+        chunks = [bytes(frame[header.size:payload_per_page])]
+        (nxt,) = struct.unpack_from("<i", frame, page_size - 4)
+        while nxt != -1:
+            frame = index.pagefile.read_page(nxt)
+            chunks.append(bytes(frame[:payload_per_page]))
+            (nxt,) = struct.unpack_from("<i", frame, page_size - 4)
+        blob = b"".join(chunks)[:blob_len]
+        offset = 0
+        n, rib_count, sep, sym_len = struct.unpack_from("<qqhH", blob,
+                                                        offset)
+        offset += 20
+        symbols = blob[offset:offset + sym_len].decode("utf-8")
+        offset += sym_len
+        restored = Alphabet(symbols)
+        if sep >= 0:
+            restored.separator_code = sep
+        if alphabet is not None and alphabet.symbols != symbols:
+            raise StorageError("alphabet mismatch with stored index")
+        index.alphabet = restored
+        if restored.total_size != index._asize:
+            raise StorageError("alphabet size mismatch with stored "
+                               "index layout")
+        index._n = n
+        index._rib_count = rib_count
+        for _, region in index._regions():
+            count, npages = struct.unpack_from("<qi", blob, offset)
+            offset += 12
+            pages = list(struct.unpack_from(f"<{npages}i", blob, offset))
+            offset += 4 * npages
+            region.count = count
+            region.pages = pages
+        for k in sorted(index._rt_free):
+            (nfree,) = struct.unpack_from("<i", blob, offset)
+            offset += 4
+            index._rt_free[k] = list(
+                struct.unpack_from(f"<{nfree}i", blob, offset))
+            offset += 4 * nfree
+        if index.policy_name == "pintop":
+            for page_id in index._cl.pages:
+                index._protected.add(page_id)
+            for page_id in index._lt.pages[:index._pintop_pages]:
+                index._protected.add(page_id)
+        return index
+
+    # ------------------------------------------------------------------
+    # low-level record access
+    # ------------------------------------------------------------------
+
+    def _lt_write(self, node, dest, lel, rt_ptr=-1):
+        """Write node's LT entry; a rib-bearing node stores the negated
+        RT pointer and its link destination lives in the RT row."""
+        if lel >= 0xFFFF:
+            raise ConstructionError(
+                "LEL exceeds the two-byte LT field (disk overflow table "
+                "not implemented; use the in-memory index)")
+        before = len(self._lt.pages)
+        ref = dest if rt_ptr == -1 else -rt_ptr - 1
+        self._lt.write(node, ref, lel)
+        if self.policy_name == "pintop" and len(self._lt.pages) > before:
+            # Protect the tiny CL region and the top of the LT.
+            for page_id in self._cl.pages:
+                self._protected.add(page_id)
+            for page_id in self._lt.pages[:self._pintop_pages]:
+                self._protected.add(page_id)
+
+    def _lt_read(self, node):
+        """``(link_dest, lel, rt_ptr)`` with the displaced destination
+        resolved from the RT row when the node has ribs."""
+        ref, lel = self._lt.read(node)
+        if ref >= 0:
+            return ref, lel, -1
+        rt_ptr = -ref - 1
+        fanout, row = self._decode_ptr(rt_ptr)
+        dest = self._rt[fanout].read(row)[0]
+        return dest, lel, rt_ptr
+
+    @staticmethod
+    def _decode_ptr(ptr):
+        return ptr >> _PTR_CLASS_SHIFT, ptr & _PTR_ROW_MASK
+
+    @staticmethod
+    def _encode_ptr(fanout, row):
+        if row >= (1 << _PTR_CLASS_SHIFT):
+            raise ConstructionError("RT row id overflow")
+        return (fanout << _PTR_CLASS_SHIFT) | row
+
+    def _row_slots(self, fanout, row):
+        """``(ld, [(code, dest, pt, chain_head), ...])`` for a row."""
+        flat = self._rt[fanout].read(row)
+        ld = flat[0]
+        slots = [tuple(flat[1 + i * _SLOT_INTS:1 + (i + 1) * _SLOT_INTS])
+                 for i in range(fanout)]
+        return ld, slots
+
+    def _write_row(self, fanout, row, ld, slots):
+        flat = [ld] + [value for slot in slots for value in slot]
+        self._rt[fanout].write(row, *flat)
+
+    def _alloc_row(self, fanout):
+        free = self._rt_free[fanout]
+        if free:
+            return free.pop()
+        return self._rt[fanout].count
+
+    def _find_slot(self, rt_ptr, code):
+        """Probe the node's RT row for ``code``; one page touch.
+
+        Returns ``(fanout, row, slot_index, dest, pt, chain_head)`` or
+        ``None``.
+        """
+        if rt_ptr == -1:
+            return None
+        fanout, row = self._decode_ptr(rt_ptr)
+        _, slots = self._row_slots(fanout, row)
+        for idx, (s_code, dest, pt, chead) in enumerate(slots):
+            if s_code == code:
+                return fanout, row, idx, dest, pt, chead
+        return None
+
+    def _add_rib(self, node, node_dest, node_lel, rt_ptr, code, dest, pt):
+        """Plant a rib at ``node``, migrating its row to the next RT
+        class when it already has ribs (the paper's RT movement)."""
+        self._rib_count += 1
+        if rt_ptr == -1:
+            row = self._alloc_row(1)
+            self._write_row(1, row, node_dest, [(code, dest, pt, -1)])
+            new_ptr = self._encode_ptr(1, row)
+        else:
+            fanout, row = self._decode_ptr(rt_ptr)
+            ld, slots = self._row_slots(fanout, row)
+            slots.append((code, dest, pt, -1))
+            self._rt_free[fanout].append(row)
+            new_row = self._alloc_row(fanout + 1)
+            self._write_row(fanout + 1, new_row, ld, slots)
+            new_ptr = self._encode_ptr(fanout + 1, new_row)
+        self._lt_write(node, node_dest, node_lel, new_ptr)
+
+    # ------------------------------------------------------------------
+    # construction (mirrors SpineIndex.append_code through the pool)
+    # ------------------------------------------------------------------
+
+    def extend(self, text):
+        """Append ``text`` (online)."""
+        for ch in text:
+            self.append_code(self.alphabet.encode_char(ch))
+
+    def append_code(self, c):
+        """Append one character code (the paper's APPEND, on disk)."""
+        if not 0 <= c < self._asize:
+            raise ConstructionError(f"code {c} out of range")
+        n = self._n
+        new = n + 1
+        self._n = new
+        self._cl.write(new, c)
+        if n == 0:
+            self._lt_write(new, 0, 0)
+            return
+        v, lel, _ = self._lt_read(n)
+        while True:
+            v_dest, v_lel, v_ptr = self._lt_read(v)
+            if self._cl.read(v + 1)[0] == c:
+                # CASE 1: vertebra.
+                self._lt_write(new, v + 1, lel + 1)
+                return
+            hit = self._find_slot(v_ptr, c)
+            if hit is not None:
+                fanout, row, idx, d, pt, chead = hit
+                if pt >= lel:
+                    # CASE 2: rib passes the threshold test.
+                    self._lt_write(new, d, lel + 1)
+                    return
+                # CASE 4: extend through the extrib chain.
+                self._handle_extribs(fanout, row, idx, d, pt, chead,
+                                     lel, new)
+                return
+            # CASE 3: plant a rib at v.
+            self._add_rib(v, v_dest, v_lel, v_ptr, c, new, lel)
+            if v == 0:
+                self._lt_write(new, 0, 0)
+                return
+            lel = v_lel
+            v = v_dest
+
+    def _handle_extribs(self, fanout, row, idx, d, rib_pt, chead,
+                        lel, new):
+        last_dest, last_pt = d, rib_pt
+        last_eid = -1
+        eid = chead
+        while eid != -1:
+            e_dest, e_pt, e_next = self._ext.read(eid)
+            if e_pt >= lel:
+                self._lt_write(new, e_dest, lel + 1)
+                return
+            last_dest, last_pt = e_dest, e_pt
+            last_eid = eid
+            eid = e_next
+        # Append a fresh extrib at the chain's end.
+        new_eid = self._ext.count
+        self._ext.write(new_eid, new, lel, -1)
+        if last_eid == -1:
+            # First element: hook the chain head into the rib slot.
+            ld, slots = self._row_slots(fanout, row)
+            code, dest, pt, _ = slots[idx]
+            slots[idx] = (code, dest, pt, new_eid)
+            self._write_row(fanout, row, ld, slots)
+        else:
+            t_dest, t_pt, _ = self._ext.read(last_eid)
+            self._ext.write(last_eid, t_dest, t_pt, new_eid)
+        self._lt_write(new, last_dest, last_pt + 1)
+
+    def flush(self):
+        """Write back all dirty pages."""
+        self.pool.flush()
+
+    def close(self, checkpoint=False):
+        """Flush (optionally checkpoint) and close the page file."""
+        if checkpoint:
+            self.checkpoint()
+        self.pool.flush()
+        self.pagefile.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def __len__(self):
+        return self._n
+
+    @property
+    def rib_count(self):
+        """Number of ribs planted so far."""
+        return self._rib_count
+
+    def link(self, i):
+        """``(dest, LEL)`` of node ``i``."""
+        if not 1 <= i <= self._n:
+            raise SearchError(f"node {i} out of range or is the root")
+        dest, lel, _ = self._lt_read(i)
+        return dest, lel
+
+    def step(self, node, pathlength, code):
+        """Same contract as :meth:`SpineIndex.step`, via the pool."""
+        if node < self._n and self._cl.read(node + 1)[0] == code:
+            return node + 1
+        if node <= self._n:
+            ref = self._lt.read(node)[0]
+            rt_ptr = -ref - 1 if ref < 0 else -1
+        else:
+            rt_ptr = -1
+        hit = self._find_slot(rt_ptr, code)
+        if hit is None:
+            return None
+        _, _, _, d, pt, chead = hit
+        if pathlength <= pt:
+            return d
+        eid = chead
+        while eid != -1:
+            e_dest, e_pt, e_next = self._ext.read(eid)
+            if e_pt >= pathlength:
+                return e_dest
+            eid = e_next
+        return None
+
+    def contains(self, pattern):
+        """True iff ``pattern`` occurs in the indexed string."""
+        node = 0
+        for pathlength, code in enumerate(self.alphabet.encode(pattern)):
+            node = self.step(node, pathlength, code)
+            if node is None:
+                return False
+        return True
+
+    def find_all(self, pattern):
+        """Sorted 0-indexed starts of all occurrences (first occurrence
+        by traversal, repetitions by the sequential LT scan)."""
+        if pattern == "":
+            raise SearchError("find_all of the empty pattern is "
+                              "ill-defined")
+        codes = self.alphabet.encode(pattern)
+        node = 0
+        for pathlength, code in enumerate(codes):
+            node = self.step(node, pathlength, code)
+            if node is None:
+                return []
+        m = len(codes)
+        targets = {node}
+        starts = [node - m]
+        for j in range(node + 1, self._n + 1):
+            dest, lel, _ = self._lt_read(j)
+            if lel >= m and dest in targets:
+                targets.add(j)
+                starts.append(j - m)
+        return starts
+
+    def matching_statistics(self, query):
+        """Disk-resident matching statistics (same semantics and check
+        accounting as :func:`repro.core.matching.matching_statistics`)."""
+        result = MatchingResult()
+        cur, length = 0, 0
+        for code in self.alphabet.encode(query):
+            hit = self._extend_longest(cur, length, code, result)
+            if hit is None:
+                cur, length = 0, 0
+            else:
+                cur, length = hit
+            result.lengths.append(length)
+            result.end_nodes.append(cur)
+        return result
+
+    def _extend_longest(self, cur, length, code, result):
+        n = self._n
+        while True:
+            result.checks += 1
+            if cur < n and self._cl.read(cur + 1)[0] == code:
+                return cur + 1, length + 1
+            cand_dest = -1
+            cand_pt = -1
+            link_dest, link_lel, rt_ptr = self._lt_read(cur)
+            hit = self._find_slot(rt_ptr, code)
+            if hit is not None:
+                _, _, _, d, pt, chead = hit
+                if length <= pt:
+                    return d, length + 1
+                cand_dest, cand_pt = d, pt
+                eid = chead
+                while eid != -1:
+                    e_dest, e_pt, e_next = self._ext.read(eid)
+                    if e_pt >= length:
+                        return e_dest, length + 1
+                    cand_dest, cand_pt = e_dest, e_pt
+                    eid = e_next
+            if cur == 0:
+                return None
+            if cand_pt >= link_lel:
+                return cand_dest, cand_pt + 1
+            cur = link_dest
+            length = link_lel
+            result.link_hops += 1
+
+    def maximal_matches(self, query, min_length=1):
+        """Right-maximal matches with all data positions, resolved by
+        one deferred LT scan (Section 4's batched strategy), on disk."""
+        if min_length < 1:
+            raise SearchError("min_length must be >= 1")
+        result = self.matching_statistics(query)
+        lengths = result.lengths
+        end_nodes = result.end_nodes
+        m = len(lengths)
+        events = []
+        for j in range(m):
+            length = lengths[j]
+            if length < min_length:
+                continue
+            if j + 1 < m and lengths[j + 1] == length + 1:
+                continue
+            events.append((j, length, end_nodes[j]))
+        # Shared downstream scan.
+        node_targets = {}
+        hits = {idx: [end] for idx, (_, _, end) in enumerate(events)}
+        min_start = self._n + 1
+        for idx, (_, length, end) in enumerate(events):
+            node_targets.setdefault(end, []).append((idx, length))
+            min_start = min(min_start, end)
+        for j in range(min_start + 1, self._n + 1):
+            dest, lel, _ = self._lt_read(j)
+            entries = node_targets.get(dest)
+            if not entries:
+                continue
+            matched = [(idx, length) for idx, length in entries
+                       if lel >= length]
+            if not matched:
+                continue
+            node_targets.setdefault(j, []).extend(matched)
+            for idx, _ in matched:
+                hits[idx].append(j)
+        matches = []
+        for idx, (j, length, _) in enumerate(events):
+            matches.append(MaximalMatch(
+                query_start=j - length + 1,
+                length=length,
+                data_starts=tuple(end - length for end in hits[idx]),
+            ))
+        return matches, result
+
+    def io_snapshot(self):
+        """Physical + buffer counters accumulated so far."""
+        return self.pagefile.metrics.snapshot()

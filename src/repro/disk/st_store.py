@@ -1,0 +1,274 @@
+"""A fully record-serialized, reopenable suffix tree on disk.
+
+:class:`~repro.disk.st_disk.DiskSuffixTree` measures I/O by shadowing an
+in-memory tree with page touches — ideal for construction accounting.
+This module goes further: after construction, the tree is flattened
+into the exact 20-byte records the space model charges (first child,
+next sibling, edge start, edge end, suffix link) plus a dense text
+region, and *all* queries run against those structs through a buffer
+pool. The resulting file is self-contained and reopenable, the
+suffix-tree counterpart of ``DiskSpineIndex.checkpoint``/``open``.
+
+Record layout (little-endian, one per node, in creation-serial order):
+
+======  =====  ==================================================
+field   bytes  meaning
+======  =====  ==================================================
+child   4      serial of the first child (-1 for leaves)
+sibling 4      serial of the next sibling under the same parent
+start   4      edge start offset into the text region
+end     4      edge end offset (-1 = open to the text end)
+link    4      suffix-link target serial (-1 if none)
+======  =====  ==================================================
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+
+from repro.alphabet import Alphabet
+from repro.exceptions import SearchError, StorageError
+from repro.storage.buffer import BufferPool, LRUPolicy
+from repro.storage.pager import PageFile
+from repro.suffixtree.ukkonen import SuffixTree
+
+_NODE = struct.Struct("<5i")
+_META = struct.Struct("<4sHqqqi")  # magic, version, n_codes, n_nodes,
+#                                    text_pages, root serial
+MAGIC = b"STDK"
+VERSION = 1
+
+
+class PersistentSuffixTree:
+    """Immutable, struct-backed suffix tree persisted to a page file.
+
+    Build with :meth:`from_text` (constructs Ukkonen in memory, then
+    serializes) or reopen an existing file with :meth:`open`. Queries
+    — containment, occurrence enumeration — read node records through
+    a bounded buffer pool, so the I/O counters mean what they say.
+    """
+
+    def __init__(self, pagefile, buffer_pages, alphabet, n_codes,
+                 n_nodes, text_pages, root_serial):
+        self.pagefile = pagefile
+        self.pool = BufferPool(pagefile, buffer_pages, LRUPolicy())
+        self.alphabet = alphabet
+        self._n_codes = n_codes
+        self._n_nodes = n_nodes
+        self._text_pages = text_pages
+        self._root = root_serial
+        page_size = pagefile.page_size
+        self._codes_per_page = page_size
+        self._nodes_per_page = page_size // _NODE.size
+
+    # ------------------------------------------------------------------
+    # construction / opening
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_text(cls, text, path=None, alphabet=None, page_size=4096,
+                  buffer_pages=64):
+        """Build (in memory) and serialize a finalized suffix tree."""
+        tree = SuffixTree(text, alphabet=alphabet).finalize()
+        alphabet = tree.alphabet
+        if alphabet.total_size >= 255:
+            raise StorageError("alphabet too large for one-byte text "
+                               "region records")
+        codes = tree._codes
+        n_codes = len(codes)
+        pagefile = PageFile(path=path, page_size=page_size)
+        # Metadata page first.
+        meta_page = pagefile.allocate_page()
+        # Text region: one byte per code (sentinel = 255).
+        text_pages = -(-n_codes // page_size) if n_codes else 0
+        text_base = pagefile.page_count
+        for _ in range(text_pages):
+            pagefile.allocate_page()
+        for page in range(text_pages):
+            frame = bytearray(page_size)
+            chunk = codes[page * page_size:(page + 1) * page_size]
+            for i, code in enumerate(chunk):
+                frame[i] = code
+            pagefile.write_page(text_base + page, frame)
+        # Node records in serial order; children become first-child +
+        # sibling chains.
+        records = {}
+        n_nodes = tree.node_count
+        for node in tree.iter_nodes():
+            children = sorted(node.children.values(),
+                              key=lambda c: c.serial)
+            first = children[0].serial if children else -1
+            for a, b in zip(children, children[1:]):
+                records.setdefault(a.serial, {})["sibling"] = b.serial
+            rec = records.setdefault(node.serial, {})
+            rec["child"] = first
+            rec["start"] = max(node.start, 0)
+            rec["end"] = node.end if node.end is not None else -1
+            rec["link"] = node.link.serial if node.link is not None \
+                else -1
+        node_base = pagefile.page_count
+        nodes_per_page = page_size // _NODE.size
+        node_pages = -(-n_nodes // nodes_per_page)
+        for _ in range(node_pages):
+            pagefile.allocate_page()
+        for page in range(node_pages):
+            frame = bytearray(page_size)
+            for slot in range(nodes_per_page):
+                serial = page * nodes_per_page + slot
+                if serial >= n_nodes:
+                    break
+                rec = records.get(serial, {})
+                _NODE.pack_into(frame, slot * _NODE.size,
+                                rec.get("child", -1),
+                                rec.get("sibling", -1),
+                                rec.get("start", 0),
+                                rec.get("end", -1),
+                                rec.get("link", -1))
+            pagefile.write_page(node_base + page, frame)
+        # Metadata.
+        frame = bytearray(page_size)
+        _META.pack_into(frame, 0, MAGIC, VERSION, n_codes, n_nodes,
+                        text_pages, tree.root.serial)
+        symbols = alphabet.symbols.encode("utf-8")
+        sep = alphabet.separator_code
+        struct.pack_into("<hH", frame, _META.size,
+                         -1 if sep is None else sep, len(symbols))
+        frame[_META.size + 4:_META.size + 4 + len(symbols)] = symbols
+        pagefile.write_page(meta_page, frame)
+        return cls(pagefile, buffer_pages, alphabet, n_codes, n_nodes,
+                   text_pages, tree.root.serial)
+
+    @classmethod
+    def open(cls, path, page_size=4096, buffer_pages=64):
+        """Reopen a file written by :meth:`from_text`."""
+        if not os.path.exists(path):
+            raise StorageError(f"{path}: no such file")
+        pagefile = PageFile(path=path, page_size=page_size)
+        pagefile._page_count = os.path.getsize(path) // page_size
+        if pagefile.page_count == 0:
+            raise StorageError(f"{path}: empty file")
+        frame = pagefile.read_page(0)
+        magic, version, n_codes, n_nodes, text_pages, root = \
+            _META.unpack_from(frame)
+        if magic != MAGIC:
+            raise StorageError(f"{path}: not a persistent suffix tree")
+        if version != VERSION:
+            raise StorageError(f"unsupported format version {version}")
+        sep, sym_len = struct.unpack_from("<hH", frame, _META.size)
+        symbols = bytes(
+            frame[_META.size + 4:_META.size + 4 + sym_len]
+        ).decode("utf-8")
+        alphabet = Alphabet(symbols)
+        if sep >= 0:
+            alphabet.separator_code = sep
+        return cls(pagefile, buffer_pages, alphabet, n_codes, n_nodes,
+                   text_pages, root)
+
+    def close(self):
+        """Flush the pool and close the page file."""
+        self.pool.flush()
+        self.pagefile.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def __len__(self):
+        # Exclude the sentinel appended by finalize().
+        return max(0, self._n_codes - 1)
+
+    # ------------------------------------------------------------------
+    # record access through the pool
+    # ------------------------------------------------------------------
+
+    def _code_at(self, index):
+        page, offset = divmod(index, self._codes_per_page)
+        frame = self.pool.get(1 + page)
+        return frame[offset]
+
+    def _node(self, serial):
+        page, slot = divmod(serial, self._nodes_per_page)
+        frame = self.pool.get(1 + self._text_pages + page)
+        return _NODE.unpack_from(frame, slot * _NODE.size)
+
+    def _edge_span(self, serial):
+        _, _, start, end, _ = self._node(serial)
+        return start, (end if end != -1 else self._n_codes)
+
+    def _child_for(self, serial, code):
+        """The child of ``serial`` whose edge begins with ``code``."""
+        child = self._node(serial)[0]
+        while child != -1:
+            start, _ = self._edge_span(child)
+            if self._code_at(start) == code:
+                return child
+            child = self._node(child)[1]
+        return None
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def contains(self, pattern):
+        """True iff ``pattern`` occurs in the stored string."""
+        return self._locate(self.alphabet.encode(pattern)) is not None
+
+    def _locate(self, codes):
+        serial = self._root
+        i = 0
+        m = len(codes)
+        if m == 0:
+            return serial, 0
+        while i < m:
+            child = self._child_for(serial, codes[i])
+            if child is None:
+                return None
+            start, stop = self._edge_span(child)
+            j = start
+            while j < stop and i < m:
+                if self._code_at(j) != codes[i]:
+                    return None
+                i += 1
+                j += 1
+            serial = child
+            if i == m:
+                return serial, j - start
+        return None
+
+    def find_all(self, pattern):
+        """Sorted 0-indexed starts of every occurrence."""
+        if pattern == "":
+            raise SearchError("find_all of the empty pattern is "
+                              "ill-defined")
+        hit = self._locate(self.alphabet.encode(pattern))
+        if hit is None:
+            return []
+        serial, consumed = hit
+        start, _ = self._edge_span(serial)
+        base_depth = len(pattern) - consumed
+        starts = []
+        stack = [(serial, base_depth + (self._edge_span(serial)[1]
+                                        - start))]
+        while stack:
+            node, depth = stack.pop()
+            child = self._node(node)[0]
+            if child == -1:
+                starts.append(self._n_codes - depth)
+                continue
+            while child != -1:
+                c_start, c_stop = self._edge_span(child)
+                stack.append((child, depth + (c_stop - c_start)))
+                child = self._node(child)[1]
+        starts.sort()
+        return starts
+
+    def count(self, pattern):
+        """Number of occurrences of ``pattern``."""
+        return len(self.find_all(pattern))
+
+    def io_snapshot(self):
+        """Physical + buffer I/O counters so far."""
+        return self.pagefile.metrics.snapshot()

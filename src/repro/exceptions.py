@@ -1,0 +1,34 @@
+"""Exception hierarchy for the SPINE reproduction library.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing the subsystem that failed.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class AlphabetError(ReproError):
+    """A character or code is not part of the alphabet in use."""
+
+
+class ConstructionError(ReproError):
+    """An index could not be built (bad input, exhausted resources)."""
+
+
+class SearchError(ReproError):
+    """A search request was malformed (e.g. empty pattern where disallowed)."""
+
+
+class StorageError(ReproError):
+    """The disk substrate failed (bad page id, buffer misuse, closed store)."""
+
+
+class CorpusError(ReproError):
+    """A named corpus sequence could not be produced."""
+
+
+class VerificationError(ReproError):
+    """An index violated one of its structural invariants."""

@@ -1,0 +1,68 @@
+"""Experiment harness: one module per paper table/figure.
+
+Every evaluation artifact in the paper maps to a module here (see
+DESIGN.md section 4). Each module exposes ``run(scale=None, ...) ->
+ExperimentResult``; the CLI (``python -m repro.experiments <id>``)
+prints the paper-style table plus the paper's expected numbers for
+side-by-side comparison, and the ``benchmarks/`` tree times the same
+entry points under pytest-benchmark.
+"""
+
+from repro.experiments.report import ExperimentResult, format_table
+
+_REGISTRY = {}
+
+
+def register(experiment_id):
+    """Class/function decorator adding a ``run`` callable to the CLI."""
+    def wrap(fn):
+        _REGISTRY[experiment_id] = fn
+        return fn
+    return wrap
+
+
+def experiment_ids():
+    """All registered experiment ids (importing the modules lazily)."""
+    _load_all()
+    return sorted(_REGISTRY)
+
+
+def run_experiment(experiment_id, **kwargs):
+    """Run one experiment by id; returns its :class:`ExperimentResult`."""
+    _load_all()
+    try:
+        fn = _REGISTRY[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; known: "
+            f"{', '.join(sorted(_REGISTRY))}") from None
+    return fn(**kwargs)
+
+
+def _load_all():
+    from repro.experiments import (  # noqa: F401
+        ablation_buffering,
+        ablation_layout_order,
+        construction_effort,
+        figure6,
+        figure7,
+        figure8,
+        proteins,
+        space_comparison,
+        summary,
+        table2,
+        table3,
+        table4,
+        table5,
+        table6,
+        table7,
+    )
+
+
+__all__ = [
+    "ExperimentResult",
+    "format_table",
+    "register",
+    "experiment_ids",
+    "run_experiment",
+]

@@ -1,0 +1,49 @@
+"""CLI: ``python -m repro.experiments [ids...] [--csv DIR]``.
+
+With no arguments, lists available experiments. ``all`` runs the whole
+evaluation (the EXPERIMENTS.md generator uses this path); ``--csv DIR``
+additionally writes each regenerated table to ``DIR/<id>.csv``.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+from repro.experiments import experiment_ids, run_experiment
+
+
+def main(argv=None):
+    argv = list(sys.argv[1:] if argv is None else argv)
+    csv_dir = None
+    if "--csv" in argv:
+        at = argv.index("--csv")
+        try:
+            csv_dir = argv[at + 1]
+        except IndexError:
+            print("error: --csv needs a directory", file=sys.stderr)
+            return 2
+        del argv[at:at + 2]
+        os.makedirs(csv_dir, exist_ok=True)
+    ids = experiment_ids()
+    if not argv:
+        print("usage: python -m repro.experiments <id|all> [...] "
+              "[--csv DIR]")
+        print("available experiments:")
+        for experiment_id in ids:
+            print(f"  {experiment_id}")
+        return 0
+    targets = ids if argv == ["all"] else argv
+    for experiment_id in targets:
+        result = run_experiment(experiment_id)
+        print(result.format())
+        print()
+        if csv_dir is not None:
+            path = os.path.join(csv_dir, f"{experiment_id}.csv")
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(result.csv())
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

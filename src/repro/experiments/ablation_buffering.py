@@ -1,0 +1,72 @@
+"""Ablation: buffer replacement policies for the disk-resident SPINE.
+
+Section 6.2 proposes the PinTop strategy ("retain as much as possible
+of the top part of the Link Table in memory") off the back of the
+Figure 8 locality observation. This ablation sweeps policies and buffer
+sizes over a construction-plus-search workload and reports modeled
+time, so the value (or redundancy) of PinTop versus plain LRU/CLOCK is
+measured rather than asserted.
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import dna_alphabet
+from repro.disk import DiskSpineIndex
+from repro.experiments import register
+from repro.experiments.report import ExperimentResult
+from repro.experiments.workloads import (
+    DISK_SCALE, effective_scale, genome)
+from repro.storage import DiskModel
+
+POLICIES = ["lru", "clock", "pintop"]
+BUFFER_SIZES = [16, 48, 128]
+GENOME = "CEL"
+MIN_LENGTH = 12
+
+
+@register("ablation-buffer")
+def run(scale=None, genome_name=GENOME, policies=None, buffer_sizes=None):
+    scale = effective_scale(DISK_SCALE, scale)
+    policies = policies or POLICIES
+    buffer_sizes = buffer_sizes or BUFFER_SIZES
+    data = genome(genome_name, scale)
+    query = genome("ECO", scale)
+    model = DiskModel()
+    rows = []
+    by_policy = {}
+    for pages in buffer_sizes:
+        for policy in policies:
+            index = DiskSpineIndex(alphabet=dna_alphabet(),
+                                   buffer_pages=pages, policy=policy,
+                                   sync_writes=True)
+            index.extend(data)
+            index.flush()
+            build_secs = model.cost_seconds(index.pagefile.metrics)
+            index.pool.clear()
+            before = model.cost_seconds(index.pagefile.metrics)
+            index.maximal_matches(query, min_length=MIN_LENGTH)
+            search_secs = model.cost_seconds(index.pagefile.metrics) \
+                - before
+            rows.append((pages, policy, round(build_secs, 2),
+                         round(search_secs, 2),
+                         round(build_secs + search_secs, 2)))
+            by_policy.setdefault(policy, []).append(
+                build_secs + search_secs)
+            index.close()
+    return ExperimentResult(
+        experiment_id="ablation-buffer",
+        title=f"Buffer policy ablation on {genome_name} "
+              "(modeled seconds)",
+        headers=["Buffer pages", "Policy", "Build", "Search", "Total"],
+        rows=rows,
+        paper_headers=["Finding", "Paper"],
+        paper_rows=[
+            ("policy", "keep the top of the Link Table resident"),
+            ("claim", "a very simple strategy suffices to exploit the "
+             "observed locality"),
+        ],
+        notes=(f"scale={scale}, min_length={MIN_LENGTH}. The paper only "
+               "asserts PinTop's sufficiency; the sweep shows how it "
+               "compares with generic policies per buffer budget."),
+        data={"by_policy": by_policy},
+    )

@@ -1,0 +1,90 @@
+"""Ablation: how much of the suffix tree's disk-search penalty is node
+*layout* versus inherently scattered access?
+
+The paper attributes SPINE's disk wins to smaller nodes plus the
+backbone's locality, contrasting with suffix-tree nodes laid out in
+creation order. A fair question is whether an offline BFS relayout
+(clustering the hot top of the tree) closes the gap. This ablation runs
+the same cold-cache matching workload against:
+
+* the disk suffix tree in creation order (the paper's implicit target),
+* the same tree after a BFS relayout,
+* the disk SPINE.
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import dna_alphabet
+from repro.disk import DiskSpineIndex, DiskSuffixTree
+from repro.experiments import register
+from repro.experiments.report import ExperimentResult
+from repro.experiments.workloads import (
+    DISK_SCALE, effective_scale, genome_pair)
+from repro.storage import DiskModel
+
+PAIR = ("HC21", "CEL")
+MIN_LENGTH = 12
+
+
+@register("ablation-st-layout")
+def run(scale=None, pair=PAIR, min_length=MIN_LENGTH):
+    scale = effective_scale(DISK_SCALE, scale)
+    data, query = genome_pair(pair[0], pair[1], scale)
+    model = DiskModel()
+    probe = DiskSpineIndex(alphabet=dna_alphabet(), buffer_pages=64)
+    probe.extend(data)
+    budget = max(64, probe.pagefile.page_count // 2)
+    probe.close()
+
+    def cold_matching_cost(index):
+        index.flush()
+        index.pool.clear()
+        before = model.cost_seconds(index.pagefile.metrics)
+        index.maximal_matches(query, min_length=min_length)
+        return model.cost_seconds(index.pagefile.metrics) - before
+
+    rows = []
+    st_creation = DiskSuffixTree(dna_alphabet(), buffer_pages=budget,
+                                 sync_writes=True)
+    st_creation.extend(data)
+    st_creation.finalize()
+    creation_secs = cold_matching_cost(st_creation)
+    rows.append(("suffix tree, creation order", round(creation_secs, 2)))
+
+    st_creation.relayout_bfs()
+    bfs_secs = cold_matching_cost(st_creation)
+    rows.append(("suffix tree, BFS relayout", round(bfs_secs, 2)))
+    st_creation.close()
+
+    spine = DiskSpineIndex(alphabet=dna_alphabet(), buffer_pages=budget,
+                           sync_writes=True)
+    spine.extend(data)
+    spine_secs = cold_matching_cost(spine)
+    rows.append(("SPINE", round(spine_secs, 2)))
+    spine.close()
+
+    beats_creation = spine_secs < creation_secs
+    return ExperimentResult(
+        experiment_id="ablation-st-layout",
+        title=f"ST node layout ablation, pair {pair} "
+              "(cold-cache matching, modeled seconds)",
+        headers=["Configuration", "Modeled seconds"],
+        rows=rows,
+        paper_headers=["Finding", "Paper"],
+        paper_rows=[
+            ("ST disk layout", "nodes in creation order, scattered"),
+            ("comparison target", "MUMmer-class ST without "
+             "disk-specific optimization (Section 6.2)"),
+        ],
+        notes=(f"scale={scale}, buffer={budget} pages, "
+               f"min_length={min_length}. Shape criterion (the paper's "
+               "actual claim): SPINE beats the creation-order ST -> "
+               f"{'HOLDS' if beats_creation else 'VIOLATED'}. "
+               "Extension finding: an *offline* BFS relayout can make "
+               "the ST competitive or better for cold search — but it "
+               "requires the finished tree (forfeiting online growth) "
+               "and does not help the write-heavy construction path "
+               "where SPINE's append-only backbone dominates (Fig 7)."),
+        data={"creation": creation_secs, "bfs": bfs_secs,
+              "spine": spine_secs, "beats_creation": beats_creation},
+    )

@@ -1,0 +1,93 @@
+"""Figure 7: on-disk construction times (synchronous writes).
+
+Both indexes are built page-resident through the same buffer pool with
+``O_SYNC``-style write accounting; counted I/Os become modeled hours
+under the documented :class:`~repro.storage.disk.DiskModel`. The paper
+finds SPINE builds in roughly *half* the ST time — more than its ~30 %
+size advantage alone explains, the rest being the append-only Link
+Table's locality.
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import dna_alphabet
+from repro.disk import DiskSpineIndex, DiskSuffixTree
+from repro.experiments import register
+from repro.experiments.report import ExperimentResult
+from repro.experiments.workloads import (
+    DISK_GENOMES, DISK_SCALE, effective_scale, genome)
+from repro.storage import DiskModel
+
+#: Default: computed per genome as half of SPINE's final working set
+#: (same absolute budget for both competitors) — the paper's regime,
+#: where the smaller index is substantially cacheable and the larger
+#: one is not.
+BUFFER_PAGES = None
+
+
+@register("fig7")
+def run(scale=None, genomes=None, buffer_pages=BUFFER_PAGES):
+    scale = effective_scale(DISK_SCALE, scale)
+    genomes = genomes or DISK_GENOMES
+    model = DiskModel()
+    rows = []
+    ratios = []
+    buffers_used = []
+    for name in genomes:
+        text = genome(name, scale)
+        if buffer_pages is None:
+            probe = DiskSpineIndex(alphabet=dna_alphabet(),
+                                   buffer_pages=64)
+            probe.extend(text)
+            pair_buffer = max(16, probe.pagefile.page_count // 2)
+            probe.close()
+        else:
+            pair_buffer = buffer_pages
+        buffers_used.append(pair_buffer)
+        spine = DiskSpineIndex(alphabet=dna_alphabet(),
+                               buffer_pages=pair_buffer,
+                               sync_writes=True)
+        spine.extend(text)
+        spine.flush()
+        spine_secs = model.cost_seconds(spine.pagefile.metrics)
+        spine_io = spine.io_snapshot()
+        st = DiskSuffixTree(dna_alphabet(), buffer_pages=pair_buffer,
+                            sync_writes=True)
+        st.extend(text)
+        st.flush()
+        st_secs = model.cost_seconds(st.pagefile.metrics)
+        st_io = st.io_snapshot()
+        ratio = st_secs / spine_secs if spine_secs else 0.0
+        ratios.append(ratio)
+        rows.append((name, len(text),
+                     round(st_secs / 3600, 4), round(spine_secs / 3600, 4),
+                     st_io["reads"] + st_io["writes"],
+                     spine_io["reads"] + spine_io["writes"],
+                     round(ratio, 2)))
+        spine.close()
+        st.close()
+    mean_ratio = sum(ratios) / len(ratios) if ratios else 0.0
+    return ExperimentResult(
+        experiment_id="fig7",
+        title="Index construction on disk (modeled hours + page I/Os)",
+        headers=["Genome", "Length", "ST (h)", "SPINE (h)", "ST I/Os",
+                 "SPINE I/Os", "ST/SPINE"],
+        rows=rows,
+        paper_headers=["Finding", "Paper"],
+        paper_rows=[
+            ("relative time", "SPINE about half of ST"),
+            ("attribution", "~30% from smaller nodes, ~20% from "
+             "better locality"),
+        ],
+        notes=(f"scale={scale}, buffers={buffers_used} pages (half of "
+               "SPINE's final working set, same budget for both), "
+               "synchronous writes, seek 9 ms / 40 MB/s model. Shape "
+               f"criterion: ST/SPINE >= 1.3 on every genome; mean "
+               f"{mean_ratio:.2f} (paper ~2)."),
+        data={"mean_ratio": mean_ratio,
+              "chart": ("Disk construction page I/Os", "",
+                        [(f"{row[0]} {kind}", value)
+                         for row in rows
+                         for kind, value in (("ST", row[4]),
+                                             ("SPINE", row[5]))])},
+    )

@@ -1,0 +1,133 @@
+"""Result containers and plain-text table rendering for experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+def format_table(headers, rows, title=None):
+    """Render rows (sequences of cells) as an aligned ASCII table."""
+    cells = [[str(h) for h in headers]]
+    for row in rows:
+        cells.append([_fmt(c) for c in row])
+    widths = [max(len(row[i]) for row in cells)
+              for i in range(len(headers))]
+    lines = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(cells[0], widths)))
+    lines.append(sep)
+    for row in cells[1:]:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value):
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    return str(value)
+
+
+def format_bar_chart(series, width=48, title=None, unit=""):
+    """Horizontal ASCII bar chart for figure-style results.
+
+    ``series`` is a list of ``(label, value)`` pairs; bars scale to the
+    maximum value. Non-numeric values (e.g. "OOM") render as flags.
+    """
+    numeric = [v for _, v in series if isinstance(v, (int, float))]
+    peak = max(numeric) if numeric else 1.0
+    label_width = max((len(str(label)) for label, _ in series),
+                      default=0)
+    lines = []
+    if title:
+        lines.append(title)
+    for label, value in series:
+        if isinstance(value, (int, float)):
+            filled = int(round(width * value / peak)) if peak else 0
+            bar = "#" * max(filled, 1 if value > 0 else 0)
+            rendered = _fmt(value) + unit
+        else:
+            bar = "!" * (width // 3)
+            rendered = str(value)
+        lines.append(f"{str(label).ljust(label_width)} |{bar.ljust(width)}"
+                     f"| {rendered}")
+    return "\n".join(lines)
+
+
+def to_csv(headers, rows):
+    """Render a result table as CSV text (RFC-4180-enough)."""
+    def cell(value):
+        text = _fmt(value)
+        if any(ch in text for ch in ",\"\n"):
+            text = '"' + text.replace('"', '""') + '"'
+        return text
+
+    lines = [",".join(cell(h) for h in headers)]
+    for row in rows:
+        lines.append(",".join(cell(c) for c in row))
+    return "\n".join(lines) + "\n"
+
+
+@dataclass
+class ExperimentResult:
+    """Outcome of one experiment run.
+
+    Attributes
+    ----------
+    experiment_id:
+        The registry id (``table3``, ``fig7``, ...).
+    title:
+        Human-readable description echoing the paper artifact.
+    headers / rows:
+        The regenerated table.
+    paper_headers / paper_rows:
+        The values the paper reports, for side-by-side reading (absolute
+        agreement is not expected — see EXPERIMENTS.md — the *shape* is).
+    notes:
+        Scaling/substitution remarks for this run.
+    data:
+        Free-form machine-readable extras (used by the benchmarks and
+        EXPERIMENTS.md generation).
+    """
+
+    experiment_id: str
+    title: str
+    headers: list
+    rows: list
+    paper_headers: list = field(default_factory=list)
+    paper_rows: list = field(default_factory=list)
+    notes: str = ""
+    data: dict = field(default_factory=dict)
+
+    def format(self):
+        """Render the result (table, chart, paper rows, notes)."""
+        parts = [format_table(self.headers, self.rows,
+                              title=f"[{self.experiment_id}] {self.title}")]
+        chart = self.chart()
+        if chart:
+            parts.append("")
+            parts.append(chart)
+        if self.paper_rows:
+            parts.append("")
+            parts.append(format_table(
+                self.paper_headers or self.headers, self.paper_rows,
+                title="Paper reports:"))
+        if self.notes:
+            parts.append("")
+            parts.append(f"Notes: {self.notes}")
+        return "\n".join(parts)
+
+    def chart(self):
+        """ASCII bar chart for figure-type experiments; the experiment
+        supplies its series as ``data["chart"]`` — a ``(title, unit,
+        [(label, value), ...])`` triple. Empty string otherwise."""
+        spec = self.data.get("chart")
+        if not spec:
+            return ""
+        title, unit, series = spec
+        return format_bar_chart(series, title=title, unit=unit)
+
+    def csv(self):
+        """The regenerated table as CSV text."""
+        return to_csv(self.headers, self.rows)

@@ -1,0 +1,67 @@
+"""One-shot reproduction health check.
+
+``python -m repro.experiments summary`` runs every paper artifact at
+reduced scales and reports one verdict line per experiment — the
+machine-checkable version of EXPERIMENTS.md's claim table. A violated
+shape reads VIOLATED in the output and flips the ``all_hold`` flag the
+benchmark asserts.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import register, run_experiment
+from repro.experiments.report import ExperimentResult
+
+#: (experiment id, kwargs, predicate over result) — the shape checks.
+CHECKS = [
+    ("table2", {},
+     lambda r: all(m[3] < 12.0 for m in r.data["measured"])),
+    ("table3", {}, lambda r: r.data["two_byte_fit"]),
+    ("table4", {}, lambda r: r.data["shape_ok"]),
+    ("fig6", {}, lambda r: r.data["spine_completes"]
+     and r.data["st_oom"]),
+    ("table5", {}, lambda r: r.data["mean_ratio"] > 1.0),
+    ("table6", {}, lambda r: 1.3 < r.data["mean_ratio"] < 2.5),
+    ("fig7", {}, lambda r: r.data["mean_ratio"] > 1.3),
+    ("fig8", {}, lambda r: r.data["shape_ok"]),
+    ("table7", {}, lambda r: r.data["mean_speedup"] > 10.0),
+    ("proteins", {}, lambda r: r.data["shape_ok"]),
+    ("space", {}, lambda r: r.data["ordering_ok"]),
+    ("construction-effort", {},
+     lambda r: r.data["bounded"] and r.data["spread"] < 2.0),
+    ("ablation-st-layout", {}, lambda r: r.data["beats_creation"]),
+]
+
+#: Reduced scales so the whole sweep stays minutes-fast.
+SUMMARY_SCALES = {
+    "table2": 4_000, "table3": 4_000, "table4": 4_000, "fig6": 4_000,
+    "fig8": 4_000, "proteins": 4_000, "space": 4_000,
+    "construction-effort": 4_000,
+    "table5": 2_000, "table6": 2_000,
+    "fig7": 400, "table7": 400, "ablation-st-layout": 400,
+}
+
+
+@register("summary")
+def run(scale=None):
+    rows = []
+    all_hold = True
+    for experiment_id, kwargs, predicate in CHECKS:
+        effective = scale if scale is not None \
+            else SUMMARY_SCALES[experiment_id]
+        result = run_experiment(experiment_id, scale=effective,
+                                **kwargs)
+        holds = bool(predicate(result))
+        all_hold = all_hold and holds
+        rows.append((experiment_id, result.title[:48],
+                     "HOLDS" if holds else "VIOLATED"))
+    return ExperimentResult(
+        experiment_id="summary",
+        title="Reproduction health check (all paper artifacts)",
+        headers=["Experiment", "Artifact", "Shape"],
+        rows=rows,
+        notes=("Each row re-runs the experiment at a reduced scale and "
+               "evaluates its shape criterion. Overall: "
+               f"{'ALL HOLD' if all_hold else 'SOME VIOLATED'}."),
+        data={"all_hold": all_hold},
+    )

@@ -1,0 +1,70 @@
+"""Table 6: number of suffix checks during matching (SPINE vs ST).
+
+SPINE's link chain processes early-terminating suffixes as a *set*
+(one check per chain node), while the suffix tree's suffix links drop a
+single character at a time (one check per suffix). The paper reports
+ST checking ~1.6-1.7x as many; the counters here instrument exactly
+those checks on identical inputs.
+"""
+
+from __future__ import annotations
+
+from repro.core import SpineIndex
+from repro.core.matching import matching_statistics
+from repro.experiments import register
+from repro.experiments.report import ExperimentResult
+from repro.experiments.workloads import (
+    MATCH_SCALE, TABLE6_PAIRS, effective_scale, genome_pair)
+from repro.suffixtree import SuffixTree, st_matching_statistics
+
+PAPER_ROWS = [
+    ("CEL", "ECO", 3515, 2119),
+    ("HC21", "ECO", 3514, 2163),
+    ("HC21", "CEL", 15077, 8701),
+]
+
+
+@register("table6")
+def run(scale=None, pairs=None):
+    scale = effective_scale(MATCH_SCALE, scale)
+    pairs = pairs or TABLE6_PAIRS
+    rows = []
+    ratios = []
+    for data_name, query_name in pairs:
+        data, query = genome_pair(data_name, query_name, scale)
+        index = SpineIndex(data)
+        spine = matching_statistics(index, query)
+        tree = SuffixTree(data)
+        st = st_matching_statistics(tree, query)
+        if st.lengths != spine.lengths:
+            raise AssertionError(
+                f"matching statistics disagree on ({data_name}, "
+                f"{query_name})")
+        # The paper counts *suffixes checked after a mismatch*: every
+        # query character costs both indexes one extension attempt, so
+        # the per-char floor is subtracted to leave only the
+        # suffix-shortening work the two structures do differently.
+        m = len(query)
+        st_checks = st.checks - m
+        spine_checks = spine.checks - m
+        ratio = st_checks / spine_checks if spine_checks else 0.0
+        ratios.append(ratio)
+        rows.append((data_name, query_name,
+                     round(st_checks / 1000, 1),
+                     round(spine_checks / 1000, 1), round(ratio, 2)))
+        del tree
+    mean_ratio = sum(ratios) / len(ratios) if ratios else 0.0
+    return ExperimentResult(
+        experiment_id="table6",
+        title="Number of nodes checked during matching (thousands)",
+        headers=["Data seq", "Query seq", "ST (k)", "SPINE (k)",
+                 "ST/SPINE"],
+        rows=rows,
+        paper_headers=["Data seq", "Query seq", "ST (k)", "SPINE (k)"],
+        paper_rows=PAPER_ROWS,
+        notes=(f"scale={scale}. Shape criterion: ST checks more "
+               f"suffixes on every pair; mean ratio {mean_ratio:.2f} "
+               "(paper: 1.63-1.73). Matching statistics were verified "
+               "identical between the two indexes before counting."),
+        data={"mean_ratio": mean_ratio},
+    )

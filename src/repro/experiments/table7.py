@@ -1,0 +1,104 @@
+"""Table 7: on-disk substring matching, SPINE vs the suffix tree.
+
+Both disk-resident indexes are built, the buffer pool is cleared (cold
+cache), and the Section 4 matching operation streams the query; only
+the matching-phase I/O is charged. The paper reports ~50 % speedups for
+SPINE across all genome pairs.
+
+Buffer sizing: the paper ran with a fixed RAM budget comparable to the
+*larger* (suffix tree) index, i.e. a regime where SPINE's ~3x smaller
+footprint is substantially cacheable while ST's is not. We mirror that
+regime scale-independently by giving both indexes a buffer equal to
+half of SPINE's page working set (identical absolute budget for both
+competitors; ``buffer_pages`` overrides it).
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import dna_alphabet
+from repro.disk import DiskSpineIndex, DiskSuffixTree
+from repro.experiments import register
+from repro.experiments.report import ExperimentResult
+from repro.experiments.workloads import (
+    DISK_SCALE, TABLE7_PAIRS, effective_scale, genome_pair)
+from repro.storage import DiskModel
+
+PAPER_ROWS = [
+    ("CEL", "ECO", 0.98, 0.47, "52.1%"),
+    ("HC21", "ECO", 0.97, 0.48, "49.8%"),
+    ("HC21", "CEL", 4.30, 2.02, "52.8%"),
+    ("HC19", "HC21", 7.92, 3.87, "51.1%"),
+]
+
+#: Default: computed per pair as half of SPINE's working set.
+BUFFER_PAGES = None
+MIN_LENGTH = 12
+
+
+def _matching_cost(index, query, model, min_length):
+    """Cold-cache matching I/O cost in modeled seconds."""
+    index.flush()
+    index.pool.clear()
+    before = model.cost_seconds(index.pagefile.metrics)
+    matches, _ = index.maximal_matches(query, min_length=min_length)
+    after = model.cost_seconds(index.pagefile.metrics)
+    return after - before, len(matches)
+
+
+@register("table7")
+def run(scale=None, pairs=None, buffer_pages=BUFFER_PAGES,
+        min_length=MIN_LENGTH):
+    scale = effective_scale(DISK_SCALE, scale)
+    pairs = pairs or TABLE7_PAIRS
+    model = DiskModel()
+    rows = []
+    speedups = []
+    buffers_used = []
+    for data_name, query_name in pairs:
+        data, query = genome_pair(data_name, query_name, scale)
+        if buffer_pages is None:
+            probe = DiskSpineIndex(alphabet=dna_alphabet(),
+                                   buffer_pages=64)
+            probe.extend(data)
+            pair_buffer = max(64, probe.pagefile.page_count // 2)
+            probe.close()
+        else:
+            pair_buffer = buffer_pages
+        buffers_used.append(pair_buffer)
+        spine = DiskSpineIndex(alphabet=dna_alphabet(),
+                               buffer_pages=pair_buffer,
+                               sync_writes=True)
+        spine.extend(data)
+        spine_secs, n_spine = _matching_cost(spine, query, model,
+                                             min_length)
+        st = DiskSuffixTree(dna_alphabet(), buffer_pages=pair_buffer,
+                            sync_writes=True)
+        st.extend(data)
+        st.finalize()
+        st_secs, n_st = _matching_cost(st, query, model, min_length)
+        if n_st != n_spine:
+            raise AssertionError(
+                f"match counts diverge on ({data_name}, {query_name}): "
+                f"{n_st} vs {n_spine}")
+        speedup = 100.0 * (st_secs - spine_secs) / st_secs \
+            if st_secs else 0.0
+        speedups.append(speedup)
+        rows.append((data_name, query_name, round(st_secs, 2),
+                     round(spine_secs, 2), f"{speedup:.1f}%"))
+        spine.close()
+        st.close()
+    mean = sum(speedups) / len(speedups) if speedups else 0.0
+    return ExperimentResult(
+        experiment_id="table7",
+        title="Substring matching on disk (modeled seconds, cold cache)",
+        headers=["Data seq", "Query seq", "ST", "SPINE", "Speedup"],
+        rows=rows,
+        paper_headers=["Data seq", "Query seq", "MUMmer (h)",
+                       "SPINE (h)", "Speedup"],
+        paper_rows=PAPER_ROWS,
+        notes=(f"scale={scale}, buffers={buffers_used} pages (half of "
+               "SPINE's working set per pair, same budget for both), "
+               f"min_length={min_length}. Shape criterion: SPINE faster "
+               f"on every pair; mean speedup {mean:.1f}% (paper ~51%)."),
+        data={"mean_speedup": mean},
+    )

@@ -1,0 +1,23 @@
+"""Two-level frequency-filter index (the paper's MRS-index competitor).
+
+Section 7 contrasts SPINE with the MRS-index of Kahveci & Singh (VLDB
+2001): "a preprocessing phase using a very small approximate index is
+used to first filter out those regions of the data string that
+potentially contain matching entries, and then a seed-based approach is
+used on the filtered regions ... the performance improvement through
+complete indexes is typically substantially more, albeit at the cost of
+increased resource consumption."
+
+:class:`repro.filterindex.frequency.FrequencyFilterIndex` implements
+that architecture: per-window k-mer frequency vectors as the tiny
+first-level index, count-containment filtering to discard regions, and
+exact verification inside surviving spans. The space-vs-time trade the
+paper describes falls out measurably (see ``benchmarks/bench_filter.py``).
+"""
+
+from repro.filterindex.frequency import (
+    FrequencyFilterIndex,
+    MultiResolutionFilterIndex,
+)
+
+__all__ = ["FrequencyFilterIndex", "MultiResolutionFilterIndex"]

@@ -1,0 +1,227 @@
+"""k-mer frequency filter index (MRS-style two-level search).
+
+The data string is cut into fixed windows; each window stores a vector
+of k-mer counts (a ``windows x sigma^k`` numpy matrix — the "very small
+approximate index"). A pattern can only occur inside a span of adjacent
+windows whose combined counts dominate the pattern's k-mer counts
+(counting every k-mer crossing window boundaries in the span), so
+non-dominating spans are filtered wholesale and only survivors are
+verified by direct string search.
+
+Guarantee: **no false negatives** — the filter condition is implied by
+containment — which the property tests assert against brute force.
+False positives are possible and are exactly what verification pays
+for; :meth:`filter_ratio` exposes how selective the filter was.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.alphabet import alphabet_for
+from repro.exceptions import ConstructionError, SearchError
+
+
+class FrequencyFilterIndex:
+    """First-level k-mer frequency filter plus exact verification.
+
+    Parameters
+    ----------
+    text:
+        The data string.
+    window:
+        Window width in characters (the filter's resolution).
+    k:
+        k-mer length; the vector dimensionality is ``sigma ** k``.
+    alphabet:
+        Coding alphabet (inferred when omitted).
+    """
+
+    def __init__(self, text, window=1024, k=2, alphabet=None):
+        if window < 2:
+            raise ConstructionError("window must be at least 2")
+        if k < 1:
+            raise ConstructionError("k must be at least 1")
+        if alphabet is None:
+            alphabet = alphabet_for(text) if text else None
+        if alphabet is not None and k > 8 and alphabet.size ** k > 1 << 20:
+            raise ConstructionError("sigma^k too large for the filter")
+        self.alphabet = alphabet
+        self.text = text
+        self.window = window
+        self.k = k
+        n = len(text)
+        sigma = alphabet.size if alphabet is not None else 1
+        self._dims = sigma ** k
+        self._window_count = max(1, -(-n // window)) if n else 0
+        self.counts = np.zeros((self._window_count, self._dims),
+                               dtype=np.uint32)
+        if n >= k:
+            codes = np.asarray(alphabet.encode(text), dtype=np.int64)
+            # Rolling k-mer ids.
+            ids = np.zeros(n - k + 1, dtype=np.int64)
+            for offset in range(k):
+                ids = ids * sigma + codes[offset:offset + n - k + 1]
+            # A k-mer starting at i belongs to window i // window.
+            owners = np.arange(n - k + 1) // window
+            np.add.at(self.counts, (owners, ids), 1)
+        self._queries = 0
+        self._windows_examined = 0
+        self._windows_passed = 0
+
+    def __len__(self):
+        return len(self.text)
+
+    def _pattern_vector(self, pattern):
+        sigma = self.alphabet.size
+        vector = np.zeros(self._dims, dtype=np.uint32)
+        codes = self.alphabet.encode(pattern)
+        for i in range(len(codes) - self.k + 1):
+            kmer = 0
+            for c in codes[i:i + self.k]:
+                kmer = kmer * sigma + c
+            vector[kmer] += 1
+        return vector
+
+    def candidate_spans(self, pattern):
+        """Half-open text spans that may contain ``pattern``.
+
+        A span covers ``span_width`` adjacent windows (enough for the
+        pattern plus one window of slack); a span survives when its
+        combined k-mer counts dominate the pattern's.
+        """
+        if pattern == "":
+            raise SearchError("empty pattern is ill-defined")
+        m = len(pattern)
+        n = len(self.text)
+        if m > n:
+            return []
+        if m < self.k or self._window_count == 0:
+            # Too short for the filter: everything is a candidate.
+            return [(0, n)]
+        vector = self._pattern_vector(pattern)
+        span_width = min(self._window_count, -(-m // self.window) + 1)
+        # Sliding-window sums over `span_width` consecutive windows.
+        cum = np.cumsum(self.counts, axis=0, dtype=np.int64)
+        cum = np.vstack([np.zeros((1, self._dims), dtype=np.int64), cum])
+        starts = np.arange(self._window_count - span_width + 1)
+        sums = cum[starts + span_width] - cum[starts]
+        passed = np.all(sums >= vector, axis=1)
+        self._queries += 1
+        self._windows_examined += len(starts)
+        self._windows_passed += int(passed.sum())
+        spans = []
+        for w in np.nonzero(passed)[0]:
+            lo = int(w) * self.window
+            hi = min(n, (int(w) + span_width) * self.window + self.k - 1)
+            if spans and lo <= spans[-1][1]:
+                spans[-1] = (spans[-1][0], max(spans[-1][1], hi))
+            else:
+                spans.append((lo, hi))
+        return spans
+
+    def find_all(self, pattern):
+        """Exact occurrences via filter-then-verify.
+
+        Complete (no false negatives) because containment implies count
+        domination for every span covering the occurrence.
+        """
+        out = []
+        for lo, hi in self.candidate_spans(pattern):
+            start = lo
+            chunk = self.text[lo:hi]
+            found = chunk.find(pattern)
+            while found != -1:
+                out.append(start + found)
+                found = chunk.find(pattern, found + 1)
+        return sorted(set(out))
+
+    def contains(self, pattern):
+        """Substring test via the filter."""
+        return bool(self.find_all(pattern))
+
+    def filter_ratio(self):
+        """Fraction of examined spans that survived the filter (lower
+        is more selective)."""
+        if self._windows_examined == 0:
+            return 1.0
+        return self._windows_passed / self._windows_examined
+
+    def measured_bytes(self):
+        """First-level index size: the count matrix at two bytes per
+        cell (counts within a window are small), the MRS-style "very
+        small approximate index"."""
+        total = self._window_count * self._dims * 2
+        n = len(self.text)
+        return {
+            "count_matrix": total,
+            "total": total,
+            "bytes_per_char": total / n if n else float(total),
+        }
+
+
+class MultiResolutionFilterIndex:
+    """Several filter resolutions, query-routed — the "MRS" in
+    MRS-index.
+
+    Kahveci & Singh's structure keeps frequency summaries at multiple
+    window scales and answers each query at the scale that fits it
+    best: fine windows are selective for short patterns, coarse windows
+    keep long patterns inside a single span. This wrapper holds one
+    :class:`FrequencyFilterIndex` per resolution and routes each query
+    to the finest resolution whose window still covers the pattern.
+
+    Parameters
+    ----------
+    text:
+        The data string.
+    windows:
+        Ascending window widths (the resolutions).
+    k:
+        Shared k-mer length.
+    """
+
+    def __init__(self, text, windows=(128, 512, 2048), k=2,
+                 alphabet=None):
+        if not windows:
+            raise ConstructionError("at least one resolution required")
+        widths = sorted(set(windows))
+        if alphabet is None:
+            alphabet = alphabet_for(text) if text else None
+        self.levels = [FrequencyFilterIndex(text, window=w, k=k,
+                                            alphabet=alphabet)
+                       for w in widths]
+        self.text = text
+        self.alphabet = alphabet
+
+    def __len__(self):
+        return len(self.text)
+
+    def _route(self, pattern):
+        for level in self.levels:
+            if len(pattern) <= level.window:
+                return level
+        return self.levels[-1]
+
+    def candidate_spans(self, pattern):
+        """Spans from the resolution matched to the pattern length."""
+        return self._route(pattern).candidate_spans(pattern)
+
+    def find_all(self, pattern):
+        """Exact occurrences (filter at the routed level + verify)."""
+        return self._route(pattern).find_all(pattern)
+
+    def contains(self, pattern):
+        """Substring test via the routed level."""
+        return bool(self.find_all(pattern))
+
+    def measured_bytes(self):
+        """Summed first-level sizes across resolutions."""
+        total = sum(level.measured_bytes()["total"]
+                    for level in self.levels)
+        n = len(self.text)
+        return {
+            "total": total,
+            "bytes_per_char": total / n if n else float(total),
+            "levels": len(self.levels),
+        }

@@ -1,0 +1,166 @@
+"""Named pseudo-genome corpus mirroring the paper's evaluation strings.
+
+The paper evaluates on four DNA genomes and three proteomes:
+
+=========  ==========================  ============
+Name       Paper description           Paper length
+=========  ==========================  ============
+ECO        E.coli genome               3.5 Mbp
+CEL        C.elegans genome            15.5 Mbp
+HC21       Human chromosome 21         28.5 Mbp
+HC19       Human chromosome 19         57.5 Mbp
+ECO-R      E.coli residues (protein)   1.5 M
+YEAST-R    Yeast residues              3.1 M
+DROS-R     Drosophila residues         7.5 M
+=========  ==========================  ============
+
+Real sequences are unavailable offline and pure-Python construction cannot
+reach 10^7-10^8 characters, so each name maps to a deterministic synthetic
+sequence (seeded by the name) whose *length ratios* match the paper and
+whose repeat structure approximates the organism class (bacterial genomes
+lightly repetitive, human chromosomes heavily repetitive). The global
+``scale`` parameter is the number of generated characters per paper-Mbp;
+the default of 17_000 keeps the full Figure-6 sweep tractable in Python.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+from repro.alphabet import dna_alphabet, protein_alphabet
+from repro.exceptions import CorpusError
+from repro.sequences.generator import SequenceProfile
+
+#: Environment variable naming a directory of real FASTA sequences.
+CORPUS_DIR_ENV = "REPRO_CORPUS_DIR"
+
+#: Default number of synthetic characters generated per paper megabase.
+DEFAULT_SCALE = 17_000
+
+
+@dataclass(frozen=True)
+class CorpusSpec:
+    """Recipe for one named corpus sequence."""
+
+    name: str
+    description: str
+    paper_mbp: float
+    kind: str  # "dna" or "protein"
+    repeat_fraction: float
+    order: int
+    seed: int
+
+    def length_at(self, scale):
+        """Scaled sequence length for ``scale`` chars per paper-Mbp."""
+        return max(1, int(round(self.paper_mbp * scale)))
+
+
+CORPUS_PROFILES = {
+    "ECO": CorpusSpec("ECO", "E.coli genome (3.5 Mbp)", 3.5, "dna",
+                      repeat_fraction=0.12, order=3, seed=101),
+    "CEL": CorpusSpec("CEL", "C.elegans genome (15.5 Mbp)", 15.5, "dna",
+                      repeat_fraction=0.25, order=3, seed=202),
+    "HC21": CorpusSpec("HC21", "Human chromosome 21 (28.5 Mbp)", 28.5, "dna",
+                       repeat_fraction=0.45, order=3, seed=303),
+    "HC19": CorpusSpec("HC19", "Human chromosome 19 (57.5 Mbp)", 57.5, "dna",
+                       repeat_fraction=0.45, order=3, seed=404),
+    "ECO-R": CorpusSpec("ECO-R", "E.coli residues (1.5 M)", 1.5, "protein",
+                        repeat_fraction=0.10, order=1, seed=505),
+    "YEAST-R": CorpusSpec("YEAST-R", "Yeast residues (3.1 M)", 3.1, "protein",
+                          repeat_fraction=0.12, order=1, seed=606),
+    "DROS-R": CorpusSpec("DROS-R", "Drosophila residues (7.5 M)", 7.5,
+                         "protein", repeat_fraction=0.15, order=1, seed=707),
+}
+
+_CACHE = {}
+
+
+def _load_real_sequence(spec, scale):
+    """Real-genome override from ``REPRO_CORPUS_DIR`` (or ``None``).
+
+    Accepts ``<NAME>.fa`` / ``<NAME>.fasta``; concatenates all records,
+    uppercases, drops characters outside the target alphabet (real
+    FASTA files carry N runs and IUPAC codes), and truncates to the
+    scaled length.
+    """
+    directory = os.environ.get(CORPUS_DIR_ENV)
+    if not directory:
+        return None
+    from repro.sequences.fasta import read_fasta
+
+    path = None
+    for suffix in (".fa", ".fasta"):
+        candidate = os.path.join(directory, spec.name + suffix)
+        if os.path.exists(candidate):
+            path = candidate
+            break
+    if path is None:
+        return None
+    alphabet = dna_alphabet() if spec.kind == "dna" \
+        else protein_alphabet()
+    allowed = set(alphabet.symbols)
+    raw = "".join(seq for _, seq in read_fasta(path)).upper()
+    cleaned = "".join(ch for ch in raw if ch in allowed)
+    if not cleaned:
+        raise CorpusError(f"{path}: no usable characters for "
+                          f"{spec.kind} alphabet")
+    return cleaned[:spec.length_at(scale)]
+
+
+def corpus_names(kind=None):
+    """Names of available corpus sequences, optionally filtered by kind."""
+    return [name for name, spec in CORPUS_PROFILES.items()
+            if kind is None or spec.kind == kind]
+
+
+def corpus_spec(name):
+    """Look up the :class:`CorpusSpec` for ``name``."""
+    try:
+        return CORPUS_PROFILES[name]
+    except KeyError:
+        known = ", ".join(sorted(CORPUS_PROFILES))
+        raise CorpusError(f"unknown corpus sequence {name!r}; "
+                          f"known: {known}") from None
+
+
+def load_corpus_sequence(name, scale=DEFAULT_SCALE):
+    """Materialize the named pseudo-genome at the given scale.
+
+    Results are memoized per ``(name, scale)`` within the process, so the
+    experiment harness can reference the same sequence repeatedly without
+    regenerating it.
+
+    Real data: when the ``REPRO_CORPUS_DIR`` environment variable points
+    at a directory containing ``<NAME>.fa`` / ``<NAME>.fasta`` files
+    (e.g. the actual E.coli genome as ``ECO.fa``), the real sequence is
+    used instead of the synthetic one — truncated to the scaled length
+    so the experiment runtimes stay controlled; set the scale to
+    1_000_000 (characters per Mbp) for the paper's full lengths.
+    """
+    if scale <= 0:
+        raise CorpusError("scale must be positive")
+    spec = corpus_spec(name)
+    key = (name, scale)
+    cached = _CACHE.get(key)
+    if cached is not None:
+        return cached
+    real = _load_real_sequence(spec, scale)
+    if real is not None:
+        _CACHE[key] = real
+        return real
+    if spec.kind == "dna":
+        alphabet = dna_alphabet()
+        family_range = (50, 2000)
+    else:
+        alphabet = protein_alphabet()
+        family_range = (20, 400)
+    profile = SequenceProfile(
+        length=spec.length_at(scale),
+        order=spec.order,
+        repeat_fraction=spec.repeat_fraction,
+        family_length_range=family_range,
+    )
+    sequence = profile.realize(alphabet, seed=spec.seed)
+    _CACHE[key] = sequence
+    return sequence

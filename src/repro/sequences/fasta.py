@@ -1,0 +1,53 @@
+"""Minimal FASTA reader/writer.
+
+The paper's tooling world (MUMmer et al.) speaks FASTA; examples and the
+experiment harness use these helpers to persist and reload pseudo-genomes
+so that runs are reproducible from on-disk artifacts.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+def read_fasta(path):
+    """Read a FASTA file into a list of ``(header, sequence)`` pairs.
+
+    Headers are returned without the leading ``>``; sequence lines are
+    concatenated with whitespace stripped. Raises :class:`ReproError`
+    on malformed input (sequence data before any header).
+    """
+    records = []
+    header = None
+    chunks = []
+    with open(path, "r", encoding="ascii") as handle:
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if line.startswith(">"):
+                if header is not None:
+                    records.append((header, "".join(chunks)))
+                header = line[1:].strip()
+                chunks = []
+            else:
+                if header is None:
+                    raise ReproError(
+                        f"{path}: sequence data before first FASTA header"
+                    )
+                chunks.append(line)
+    if header is not None:
+        records.append((header, "".join(chunks)))
+    return records
+
+
+def write_fasta(path, records, line_width=70):
+    """Write ``(header, sequence)`` pairs to ``path`` in FASTA format."""
+    if line_width <= 0:
+        raise ReproError("line_width must be positive")
+    with open(path, "w", encoding="ascii") as handle:
+        for header, sequence in records:
+            handle.write(f">{header}\n")
+            for i in range(0, len(sequence), line_width):
+                handle.write(sequence[i:i + line_width])
+                handle.write("\n")

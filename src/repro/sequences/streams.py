@@ -1,0 +1,118 @@
+"""Streaming FASTA access and streaming index construction.
+
+The online property of SPINE (Section 1.1) means an index can be built
+without ever materializing the input: these helpers iterate FASTA
+records lazily and feed an index chunk by chunk, which is how a
+database-engine integration would ingest bulk loads.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ReproError
+
+
+def iter_fasta(path, chunk_size=1 << 16):
+    """Yield ``(header, sequence_chunk_iterator)`` pairs lazily.
+
+    Each record's sequence arrives as an iterator of string chunks (at
+    most ``chunk_size`` characters each, whitespace stripped), so
+    arbitrarily large records never fully occupy memory. The chunk
+    iterator of a record must be consumed (or abandoned) before
+    advancing to the next record.
+    """
+    if chunk_size <= 0:
+        raise ReproError("chunk_size must be positive")
+    with open(path, "r", encoding="ascii") as handle:
+        pending_header = None
+
+        def read_chunks():
+            nonlocal pending_header
+            buffer = []
+            buffered = 0
+            for raw in handle:
+                line = raw.strip()
+                if not line:
+                    continue
+                if line.startswith(">"):
+                    pending_header = line[1:].strip()
+                    break
+                buffer.append(line)
+                buffered += len(line)
+                if buffered >= chunk_size:
+                    yield "".join(buffer)
+                    buffer = []
+                    buffered = 0
+            if buffer:
+                yield "".join(buffer)
+
+        # Find the first header.
+        for raw in handle:
+            line = raw.strip()
+            if not line:
+                continue
+            if not line.startswith(">"):
+                raise ReproError(
+                    f"{path}: sequence data before first FASTA header")
+            pending_header = line[1:].strip()
+            break
+        while pending_header is not None:
+            header = pending_header
+            pending_header = None
+            chunks = read_chunks()
+            yield header, chunks
+            # Drain any unconsumed chunks so the file position is at
+            # the next record.
+            for _ in chunks:
+                pass
+
+
+def stream_build(path, index, record=0, chunk_size=1 << 16,
+                 progress=None):
+    """Build ``index`` from FASTA record ``record`` of ``path``,
+    streaming.
+
+    ``index`` is any online index with ``extend`` (a
+    :class:`~repro.core.index.SpineIndex`, a
+    :class:`~repro.disk.spine_disk.DiskSpineIndex`, ...).
+    ``progress``, when given, is called with the running character
+    count after each chunk. Returns the index.
+    """
+    for i, (header, chunks) in enumerate(iter_fasta(path,
+                                                    chunk_size)):
+        if i != record:
+            continue
+        total = 0
+        for chunk in chunks:
+            index.extend(chunk)
+            total += len(chunk)
+            if progress is not None:
+                progress(total)
+        return index
+    raise ReproError(f"{path}: no FASTA record #{record}")
+
+
+def stream_build_generalized(path, gindex, chunk_size=1 << 16):
+    """Add every record of a FASTA file to a generalized index.
+
+    Records are named by their FASTA headers. Returns the per-record
+    string ids in file order.
+    """
+    from repro.alphabet import SEPARATOR_CHAR
+
+    sids = []
+    for header, chunks in iter_fasta(path, chunk_size):
+        # The generalized index separates members itself; we must feed
+        # a member's chunks to the *same* member. add_string starts a
+        # member; extend continues it.
+        first = next(chunks, "")
+        if SEPARATOR_CHAR in first:
+            raise ReproError("sequence contains the separator symbol")
+        sid = gindex.add_string(first, name=header)
+        extra = 0
+        for chunk in chunks:
+            gindex.index.extend(chunk)
+            extra += len(chunk)
+        if extra:
+            gindex._lengths[sid] += extra
+        sids.append(sid)
+    return sids

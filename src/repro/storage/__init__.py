@@ -1,0 +1,31 @@
+"""Disk substrate for the disk-resident experiments (Sections 6.2).
+
+The paper's disk numbers were produced on a 2003-era IDE disk with
+synchronous (``O_SYNC``) writes. This package provides the equivalent
+building blocks:
+
+* :class:`repro.storage.pager.PageFile` — fixed-size pages over a real
+  file (or memory), with every physical read/write counted;
+* :class:`repro.storage.buffer.BufferPool` — a bounded cache of pages
+  with pluggable replacement (LRU, CLOCK, and the paper's suggested
+  "retain the top of the Link Table" policy, PinTop);
+* :class:`repro.storage.disk.DiskModel` — seek/transfer cost model that
+  turns counted I/Os into modeled seconds, distinguishing sequential
+  runs from random accesses and charging synchronous writes a forced
+  seek.
+"""
+
+from repro.storage.disk import DiskModel
+from repro.storage.metrics import IOMetrics
+from repro.storage.pager import PageFile
+from repro.storage.buffer import BufferPool, LRUPolicy, ClockPolicy, PinTopPolicy
+
+__all__ = [
+    "DiskModel",
+    "IOMetrics",
+    "PageFile",
+    "BufferPool",
+    "LRUPolicy",
+    "ClockPolicy",
+    "PinTopPolicy",
+]

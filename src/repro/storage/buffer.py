@@ -1,0 +1,188 @@
+"""Buffer manager with pluggable replacement policies.
+
+The paper's Figure 8 observation — SPINE links overwhelmingly target
+the *top* of the backbone — motivates its suggested buffering strategy:
+"retain as much as possible of the top part of the Link Table in
+memory". :class:`PinTopPolicy` implements exactly that (low page ids of
+a protected region are evicted last); plain :class:`LRUPolicy` and
+:class:`ClockPolicy` serve as the generic baselines for the buffering
+ablation.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.exceptions import StorageError
+
+
+class LRUPolicy:
+    """Least-recently-used eviction."""
+
+    name = "lru"
+
+    def __init__(self):
+        self._order = OrderedDict()
+
+    def touch(self, page_id):
+        """Mark ``page_id`` most recently used."""
+        self._order.pop(page_id, None)
+        self._order[page_id] = True
+
+    def evict(self):
+        if not self._order:
+            raise StorageError("no page to evict")
+        page_id, _ = self._order.popitem(last=False)
+        return page_id
+
+    def forget(self, page_id):
+        """Drop ``page_id`` from consideration (page discarded)."""
+        self._order.pop(page_id, None)
+
+
+class ClockPolicy:
+    """Second-chance (CLOCK) eviction."""
+
+    name = "clock"
+
+    def __init__(self):
+        self._ref = OrderedDict()  # page -> referenced bit
+
+    def touch(self, page_id):
+        """Set the page's referenced bit."""
+        if page_id in self._ref:
+            self._ref[page_id] = True
+        else:
+            self._ref[page_id] = True
+
+    def evict(self):
+        if not self._ref:
+            raise StorageError("no page to evict")
+        while True:
+            page_id, referenced = next(iter(self._ref.items()))
+            self._ref.pop(page_id)
+            if referenced:
+                self._ref[page_id] = False  # second chance, move to tail
+            else:
+                return page_id
+
+    def forget(self, page_id):
+        """Drop ``page_id`` from consideration (page discarded)."""
+        self._ref.pop(page_id, None)
+
+
+class PinTopPolicy:
+    """The paper's SPINE-specific policy: prefer to keep a protected
+    set of pages (the top of the Link Table) resident; everything else
+    — and, under extreme pressure, the protected pages themselves,
+    newest first — evicts LRU.
+
+    Parameters
+    ----------
+    protected_pages:
+        A set of page ids to protect. The caller may keep mutating it
+        (the disk index adds the first pages of its Link Table as they
+        are allocated).
+    """
+
+    name = "pintop"
+
+    def __init__(self, protected_pages=None):
+        self.protected_pages = (protected_pages
+                                if protected_pages is not None else set())
+        self._lru = OrderedDict()
+        self._protected = {}  # resident protected pages (insertion order)
+
+    def touch(self, page_id):
+        if page_id in self.protected_pages:
+            self._protected[page_id] = True
+            self._lru.pop(page_id, None)
+        else:
+            self._lru.pop(page_id, None)
+            self._lru[page_id] = True
+
+    def evict(self):
+        if self._lru:
+            page_id, _ = self._lru.popitem(last=False)
+            return page_id
+        if self._protected:
+            page_id, _ = self._protected.popitem()  # newest protected
+            return page_id
+        raise StorageError("no page to evict")
+
+    def forget(self, page_id):
+        self._lru.pop(page_id, None)
+        self._protected.pop(page_id, None)
+
+
+class BufferPool:
+    """A bounded write-back cache of pages over a :class:`PageFile`.
+
+    ``get(page_id)`` returns the cached ``bytearray`` for the page,
+    faulting it in (and evicting under pressure) as needed; call
+    ``mark_dirty`` after mutating it. ``flush`` writes back all dirty
+    pages. All physical traffic lands in ``pagefile.metrics``; hit/miss
+    counters land there too.
+    """
+
+    def __init__(self, pagefile, capacity, policy=None):
+        if capacity <= 0:
+            raise StorageError("buffer capacity must be positive")
+        self.pagefile = pagefile
+        self.capacity = capacity
+        self.policy = policy if policy is not None else LRUPolicy()
+        self._frames = {}  # page_id -> bytearray
+        self._dirty = set()
+
+    def __len__(self):
+        return len(self._frames)
+
+    def get(self, page_id, load=True):
+        """Return the buffered page, faulting it in if necessary.
+
+        ``load=False`` skips the physical read for pages known to be
+        fresh allocations (their content starts zeroed).
+        """
+        metrics = self.pagefile.metrics
+        frame = self._frames.get(page_id)
+        if frame is not None:
+            metrics.buffer_hits += 1
+            self.policy.touch(page_id)
+            return frame
+        metrics.buffer_misses += 1
+        if len(self._frames) >= self.capacity:
+            self._evict_one()
+        if load:
+            frame = self.pagefile.read_page(page_id)
+        else:
+            frame = bytearray(self.pagefile.page_size)
+        self._frames[page_id] = frame
+        self.policy.touch(page_id)
+        return frame
+
+    def mark_dirty(self, page_id):
+        """Record that the resident page was mutated."""
+        if page_id not in self._frames:
+            raise StorageError(f"page {page_id} not resident")
+        self._dirty.add(page_id)
+
+    def _evict_one(self):
+        victim = self.policy.evict()
+        frame = self._frames.pop(victim)
+        self.pagefile.metrics.evictions += 1
+        if victim in self._dirty:
+            self._dirty.discard(victim)
+            self.pagefile.write_page(victim, frame)
+
+    def flush(self):
+        """Write back every dirty page (ascending id: one arm sweep)."""
+        for page_id in sorted(self._dirty):
+            self.pagefile.write_page(page_id, self._frames[page_id])
+        self._dirty.clear()
+
+    def clear(self):
+        """Flush and drop every frame (cold-cache reset)."""
+        self.flush()
+        for page_id in list(self._frames):
+            self.policy.forget(page_id)
+        self._frames.clear()

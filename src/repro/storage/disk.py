@@ -1,0 +1,52 @@
+"""Disk cost model.
+
+The paper's absolute disk numbers (hours, Figure 7 / Table 7) come from
+a specific 2003 IDE drive with synchronous writes; this environment has
+neither that drive nor the patience. The model below converts counted
+page I/Os into seconds under explicit, documented constants so that the
+*relative* behaviour — the quantity the reproduction targets — is
+hardware-independent, while still producing human-readable time figures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class DiskModel:
+    """Seek + transfer cost model for a single disk.
+
+    Defaults approximate the paper's 40 GB IDE disk: ~9 ms average
+    positioning (seek + half rotation), ~40 MB/s sequential transfer,
+    4 KiB pages. A sequential access pays only transfer; a random access
+    pays positioning + transfer; a synchronous write always pays
+    positioning (the forced flush defeats write coalescing, which is why
+    the paper's disk construction times are hours).
+    """
+
+    seek_ms: float = 9.0
+    transfer_mb_per_s: float = 40.0
+    page_size: int = 4096
+
+    @property
+    def transfer_ms(self):
+        """Transfer time for one page, in milliseconds."""
+        return self.page_size / (self.transfer_mb_per_s * 1024 * 1024) * 1000
+
+    def cost_seconds(self, metrics):
+        """Modeled seconds for an :class:`IOMetrics` trace."""
+        ms = 0.0
+        ms += metrics.sequential_reads * self.transfer_ms
+        ms += metrics.random_reads * (self.seek_ms + self.transfer_ms)
+        sync_random = min(metrics.sync_writes, metrics.random_writes)
+        plain_random = metrics.random_writes - sync_random
+        sync_seq = metrics.sync_writes - sync_random
+        plain_seq = metrics.sequential_writes - sync_seq
+        # Synchronous writes pay a positioning penalty even when the
+        # page id is sequential (the intervening read traffic moved the
+        # arm, and the flush cannot be coalesced).
+        ms += (sync_random + sync_seq) * (self.seek_ms + self.transfer_ms)
+        ms += plain_random * (self.seek_ms + self.transfer_ms)
+        ms += plain_seq * self.transfer_ms
+        return ms / 1000.0

@@ -1,0 +1,115 @@
+"""Fixed-size page storage over a real file (or memory).
+
+``PageFile`` is deliberately boring: numbered 4-KiB pages, explicit
+``read_page``/``write_page``, physical-I/O counters, optional
+synchronous-write mode mirroring the paper's ``O_SYNC`` experiments.
+The buffer pool (:mod:`repro.storage.buffer`) sits on top.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.exceptions import StorageError
+from repro.storage.metrics import IOMetrics
+
+
+class PageFile:
+    """A growable array of fixed-size pages.
+
+    Parameters
+    ----------
+    path:
+        Backing file path; ``None`` keeps pages in memory (still counted
+        as physical I/O — useful for fast experiments with identical
+        accounting).
+    page_size:
+        Bytes per page.
+    sync_writes:
+        When true, every physical write is flushed (``os.fsync``) —
+        the paper's ``O_SYNC`` configuration — and counted as such.
+    """
+
+    def __init__(self, path=None, page_size=4096, sync_writes=False):
+        if page_size <= 0:
+            raise StorageError("page_size must be positive")
+        self.page_size = page_size
+        self.sync_writes = sync_writes
+        self.metrics = IOMetrics()
+        self._path = path
+        self._page_count = 0
+        self._closed = False
+        if path is None:
+            self._pages = {}
+            self._fd = None
+        else:
+            self._pages = None
+            self._fd = os.open(path, os.O_RDWR | os.O_CREAT, 0o644)
+
+    @property
+    def page_count(self):
+        """Number of allocated pages."""
+        return self._page_count
+
+    def allocate_page(self):
+        """Append a zeroed page; returns its id (no physical I/O yet)."""
+        self._check_open()
+        pid = self._page_count
+        self._page_count += 1
+        return pid
+
+    def read_page(self, page_id):
+        """Physically read one page; returns a ``bytearray``."""
+        self._check_open()
+        self._check_page(page_id)
+        self.metrics.record_read(page_id)
+        if self._fd is None:
+            data = self._pages.get(page_id)
+            if data is None:
+                return bytearray(self.page_size)
+            return bytearray(data)
+        data = os.pread(self._fd, self.page_size,
+                        page_id * self.page_size)
+        buf = bytearray(self.page_size)
+        buf[:len(data)] = data
+        return buf
+
+    def write_page(self, page_id, data):
+        """Physically write one page."""
+        self._check_open()
+        self._check_page(page_id)
+        if len(data) != self.page_size:
+            raise StorageError(
+                f"page write of {len(data)} bytes, expected "
+                f"{self.page_size}")
+        self.metrics.record_write(page_id, sync=self.sync_writes)
+        if self._fd is None:
+            self._pages[page_id] = bytes(data)
+        else:
+            os.pwrite(self._fd, bytes(data), page_id * self.page_size)
+            if self.sync_writes:
+                os.fsync(self._fd)
+
+    def close(self):
+        """Release the backing file descriptor (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._fd is not None:
+            os.close(self._fd)
+            self._fd = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+    def _check_open(self):
+        if self._closed:
+            raise StorageError("page file is closed")
+
+    def _check_page(self, page_id):
+        if not 0 <= page_id < self._page_count:
+            raise StorageError(
+                f"page {page_id} out of range 0..{self._page_count - 1}")

@@ -1,0 +1,14 @@
+"""Document store: the paper's database-integration story, realized.
+
+The paper closes on SPINE's fitness "for integration with database
+engines" (linear structure, online growth, generalized indexing).
+:class:`repro.store.document.DocumentStore` is that integration in
+miniature: a persistent, crash-consistent collection of named documents
+over one generalized SPINE index, with substring/match/approximate
+queries attributed per document, tombstone deletion (the index is
+append-only, as SPINE inherently is) and explicit compaction.
+"""
+
+from repro.store.document import DocumentStore
+
+__all__ = ["DocumentStore"]

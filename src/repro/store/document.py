@@ -1,0 +1,188 @@
+"""A persistent document store over a generalized SPINE index.
+
+Semantics chosen to respect what the index can and cannot do:
+
+* **adds are cheap** — SPINE is online, so a new document is appended
+  to the live index in linear time;
+* **deletes are tombstones** — suffix structures cannot un-index, so a
+  deleted document is masked out of every result and physically removed
+  only by :meth:`compact` (a rebuild), the standard LSM-ish trade;
+* **persistence is explicit** — :meth:`save` writes one index file plus
+  a tombstone sidecar; :meth:`DocumentStore.open` restores everything.
+
+The store is the worked answer to the paper's closing remark that
+SPINE's linear, online structure suits database-engine integration.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+
+from repro.alphabet import dna_alphabet
+from repro.core.generalized import GeneralizedSpineIndex
+from repro.core.serialize import load_generalized, save_generalized
+from repro.exceptions import SearchError, StorageError
+
+_SIDECAR_SUFFIX = ".meta.json"
+
+
+class DocumentStore:
+    """Named documents, one substring index, per-document answers.
+
+    Parameters
+    ----------
+    alphabet:
+        Alphabet of the stored documents (default DNA).
+
+    Examples
+    --------
+    >>> store = DocumentStore()
+    >>> store.add("plasmid", "ACGTACGT")
+    >>> store.add("phage", "TTACGGAC")
+    >>> sorted(store.search("ACG"))
+    [('phage', 2), ('plasmid', 0), ('plasmid', 4)]
+    >>> store.delete("plasmid")
+    >>> sorted(store.search("ACG"))
+    [('phage', 2)]
+    """
+
+    def __init__(self, alphabet=None):
+        self._gindex = GeneralizedSpineIndex(
+            alphabet if alphabet is not None else dna_alphabet())
+        self._sid_of = {}        # name -> member id
+        self._deleted = set()    # member ids masked out
+
+    # ------------------------------------------------------------------
+    # CRUD
+    # ------------------------------------------------------------------
+
+    def add(self, name, text):
+        """Add a document (names are unique among live documents)."""
+        if name in self._sid_of and \
+                self._sid_of[name] not in self._deleted:
+            raise StorageError(f"document {name!r} already exists")
+        sid = self._gindex.add_string(text, name=name)
+        self._sid_of[name] = sid
+        return None
+
+    def delete(self, name):
+        """Tombstone a document (space reclaimed by :meth:`compact`)."""
+        sid = self._require(name)
+        self._deleted.add(sid)
+
+    def get(self, name):
+        """The document's text (decoded from the vertebra labels)."""
+        sid = self._require(name)
+        start = self._gindex._starts[sid]
+        length = self._gindex._lengths[sid]
+        codes = self._gindex.index._codes[start + 1:start + length + 1]
+        return self._gindex.alphabet.decode(codes)
+
+    def _require(self, name):
+        sid = self._sid_of.get(name)
+        if sid is None or sid in self._deleted:
+            raise SearchError(f"no document named {name!r}")
+        return sid
+
+    def names(self):
+        """Live document names, in insertion order."""
+        return [name for name, sid in sorted(self._sid_of.items(),
+                                             key=lambda kv: kv[1])
+                if sid not in self._deleted]
+
+    def __len__(self):
+        return len(self._sid_of) - len(
+            set(self._sid_of.values()) & self._deleted)
+
+    @property
+    def dead_fraction(self):
+        """Fraction of indexed characters belonging to tombstoned
+        documents (a compaction trigger signal)."""
+        total = sum(self._gindex._lengths) or 1
+        dead = sum(self._gindex._lengths[sid] for sid in self._deleted)
+        return dead / total
+
+    # ------------------------------------------------------------------
+    # queries (tombstone-masked)
+    # ------------------------------------------------------------------
+
+    def search(self, pattern):
+        """All occurrences as ``(name, offset)`` pairs."""
+        out = []
+        for sid, offset in self._gindex.find_all(pattern):
+            if sid not in self._deleted:
+                out.append((self._gindex.string_name(sid), offset))
+        return out
+
+    def contains(self, pattern):
+        """True iff the pattern occurs in any live document."""
+        return bool(self.search(pattern))
+
+    def match(self, query, min_length=12):
+        """Per-document matched-character totals for a streamed query.
+
+        Returns ``{name: matched_characters}`` over right-maximal
+        matches of at least ``min_length`` — a similarity ranking
+        signal (which documents does this query resemble?).
+        """
+        totals = {}
+        for sid, _, _, length in self._gindex.maximal_matches(
+                query, min_length=min_length):
+            if sid in self._deleted:
+                continue
+            name = self._gindex.string_name(sid)
+            totals[name] = totals.get(name, 0) + length
+        return dict(sorted(totals.items(), key=lambda kv: -kv[1]))
+
+    # ------------------------------------------------------------------
+    # maintenance
+    # ------------------------------------------------------------------
+
+    def compact(self):
+        """Rebuild the index without tombstoned documents.
+
+        Linear in the live data (SPINE construction is linear); resets
+        ``dead_fraction`` to zero. Returns the number of characters
+        reclaimed.
+        """
+        reclaimed = sum(self._gindex._lengths[sid]
+                        for sid in self._deleted)
+        live = [(name, self.get(name)) for name in self.names()]
+        base = self._gindex.alphabet
+        fresh = DocumentStore.__new__(DocumentStore)
+        fresh._gindex = GeneralizedSpineIndex(base)
+        fresh._sid_of = {}
+        fresh._deleted = set()
+        for name, text in live:
+            fresh.add(name, text)
+        self._gindex = fresh._gindex
+        self._sid_of = fresh._sid_of
+        self._deleted = set()
+        return reclaimed
+
+    def save(self, path):
+        """Persist the store: index file + JSON sidecar."""
+        save_generalized(self._gindex, path)
+        sidecar = {
+            "deleted": sorted(self._deleted),
+            "names": self._sid_of,
+        }
+        with open(str(path) + _SIDECAR_SUFFIX, "w",
+                  encoding="utf-8") as handle:
+            json.dump(sidecar, handle)
+
+    @classmethod
+    def open(cls, path):
+        """Restore a store written by :meth:`save`."""
+        sidecar_path = str(path) + _SIDECAR_SUFFIX
+        if not os.path.exists(sidecar_path):
+            raise StorageError(f"{sidecar_path}: missing store sidecar")
+        store = cls.__new__(cls)
+        store._gindex = load_generalized(path)
+        with open(sidecar_path, "r", encoding="utf-8") as handle:
+            sidecar = json.load(handle)
+        store._deleted = set(sidecar["deleted"])
+        store._sid_of = {name: int(sid)
+                         for name, sid in sidecar["names"].items()}
+        return store

@@ -1,0 +1,22 @@
+"""Suffix array baseline (Manber & Myers; paper Section 7).
+
+The paper's related work cites suffix arrays as the 6-bytes-per-char
+alternative that trades construction time (supra-linear) for space. This
+package builds them with prefix doubling over numpy (O(n log n)),
+derives LCPs with Kasai's linear algorithm, and answers the same
+queries so the space/time trade-off experiments can include them.
+"""
+
+from repro.suffixarray.construction import (
+    build_suffix_array,
+    naive_suffix_array,
+)
+from repro.suffixarray.lcp import kasai_lcp
+from repro.suffixarray.search import SuffixArrayIndex
+
+__all__ = [
+    "build_suffix_array",
+    "naive_suffix_array",
+    "kasai_lcp",
+    "SuffixArrayIndex",
+]

@@ -1,0 +1,64 @@
+"""Suffix array construction.
+
+``build_suffix_array`` is the prefix-doubling algorithm (Manber-Myers
+class, O(n log n)) vectorized with numpy rank recomputation;
+``naive_suffix_array`` sorts suffix slices directly and exists as the
+test oracle.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.exceptions import ConstructionError
+
+
+def naive_suffix_array(text):
+    """O(n^2 log n) reference construction (tests only)."""
+    return sorted(range(len(text)), key=lambda i: text[i:])
+
+
+def build_suffix_array(codes):
+    """Suffix array of an integer-code sequence via prefix doubling.
+
+    Parameters
+    ----------
+    codes:
+        Sequence of non-negative integer codes (list or ndarray).
+
+    Returns
+    -------
+    numpy.ndarray
+        ``sa[k]`` = start of the k-th smallest suffix.
+    """
+    n = len(codes)
+    if n == 0:
+        return np.empty(0, dtype=np.int64)
+    arr = np.asarray(codes, dtype=np.int64)
+    if arr.min(initial=0) < 0:
+        raise ConstructionError("codes must be non-negative")
+    # Initial ranks from the single characters.
+    rank = np.unique(arr, return_inverse=True)[1].astype(np.int64)
+    sa = np.argsort(rank, kind="stable")
+    k = 1
+    while k < n:
+        # Sort by (rank[i], rank[i+k]) using a stable two-pass argsort.
+        second = np.full(n, -1, dtype=np.int64)
+        second[:n - k] = rank[k:]
+        order = np.argsort(second, kind="stable")
+        order = order[np.argsort(rank[order], kind="stable")]
+        sa = order
+        # Recompute ranks: positions where the (first, second) key
+        # differs from the predecessor start a new rank.
+        first_sorted = rank[sa]
+        second_sorted = second[sa]
+        new_rank = np.empty(n, dtype=np.int64)
+        flags = np.ones(n, dtype=np.int64)
+        flags[1:] = ((first_sorted[1:] != first_sorted[:-1])
+                     | (second_sorted[1:] != second_sorted[:-1]))
+        new_rank[sa] = np.cumsum(flags) - 1
+        rank = new_rank
+        if rank[sa[-1]] == n - 1:
+            break
+        k *= 2
+    return sa

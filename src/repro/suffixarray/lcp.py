@@ -1,0 +1,33 @@
+"""LCP array construction (Kasai et al., linear time)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def kasai_lcp(codes, sa):
+    """Longest-common-prefix array for a suffix array.
+
+    ``lcp[k]`` is the LCP length between ``sa[k]`` and ``sa[k-1]``
+    (``lcp[0] == 0``).
+    """
+    n = len(codes)
+    lcp = np.zeros(n, dtype=np.int64)
+    if n == 0:
+        return lcp
+    rank = np.empty(n, dtype=np.int64)
+    rank[np.asarray(sa, dtype=np.int64)] = np.arange(n)
+    h = 0
+    for i in range(n):
+        r = rank[i]
+        if r == 0:
+            h = 0
+            continue
+        j = sa[r - 1]
+        limit = n - max(i, j)
+        while h < limit and codes[i + h] == codes[j + h]:
+            h += 1
+        lcp[r] = h
+        if h > 0:
+            h -= 1
+    return lcp

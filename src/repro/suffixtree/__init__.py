@@ -1,0 +1,27 @@
+"""Suffix tree baseline (the paper's "ST" competitor).
+
+The paper compares SPINE against an industrial-strength suffix tree (the
+MUMmer code base). This package provides an independent from-scratch
+equivalent: an online Ukkonen construction with suffix links, the same
+search operations SPINE offers (containment, first/all occurrences,
+matching statistics with per-suffix check counting), and the byte-level
+space models for the standard, Kurtz, and lazy layouts the paper quotes.
+"""
+
+from repro.suffixtree.ukkonen import SuffixTree
+from repro.suffixtree.matching import (
+    st_matching_statistics,
+    st_maximal_matches,
+)
+from repro.suffixtree.space import (
+    st_space_model,
+    SUFFIX_TREE_BYTES_PER_CHAR,
+)
+
+__all__ = [
+    "SuffixTree",
+    "st_matching_statistics",
+    "st_maximal_matches",
+    "st_space_model",
+    "SUFFIX_TREE_BYTES_PER_CHAR",
+]

@@ -1,0 +1,238 @@
+"""Matching statistics over a suffix tree (the Table 5/6 competitor).
+
+The suffix-tree algorithm mirrors MUMmer's streaming search: keep the
+current match as a position in the tree; on mismatch, follow the suffix
+link — which drops exactly *one* character — re-descend, and retry. Each
+retry examines one suffix, so the suffix tree checks the mismatched
+extension once per suffix length, whereas SPINE's link chain disposes of
+a whole set of suffixes per check (paper Section 4.1). The ``checks``
+counter counts those per-suffix attempts; Table 6 is the ratio of the
+two counters over identical inputs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.matching import MaximalMatch
+from repro.exceptions import SearchError
+
+
+@dataclass
+class STMatchingResult:
+    """Suffix-tree analogue of :class:`repro.core.matching.MatchingResult`."""
+
+    lengths: list = field(default_factory=list)
+    checks: int = 0
+    suffix_link_hops: int = 0
+
+
+class _Walker:
+    """Active position while streaming a query through the tree.
+
+    The matched string is always the last ``length`` characters of the
+    consumed query prefix; the position is ``(node, child, offset)`` with
+    ``offset`` characters consumed on the edge into ``child`` (``child``
+    is ``None`` exactly at a node). ``node_depth`` tracks the string
+    depth of ``node``.
+    """
+
+    __slots__ = ("tree", "codes", "node", "node_depth", "child", "offset",
+                 "length", "touch")
+
+    def __init__(self, tree, touch=None):
+        self.tree = tree
+        self.codes = tree._codes
+        self.node = tree.root
+        self.node_depth = 0
+        self.child = None
+        self.offset = 0
+        self.length = 0
+        self.touch = touch
+
+    def _normalize(self):
+        """Move into the child when its edge is fully consumed."""
+        child = self.child
+        if child is None:
+            return
+        if self.offset == child.edge_length(len(self.codes)):
+            self.node = child
+            self.node_depth += self.offset
+            self.child = None
+            self.offset = 0
+
+    def try_extend(self, code):
+        """Attempt to extend the match by ``code``; True on success."""
+        if self.child is None:
+            if self.touch:
+                self.touch(self.node.serial)
+            child = self.node.children.get(code)
+            if child is None:
+                return False
+            self.child = child
+            self.offset = 1
+            if self.touch:
+                self.touch(child.serial)
+        else:
+            if self.touch:
+                self.touch(self.child.serial)
+            if self.codes[self.child.start + self.offset] != code:
+                return False
+            self.offset += 1
+        self.length += 1
+        self._normalize()
+        return True
+
+    def drop_one(self, query_codes, query_end):
+        """Shorten the match by one character via a suffix link.
+
+        ``query_codes[query_end - length .. query_end)`` spells the
+        current match; after the hop we re-descend its tail by
+        skip/count.
+        """
+        target_len = self.length - 1
+        if self.node is self.tree.root:
+            node = self.tree.root
+            depth = 0
+        else:
+            node = self.node.link if self.node.link is not None \
+                else self.tree.root
+            depth = self.node_depth - 1 if node is not self.tree.root else 0
+            if node is self.tree.root:
+                depth = 0
+        # Re-descend query[query_end - target_len + depth .. query_end).
+        a = query_end - target_len + depth
+        b = query_end
+        codes = self.codes
+        end = len(codes)
+        child = None
+        offset = 0
+        while a < b:
+            if self.touch:
+                self.touch(node.serial)
+            child = node.children[query_codes[a]]
+            if self.touch:
+                self.touch(child.serial)
+            edge_len = child.edge_length(end)
+            if b - a >= edge_len:
+                node = child
+                depth += edge_len
+                a += edge_len
+                child = None
+            else:
+                offset = b - a
+                a = b
+        self.node = node
+        self.node_depth = depth
+        self.child = child
+        self.offset = offset
+        self.length = target_len
+        self._normalize()
+
+    def locus(self):
+        """Deepest node at or below the current position (its subtree's
+        leaves are exactly the occurrences of the matched string)."""
+        return self.child if self.child is not None else self.node
+
+
+def st_matching_statistics(tree, query, touch=None):
+    """End-aligned matching statistics of ``query`` against ``tree``.
+
+    Returns :class:`STMatchingResult`; ``lengths`` agrees with
+    :func:`repro.core.matching.matching_statistics` on the same data.
+    ``touch`` (optional, ``f(serial)``) is invoked per node visit — the
+    disk experiments route it into a buffer pool.
+    """
+    result = STMatchingResult()
+    walker = _Walker(tree, touch)
+    query_codes = tree.alphabet.encode(query)
+    for j, code in enumerate(query_codes):
+        while True:
+            result.checks += 1
+            if walker.try_extend(code):
+                break
+            if walker.length == 0:
+                break
+            walker.drop_one(query_codes, j)
+            result.suffix_link_hops += 1
+        result.lengths.append(walker.length)
+    return result
+
+
+def st_maximal_matches(tree, query, min_length=1, with_positions=True,
+                       touch=None):
+    """Right-maximal matches of ``query`` in the tree's string.
+
+    The suffix-tree analogue of
+    :func:`repro.core.matching.maximal_matches`: same match definition,
+    with data occurrences collected from the locus subtrees (the tree
+    must be finalized when ``with_positions`` is set).
+
+    Returns ``(matches, result)``.
+    """
+    if min_length < 1:
+        raise SearchError("min_length must be >= 1")
+    if with_positions and not tree._finalized:
+        raise SearchError("finalize() the tree to collect positions")
+    result = STMatchingResult()
+    walker = _Walker(tree, touch)
+    query_codes = tree.alphabet.encode(query)
+    m = len(query_codes)
+    matches = []
+    n = len(tree._codes)
+
+    def emit(j):
+        """Record the current match as right-maximal ending at query
+        position ``j`` (inclusive)."""
+        length = walker.length
+        if length < min_length:
+            return
+        if with_positions:
+            locus = walker.locus()
+            locus_depth = walker.node_depth
+            if walker.child is not None:
+                locus_depth += walker.child.edge_length(n)
+            starts = tuple(sorted(
+                _subtree_leaf_starts(locus, locus_depth, n, touch)))
+        else:
+            starts = ()
+        matches.append(MaximalMatch(
+            query_start=j - length + 1, length=length,
+            data_starts=starts))
+
+    for j, code in enumerate(query_codes):
+        emitted = False
+        while True:
+            result.checks += 1
+            if walker.try_extend(code):
+                break
+            if not emitted and walker.length > 0:
+                # First failure for this position: the running match
+                # is right-maximal, ending at query position j-1.
+                emit(j - 1)
+                emitted = True
+            if walker.length == 0:
+                break
+            walker.drop_one(query_codes, j)
+            result.suffix_link_hops += 1
+        result.lengths.append(walker.length)
+    if walker.length >= min_length:
+        emit(m - 1)
+    return matches, result
+
+
+def _subtree_leaf_starts(node, node_depth, total_len, touch=None):
+    """0-indexed suffix starts of every leaf under ``node``, whose own
+    string depth is ``node_depth``."""
+    starts = []
+    stack = [(node, node_depth)]
+    while stack:
+        cur, depth = stack.pop()
+        if touch:
+            touch(cur.serial)
+        if not cur.children:
+            starts.append(total_len - depth)
+        else:
+            for child in cur.children.values():
+                stack.append((child, depth + child.edge_length(total_len)))
+    return starts

@@ -1,0 +1,288 @@
+"""Online suffix tree construction (Ukkonen's algorithm).
+
+A textbook implementation with suffix links — the vertical-compaction
+counterpart of SPINE's horizontal compaction. Nodes carry their creation
+order, which the disk experiments use to lay tree nodes onto pages the
+way a straightforward disk-resident implementation would (creation order
+is scattered with respect to traversal order, which is precisely the
+locality disadvantage Figure 7 exposes).
+
+The tree is built over integer alphabet codes. An implicit sentinel
+(code ``alphabet.total_size``) may be appended by :meth:`finalize` so
+every suffix ends at a leaf; queries never see it.
+"""
+
+from __future__ import annotations
+
+from repro.alphabet import alphabet_for
+from repro.exceptions import ConstructionError, SearchError
+
+
+class Node:
+    """One suffix-tree node; the edge *into* the node is stored on it as
+    the half-open code range ``[start, end)`` of the text."""
+
+    __slots__ = ("children", "link", "start", "end", "serial")
+
+    def __init__(self, start, end, serial):
+        self.children = {}
+        self.link = None
+        self.start = start
+        self.end = end  # None marks an open (leaf) edge
+        self.serial = serial
+
+    def edge_length(self, current_end):
+        """Length of the edge into this node (open edges use the
+        current text end)."""
+        end = self.end if self.end is not None else current_end
+        return end - self.start
+
+
+class SuffixTree:
+    """Online suffix tree over a single string.
+
+    Parameters
+    ----------
+    text:
+        Initial string (optional; grow online with :meth:`extend`).
+    alphabet:
+        Coding alphabet; inferred from ``text`` when omitted.
+    track_accesses:
+        Optional callable ``f(serial, write)`` invoked on every node
+        touched during construction (``write`` marks mutations) — the
+        hook the disk experiments use.
+    """
+
+    def __init__(self, text="", alphabet=None, track_accesses=None):
+        if alphabet is None:
+            alphabet = alphabet_for(text) if text else None
+        self.alphabet = alphabet
+        self._codes = []
+        self._touch = track_accesses
+        self._serial = 0
+        self.root = self._new_node(-1, -1)
+        self.root.end = 0
+        self._active_node = self.root
+        self._active_edge = -1  # index into codes of the active edge char
+        self._active_length = 0
+        self._remainder = 0
+        self._finalized = False
+        if text:
+            self.extend(text)
+
+    def _new_node(self, start, end):
+        node = Node(start, end, self._serial)
+        self._serial += 1
+        return node
+
+    @property
+    def node_count(self):
+        """Total nodes created (root, internal, leaves)."""
+        return self._serial
+
+    def __len__(self):
+        n = len(self._codes)
+        return n - 1 if self._finalized else n
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+
+    def extend(self, text):
+        """Append ``text`` (online)."""
+        if self._finalized:
+            raise ConstructionError("cannot extend a finalized tree")
+        if self.alphabet is None:
+            self.alphabet = alphabet_for(text)
+        for ch in text:
+            self._extend_code(self.alphabet.encode_char(ch))
+
+    def finalize(self):
+        """Append the sentinel so every suffix ends at a leaf.
+
+        Required before :meth:`find_all`; queries are unaffected
+        otherwise. Idempotent.
+        """
+        if not self._finalized:
+            sentinel = (self.alphabet.total_size
+                        if self.alphabet is not None else 0)
+            self._extend_code(sentinel)
+            self._finalized = True
+        return self
+
+    def _extend_code(self, code):
+        """One Ukkonen phase: append ``code`` to the indexed string."""
+        codes = self._codes
+        codes.append(code)
+        pos = len(codes) - 1
+        self._remainder += 1
+        last_internal = None
+        touch = self._touch
+        while self._remainder > 0:
+            if self._active_length == 0:
+                self._active_edge = pos
+            node = self._active_node
+            if touch:
+                touch(node.serial, False)
+            edge_code = codes[self._active_edge]
+            child = node.children.get(edge_code)
+            if child is None:
+                # Rule 2 (leaf from the active node).
+                leaf = self._new_node(pos, None)
+                node.children[edge_code] = leaf
+                if touch:
+                    touch(node.serial, True)
+                    touch(leaf.serial, True)
+                if last_internal is not None and node is not self.root:
+                    last_internal.link = node
+                    if touch:
+                        touch(last_internal.serial, True)
+                last_internal = None
+            else:
+                if touch:
+                    touch(child.serial, False)
+                edge_len = child.edge_length(len(codes))
+                if self._active_length >= edge_len:
+                    # Skip/count down the edge.
+                    self._active_node = child
+                    self._active_edge += edge_len
+                    self._active_length -= edge_len
+                    continue
+                if codes[child.start + self._active_length] == code:
+                    # Rule 3 (already present): stop this phase.
+                    if last_internal is not None:
+                        last_internal.link = node
+                        if touch:
+                            touch(last_internal.serial, True)
+                    self._active_length += 1
+                    break
+                # Rule 2 with an edge split.
+                split = self._new_node(child.start,
+                                       child.start + self._active_length)
+                node.children[edge_code] = split
+                leaf = self._new_node(pos, None)
+                split.children[code] = leaf
+                child.start += self._active_length
+                split.children[codes[child.start]] = child
+                if touch:
+                    touch(node.serial, True)
+                    touch(split.serial, True)
+                    touch(leaf.serial, True)
+                    touch(child.serial, True)
+                if last_internal is not None:
+                    last_internal.link = split
+                    if touch:
+                        touch(last_internal.serial, True)
+                last_internal = split
+            self._remainder -= 1
+            if self._active_node is self.root and self._active_length > 0:
+                self._active_length -= 1
+                self._active_edge = pos - self._remainder + 1
+            elif self._active_node is not self.root:
+                self._active_node = (self._active_node.link
+                                     if self._active_node.link is not None
+                                     else self.root)
+                if touch:
+                    touch(self._active_node.serial, False)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+
+    def _locate(self, codes):
+        """Walk ``codes`` from the root.
+
+        Returns ``(node, consumed_on_edge)`` — the node whose incoming
+        edge contains the match end (or the root for the empty pattern)
+        — or ``None`` on mismatch.
+        """
+        node = self.root
+        text = self._codes
+        end = len(text)
+        i = 0
+        m = len(codes)
+        if m == 0:
+            return self.root, 0
+        while i < m:
+            child = node.children.get(codes[i])
+            if child is None:
+                return None
+            edge_end = child.end if child.end is not None else end
+            j = child.start
+            while j < edge_end and i < m:
+                if text[j] != codes[i]:
+                    return None
+                i += 1
+                j += 1
+            node = child
+            if i == m:
+                return node, j - child.start
+        return None
+
+    def contains(self, pattern):
+        """True iff ``pattern`` is a substring of the indexed string."""
+        return self._locate(self.alphabet.encode(pattern)) is not None
+
+    def find_all(self, pattern):
+        """Sorted 0-indexed starts of all occurrences.
+
+        The tree must be :meth:`finalize`-d (every suffix at a leaf).
+        """
+        if not self._finalized:
+            raise SearchError("finalize() the tree before find_all()")
+        if pattern == "":
+            raise SearchError("find_all of the empty pattern is "
+                              "ill-defined")
+        hit = self._locate(self.alphabet.encode(pattern))
+        if hit is None:
+            return []
+        node, consumed = hit
+        n = len(self._codes)
+        # Depth of the match end = pattern length; collect leaf depths.
+        starts = []
+        stack = [(node, len(pattern) - consumed
+                  + node.edge_length(n))]
+        while stack:
+            cur, depth = stack.pop()
+            if not cur.children:
+                starts.append(n - depth)
+            else:
+                for child in cur.children.values():
+                    stack.append((child, depth + child.edge_length(n)))
+        starts.sort()
+        return starts
+
+    def count(self, pattern):
+        """Number of occurrences of ``pattern``."""
+        return len(self.find_all(pattern))
+
+    # ------------------------------------------------------------------
+    # structure statistics
+    # ------------------------------------------------------------------
+
+    def edge_count(self):
+        """Number of tree edges."""
+        return self.node_count - 1
+
+    def internal_node_count(self):
+        """Nodes with children (including the root)."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if node.children:
+                count += 1
+                stack.extend(node.children.values())
+        return count
+
+    def leaf_count(self):
+        """Nodes without children."""
+        return self.node_count - self.internal_node_count()
+
+    def iter_nodes(self):
+        """Yield every node (preorder)."""
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(node.children.values())

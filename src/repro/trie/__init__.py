@@ -1,0 +1,12 @@
+"""Uncompacted suffix trie (the paper's Figure 1 starting point).
+
+The trie holds every suffix of the data string on its own root path. It is
+exponentially wasteful for long strings but trivially correct, which makes
+it the oracle for property-based tests of SPINE and of the compacted
+baselines, and the reference point for the vertical-vs-horizontal
+compaction statistics quoted in the paper's introduction.
+"""
+
+from repro.trie.suffixtrie import SuffixTrie, TrieNode
+
+__all__ = ["SuffixTrie", "TrieNode"]

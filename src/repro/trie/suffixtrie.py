@@ -1,0 +1,125 @@
+"""A plain (uncompacted) suffix trie.
+
+Every suffix of the data string is inserted character by character; no
+compaction of any kind is applied. All queries are answered by literal
+path traversal, so this structure serves as ground truth in tests.
+"""
+
+from __future__ import annotations
+
+from repro.exceptions import ConstructionError
+
+
+class TrieNode:
+    """One trie node: a dict of children plus the end positions of the
+    suffixes that pass through / terminate here."""
+
+    __slots__ = ("children", "end_positions", "depth")
+
+    def __init__(self, depth=0):
+        self.children = {}
+        #: 1-indexed end positions in the data string of every occurrence
+        #: of the substring this node spells.
+        self.end_positions = []
+        self.depth = depth
+
+    def child_count(self):
+        """Number of children of this node."""
+        return len(self.children)
+
+
+class SuffixTrie:
+    """Suffix trie over a text string.
+
+    Parameters
+    ----------
+    text:
+        The data string. May be empty.
+    max_length:
+        Guard against accidental huge builds (the trie is quadratic);
+        raises :class:`ConstructionError` beyond it.
+    """
+
+    def __init__(self, text, max_length=5000):
+        if len(text) > max_length:
+            raise ConstructionError(
+                f"suffix trie limited to {max_length} chars "
+                f"(got {len(text)}); it exists for oracle testing only"
+            )
+        self.text = text
+        self.root = TrieNode()
+        n = len(text)
+        for start in range(n):
+            node = self.root
+            for offset, ch in enumerate(text[start:]):
+                nxt = node.children.get(ch)
+                if nxt is None:
+                    nxt = TrieNode(depth=node.depth + 1)
+                    node.children[ch] = nxt
+                node = nxt
+                node.end_positions.append(start + offset + 1)
+
+    def contains(self, pattern):
+        """True iff ``pattern`` is a substring of the text."""
+        return self._walk(pattern) is not None
+
+    def occurrences(self, pattern):
+        """Sorted 0-indexed start positions of every occurrence."""
+        node = self._walk(pattern)
+        if node is None:
+            return []
+        m = len(pattern)
+        return sorted(end - m for end in node.end_positions)
+
+    def first_occurrence_end(self, pattern):
+        """1-indexed end position of the first occurrence, or ``None``."""
+        node = self._walk(pattern)
+        if node is None:
+            return None
+        return min(node.end_positions)
+
+    def _walk(self, pattern):
+        node = self.root
+        for ch in pattern:
+            node = node.children.get(ch)
+            if node is None:
+                return None
+        return node
+
+    def node_count(self):
+        """Total number of nodes, including the root."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            stack.extend(node.children.values())
+        return count
+
+    def edge_count(self):
+        """Total number of edges (= node_count - 1)."""
+        return self.node_count() - 1
+
+    def unary_node_count(self):
+        """Nodes with exactly one child (the ones vertical compaction,
+        i.e. the suffix tree, merges away)."""
+        count = 0
+        stack = [self.root]
+        while stack:
+            node = stack.pop()
+            if len(node.children) == 1:
+                count += 1
+            stack.extend(node.children.values())
+        return count
+
+    def substrings(self):
+        """Set of all non-empty substrings of the text (small inputs)."""
+        result = set()
+        stack = [(self.root, "")]
+        while stack:
+            node, prefix = stack.pop()
+            for ch, child in node.children.items():
+                word = prefix + ch
+                result.add(word)
+                stack.append((child, word))
+        return result

@@ -1,0 +1,157 @@
+"""Approximate matching: seeded search must equal the full DP oracle."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.align.approximate import (
+    approximate_find_all, approximate_occurrences, sellers_scan)
+from repro.alphabet import Alphabet
+from repro.core import SpineIndex
+from repro.exceptions import SearchError
+
+
+class TestSellersOracle:
+    def test_exact_match_distance_zero(self):
+        hits = dict(sellers_scan("abcabc", "abc", 0))
+        assert hits == {3: 0, 6: 0}
+
+    def test_single_substitution(self):
+        hits = dict(sellers_scan("abxabc", "abc", 1))
+        assert hits[3] == 1   # abx vs abc
+        assert hits[6] == 0
+
+    def test_insertion_and_deletion(self):
+        # Pattern 'abc' vs text 'abbc' (insertion in text).
+        hits = dict(sellers_scan("abbc", "abc", 1))
+        assert hits[4] == 1
+        # Deletion: text 'ac'.
+        hits = dict(sellers_scan("ac", "abc", 1))
+        assert hits[2] == 1
+
+    def test_empty_pattern(self):
+        assert sellers_scan("abc", "", 0) == [(0, 0), (1, 0), (2, 0),
+                                              (3, 0)]
+
+    def test_negative_budget(self):
+        with pytest.raises(SearchError):
+            sellers_scan("abc", "abc", -1)
+
+
+class TestSeededEqualsOracle:
+    @pytest.mark.parametrize("k", [0, 1, 2, 3])
+    def test_fixed_cases(self, k):
+        text = "abracadabraabracadabra"
+        index = SpineIndex(text)
+        for pattern in ("abra", "cadab", "racad", "dab",
+                        "abracadabra"):
+            assert approximate_find_all(index, pattern, k) == \
+                sellers_scan(text, pattern, k), (pattern, k)
+
+    def test_randomized(self):
+        rng = random.Random(29)
+        for _ in range(120):
+            syms = "ab" if rng.random() < 0.6 else "abc"
+            text = "".join(rng.choice(syms)
+                           for _ in range(rng.randint(5, 80)))
+            m = rng.randint(1, 12)
+            pattern = "".join(rng.choice(syms) for _ in range(m))
+            k = rng.randint(0, max(0, m - 1))
+            index = SpineIndex(text, alphabet=Alphabet(syms))
+            assert approximate_find_all(index, pattern, k) == \
+                sellers_scan(text, pattern, k), (text, pattern, k)
+
+    def test_budget_at_least_pattern_length(self):
+        text = "abab"
+        index = SpineIndex(text)
+        hits = approximate_find_all(index, "ab", 2)
+        oracle = dict(sellers_scan(text, "ab", 2))
+        assert dict(hits) == oracle
+
+    def test_empty_pattern(self):
+        index = SpineIndex("abc")
+        assert approximate_find_all(index, "", 0) == \
+            [(0, 0), (1, 0), (2, 0), (3, 0)]
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(alphabet="ab", min_size=1, max_size=50),
+       st.text(alphabet="ab", min_size=1, max_size=8),
+       st.integers(min_value=0, max_value=3))
+def test_seeded_equals_oracle_property(text, pattern, k):
+    index = SpineIndex(text, alphabet=Alphabet("ab"))
+    assert approximate_find_all(index, pattern, k) == \
+        sellers_scan(text, pattern, k)
+
+
+class TestOccurrenceReport:
+    def test_locally_minimal_ends(self):
+        text = "gattacaxgattaca"
+        results = approximate_occurrences(text, "gattaca", 1)
+        ends = {end for _, end, _ in results}
+        assert 7 in ends and 15 in ends
+        for _, end, dist in results:
+            assert dist <= 1
+
+    def test_mutated_occurrence_found(self):
+        genome = "ACGT" * 5 + "TTGACCATG" + "ACGT" * 5
+        # One substitution inside the payload.
+        probe = "TTGCCCATG"
+        results = approximate_occurrences(genome, probe, 2)
+        assert any(dist <= 2 for _, _, dist in results)
+
+    def test_no_spurious_results_when_exact_needed(self):
+        results = approximate_occurrences("aaaa", "bbbb", 0)
+        assert results == []
+
+
+class TestHamming:
+    def test_agrees_with_oracle(self):
+        import random as _random
+
+        from repro.align.approximate import hamming_find_all, \
+            hamming_scan
+
+        rng = _random.Random(61)
+        for _ in range(80):
+            syms = "ab" if rng.random() < 0.5 else "acgt"
+            text = "".join(rng.choice(syms)
+                           for _ in range(rng.randint(5, 120)))
+            m = rng.randint(1, 14)
+            pattern = "".join(rng.choice(syms) for _ in range(m))
+            k = rng.randint(0, 3)
+            index = SpineIndex(text, alphabet=Alphabet(syms))
+            assert sorted(hamming_find_all(index, pattern, k)) == \
+                hamming_scan(text, pattern, k), (text, pattern, k)
+
+    def test_snp_probe(self):
+        from repro.align.approximate import hamming_find_all
+        from repro.sequences import generate_dna
+
+        genome = generate_dna(5000, seed=64)
+        probe = list(genome[2000:2030])
+        probe[11] = "A" if probe[11] != "A" else "C"
+        probe = "".join(probe)
+        index = SpineIndex(genome)
+        hits = hamming_find_all(index, probe, 1)
+        assert (2000, 1) in hits
+
+    def test_budget_at_least_length(self):
+        from repro.align.approximate import hamming_find_all, \
+            hamming_scan
+
+        index = SpineIndex("abab")
+        assert sorted(hamming_find_all(index, "bb", 5)) == \
+            hamming_scan("abab", "bb", 5)
+
+    def test_negative_budget(self):
+        from repro.align.approximate import hamming_find_all
+
+        with pytest.raises(SearchError):
+            hamming_find_all(SpineIndex("ab"), "a", -1)
+
+    def test_pattern_longer_than_text(self):
+        from repro.align.approximate import hamming_find_all
+
+        assert hamming_find_all(SpineIndex("ab"), "ababab", 2) == []

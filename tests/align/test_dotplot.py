@@ -1,0 +1,73 @@
+"""Dot plot and synteny-block tests."""
+
+import pytest
+
+from repro.align.dotplot import (
+    dotplot_segments, render_dotplot, synteny_blocks)
+from repro.exceptions import SearchError
+from repro.sequences import derive_sequence, generate_dna, rearrange
+
+
+class TestSegments:
+    def test_identity_gives_main_diagonal(self):
+        text = generate_dna(2000, seed=51)
+        segments = dotplot_segments(text, text, min_length=50)
+        # Self-comparison contains a full-length diagonal segment.
+        assert any(d == q and length == len(text)
+                   for d, q, length in segments)
+
+    def test_segments_are_real_matches(self):
+        data = generate_dna(1500, seed=52)
+        query = derive_sequence(data, seed=53, snp_rate=0.02,
+                                indel_rate=0.0, rearrangement_blocks=0)
+        for d, q, length in dotplot_segments(data, query,
+                                             min_length=15):
+            assert data[d:d + length] == query[q:q + length]
+
+
+class TestRender:
+    def test_diagonal_appears(self):
+        text = generate_dna(800, seed=54)
+        segments = dotplot_segments(text, text, min_length=100)
+        art = render_dotplot(segments, len(text), len(text),
+                             width=20, height=10)
+        lines = art.splitlines()
+        assert lines[0].startswith("+")
+        assert sum(row.count("*") for row in lines) >= 10
+        # Diagonal: stars roughly on y ~ x scaled positions.
+        assert lines[1].index("*") <= 2
+
+    def test_invalid_lengths(self):
+        with pytest.raises(SearchError):
+            render_dotplot([], 0, 10)
+
+
+class TestSynteny:
+    def test_translocation_splits_blocks(self):
+        ancestor = generate_dna(6000, seed=55)
+        moved = rearrange(ancestor, 1500, seed=56, swaps=1)
+        segments = dotplot_segments(ancestor, moved, min_length=40)
+        blocks = synteny_blocks(segments, max_diagonal_drift=16,
+                                max_gap=800)
+        # A block swap produces at least two distinct diagonals.
+        diagonals = {b.diagonal for b in blocks if b.matched > 200}
+        assert len(diagonals) >= 2
+
+    def test_identity_single_block(self):
+        text = generate_dna(3000, seed=57)
+        segments = [(0, 0, len(text))]
+        blocks = synteny_blocks(segments)
+        assert len(blocks) == 1
+        assert blocks[0].matched == len(text)
+        assert blocks[0].diagonal == 0
+
+    def test_gap_bound_respected(self):
+        segments = [(0, 0, 100), (5000, 5000, 100)]
+        blocks = synteny_blocks(segments, max_gap=100)
+        assert len(blocks) == 2
+        blocks = synteny_blocks(segments, max_gap=10_000)
+        assert len(blocks) == 1
+
+    def test_validation(self):
+        with pytest.raises(SearchError):
+            synteny_blocks([], max_diagonal_drift=-1)

@@ -1,0 +1,94 @@
+"""Alignment application tests (maximal matches, MUMs, chaining)."""
+
+import pytest
+
+from repro.align import (
+    align_anchors, chain_anchors, find_maximal_matches, find_mums)
+from repro.align.mum import AnchorChain, coverage
+from repro.exceptions import SearchError
+
+S1 = "acaccgacgatacgagattacgagacgagaatacaacag"
+S2 = "catagagagacgattacgagaaaacgggaaagacgatcc"
+
+
+class TestMaximalMatches:
+    def test_paper_example(self):
+        triples = find_maximal_matches(S1, S2, min_length=6)
+        words = {S2[q:q + length] for _, q, length in triples}
+        assert "gattacgaga" in words
+        for d, q, length in triples:
+            assert S1[d:d + length] == S2[q:q + length]
+            assert length >= 6
+
+    def test_reuse_of_prebuilt_index(self):
+        from repro.core import SpineIndex
+
+        index = SpineIndex(S1)
+        a = find_maximal_matches(S1, S2, min_length=6, index=index)
+        b = find_maximal_matches(S1, S2, min_length=6)
+        assert a == b
+
+    def test_min_length_validated(self):
+        with pytest.raises(SearchError):
+            find_maximal_matches(S1, S2, min_length=0)
+
+    def test_sorted_by_query_then_data(self):
+        triples = find_maximal_matches(S1, S2, min_length=4)
+        assert triples == sorted(triples, key=lambda t: (t[1], t[0]))
+
+
+class TestMums:
+    def test_mums_are_unique_both_sides(self):
+        mums = find_mums(S1, S2, min_length=6)
+        assert mums
+        words = [S2[q:q + length] for _, q, length in mums]
+        assert len(words) == len(set(words))
+        for d, q, length in mums:
+            word = S2[q:q + length]
+            # Unique in S1 (single occurrence).
+            assert S1.count(word) == 1
+
+    def test_repeated_match_excluded(self):
+        data = "abcabcxyz"
+        query = "qqabcqq"
+        # "abc" occurs twice in data -> not a MUM.
+        assert all(length < 3
+                   for _, _, length in find_mums(data, query,
+                                                 min_length=3))
+
+
+class TestChaining:
+    def test_empty(self):
+        chain = chain_anchors([])
+        assert chain.anchors == ()
+        assert chain.total_matched == 0
+
+    def test_picks_consistent_subset(self):
+        anchors = [(0, 0, 5), (10, 10, 5), (6, 30, 4), (20, 20, 5)]
+        chain = chain_anchors(anchors)
+        assert chain.anchors == ((0, 0, 5), (10, 10, 5), (20, 20, 5))
+        assert chain.total_matched == 15
+
+    def test_crossing_anchors_resolved_by_weight(self):
+        anchors = [(0, 10, 3), (10, 0, 8)]
+        chain = chain_anchors(anchors)
+        assert chain.anchors == ((10, 0, 8),)
+
+    def test_overlaps_disallowed(self):
+        anchors = [(0, 0, 6), (3, 3, 6)]
+        chain = chain_anchors(anchors)
+        assert len(chain.anchors) == 1
+
+    def test_align_anchors_end_to_end(self):
+        data = "TTTTGATTACAGGGGCCCCATTACAG"
+        query = "AAGATTACAGAA" + "CCCCATTACAGTT"
+        chain = align_anchors(data, query, min_length=6,
+                              unique_only=False)
+        assert isinstance(chain, AnchorChain)
+        assert chain.total_matched >= 10
+
+    def test_coverage(self):
+        chain = AnchorChain(anchors=((0, 0, 5),), total_matched=5)
+        assert coverage(chain, 10) == 0.5
+        with pytest.raises(SearchError):
+            coverage(chain, 0)

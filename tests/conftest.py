@@ -1,0 +1,50 @@
+"""Shared fixtures and oracles for the test suite."""
+
+import random
+
+import pytest
+
+from repro.alphabet import Alphabet
+
+#: The paper's running example (Figures 1-3).
+PAPER_STRING = "aaccacaaca"
+
+
+@pytest.fixture
+def paper_index():
+    from repro.core import SpineIndex
+
+    return SpineIndex(PAPER_STRING)
+
+
+@pytest.fixture
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+def random_string(rng, alphabet_size, length):
+    symbols = "abcdefgh"[:alphabet_size]
+    return "".join(rng.choice(symbols) for _ in range(length))
+
+
+def make_alphabet(text_or_size):
+    if isinstance(text_or_size, int):
+        return Alphabet("abcdefgh"[:text_or_size])
+    return Alphabet("".join(sorted(set(text_or_size))))
+
+
+def brute_occurrences(text, pattern):
+    """All 0-indexed (overlapping) occurrence starts of ``pattern``."""
+    m = len(pattern)
+    return [i for i in range(len(text) - m + 1)
+            if text[i:i + m] == pattern]
+
+
+def all_substrings(text, max_len=None):
+    n = len(text)
+    out = set()
+    for i in range(n):
+        stop = n if max_len is None else min(n, i + max_len)
+        for j in range(i + 1, stop + 1):
+            out.add(text[i:j])
+    return out

@@ -1,0 +1,136 @@
+"""Repeat/LCS analyses derived from link labels."""
+
+import random
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.core import SpineIndex
+from repro.core.analysis import (
+    longest_common_substring, longest_repeated_substring,
+    repeat_annotation, repeat_fraction)
+from repro.exceptions import SearchError
+
+
+def brute_lrs(text):
+    """Longest substring occurring at least twice (length)."""
+    n = len(text)
+    best = 0
+    for i in range(n):
+        for j in range(i + 1, n + 1):
+            sub = text[i:j]
+            if text.find(sub, i + 1) != -1:
+                best = max(best, j - i)
+    return best
+
+
+def brute_lcs(a, b):
+    best = 0
+    for i in range(len(a)):
+        for j in range(i + 1, len(a) + 1):
+            if a[i:j] in b:
+                best = max(best, j - i)
+    return best
+
+
+class TestLongestRepeat:
+    def test_paper_example(self):
+        index = SpineIndex("aaccacaaca")
+        sub, hit = longest_repeated_substring(index)
+        # "aac" and "aca" tie at length 3; the LEL scan reports the
+        # first maximal one, "aac" (at positions 0 and 6).
+        assert sub == "aac"
+        assert hit.length == 3
+        text = index.text
+        assert text[hit.later_start:hit.later_start + 3] == sub
+        assert text[hit.earlier_start:hit.earlier_start + 3] == sub
+        assert hit.earlier_start < hit.later_start
+
+    def test_no_repeats(self):
+        index = SpineIndex("abcd")
+        sub, hit = longest_repeated_substring(index)
+        assert sub == ""
+        assert hit is None
+
+    def test_randomized_vs_brute_force(self):
+        rng = random.Random(99)
+        for _ in range(60):
+            syms = "ab" if rng.random() < 0.7 else "abc"
+            text = "".join(rng.choice(syms)
+                           for _ in range(rng.randint(1, 60)))
+            index = SpineIndex(text, alphabet=Alphabet(syms))
+            sub, hit = longest_repeated_substring(index)
+            expect = brute_lrs(text)
+            assert len(sub) == expect, text
+            if hit is not None:
+                # Occurs twice, possibly overlapping (str.count misses
+                # overlaps, so probe with find).
+                first = text.find(sub)
+                assert text.find(sub, first + 1) != -1
+
+
+class TestRepeatAnnotation:
+    def test_hits_are_real_repeat_pairs(self):
+        text = "abcabcxabc"
+        index = SpineIndex(text)
+        for hit in repeat_annotation(index, min_length=2):
+            later = text[hit.later_start:hit.later_start + hit.length]
+            earlier = text[hit.earlier_start:hit.earlier_start
+                           + hit.length]
+            assert later == earlier
+            assert hit.earlier_start < hit.later_start
+
+    def test_min_length_validated(self):
+        index = SpineIndex("abab")
+        with pytest.raises(SearchError):
+            list(repeat_annotation(index, min_length=0))
+
+
+class TestRepeatFraction:
+    def test_fully_repetitive(self):
+        index = SpineIndex("a" * 40)
+        # All but the very first character repeats.
+        assert repeat_fraction(index, 1) == pytest.approx(39 / 40)
+
+    def test_no_repeats(self):
+        index = SpineIndex("abcd")
+        assert repeat_fraction(index, 1) == 0.0
+
+    def test_threshold_monotone(self):
+        index = SpineIndex("abcabcabcxyzxyz")
+        fractions = [repeat_fraction(index, k) for k in (1, 2, 3, 6)]
+        assert fractions == sorted(fractions, reverse=True)
+
+    def test_empty(self):
+        from repro.alphabet import dna_alphabet
+
+        assert repeat_fraction(SpineIndex("", alphabet=dna_alphabet()),
+                               1) == 0.0
+
+
+class TestLongestCommonSubstring:
+    def test_paper_pair(self):
+        s1 = "acaccgacgatacgagattacgagacgagaatacaacag"
+        s2 = "catagagagacgattacgagaaaacgggaaagacgatcc"
+        index = SpineIndex(s1)
+        sub, data_start, other_start = longest_common_substring(index, s2)
+        assert sub == "gattacgaga"
+        assert s1[data_start:data_start + len(sub)] == sub
+        assert s2[other_start:other_start + len(sub)] == sub
+
+    def test_nothing_shared(self):
+        index = SpineIndex("aaaa", alphabet=Alphabet("ab"))
+        sub, d, o = longest_common_substring(index, "bbbb")
+        assert sub == "" and d is None and o is None
+
+    def test_randomized_vs_brute_force(self):
+        rng = random.Random(41)
+        for _ in range(50):
+            syms = "ab"
+            a = "".join(rng.choice(syms) for _ in range(rng.randint(
+                1, 40)))
+            b = "".join(rng.choice(syms) for _ in range(rng.randint(
+                1, 40)))
+            index = SpineIndex(a, alphabet=Alphabet(syms))
+            sub, _, _ = longest_common_substring(index, b)
+            assert len(sub) == brute_lcs(a, b), (a, b)

@@ -1,0 +1,59 @@
+"""Index diff tool tests."""
+
+from repro.alphabet import Alphabet, dna_alphabet
+from repro.core import SpineIndex
+from repro.core.compare import diff_indexes
+
+
+def test_identical_indexes_have_no_diffs():
+    a = SpineIndex("aaccacaaca")
+    b = SpineIndex("aaccacaaca")
+    assert diff_indexes(a, b) == []
+
+
+def test_length_difference_reported_first():
+    a = SpineIndex("aacc")
+    b = SpineIndex("aaccac")
+    diffs = diff_indexes(a, b)
+    assert len(diffs) == 1
+    assert "lengths differ" in diffs[0]
+
+
+def test_link_corruption_located():
+    a = SpineIndex("aaccacaaca")
+    b = SpineIndex("aaccacaaca")
+    b._link_lel[7] = 1
+    diffs = diff_indexes(a, b)
+    assert any("link of node 7" in d for d in diffs)
+
+
+def test_rib_difference_located():
+    a = SpineIndex("aaccacaaca")
+    b = SpineIndex("aaccacaaca")
+    key = next(iter(b._ribs))
+    del b._ribs[key]
+    diffs = diff_indexes(a, b)
+    assert any("rib at node" in d for d in diffs)
+
+
+def test_extrib_difference_located():
+    a = SpineIndex("aaccacaaca")
+    b = SpineIndex("aaccacaaca")
+    key = next(iter(b._extchains))
+    b._extchains[key] = b._extchains[key][:-1]
+    diffs = diff_indexes(a, b)
+    assert any("extrib chain" in d for d in diffs)
+
+
+def test_alphabet_difference():
+    a = SpineIndex("ACGT", alphabet=dna_alphabet())
+    b = SpineIndex("acgt", alphabet=Alphabet("acgt"))
+    diffs = diff_indexes(a, b)
+    assert any("alphabets differ" in d for d in diffs)
+
+
+def test_limit_respected():
+    a = SpineIndex("ab" * 50, alphabet=Alphabet("ab"))
+    b = SpineIndex("ba" * 50, alphabet=Alphabet("ab"))
+    diffs = diff_indexes(a, b, limit=5)
+    assert len(diffs) <= 6  # 5 + possible ellipsis

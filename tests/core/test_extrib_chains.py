@@ -1,0 +1,63 @@
+"""Regression tests for the extrib-chain identity fix.
+
+The paper (Section 2.6) stores at most one extrib per node and
+interleaves chains of different parent ribs through shared nodes,
+disambiguating by PRT alone. On the strings below — found by randomized
+search — two ribs with equal PT values end up with interleaved chains,
+and a PRT-matched lookup walks into the *other* rib's element, yielding
+false positives (e.g. ``bbbaba`` below, which is not a substring). Our
+implementation keys chains by their parent rib instead; these cases pin
+the fix.
+"""
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.core import SpineIndex, verify_index
+
+AMBIGUOUS_CASES = [
+    ("baabbbabbabaaabbababbabaaaabaaaaababbaaaba", "bbbaba"),
+    ("baaabaaabaabababbaabbabbbabaaaaaabbabaaaaababbaabaab", "abaabb"),
+    ("baabaabaaabababbababbbbbabbaaabbaababaabbabaaabbababa", "aabaabb"),
+    ("bbaaaaaabbbaabaaaaaabbaabbbbabbbaaaabbbbaaabaabaabb", "aabbbab"),
+]
+
+
+@pytest.mark.parametrize("text,phantom", AMBIGUOUS_CASES)
+def test_no_false_positive_on_interleaved_chains(text, phantom):
+    index = SpineIndex(text, alphabet=Alphabet("ab"))
+    assert phantom not in text  # the case's precondition
+    assert not index.contains(phantom)
+    assert verify_index(index, deep=True)
+
+
+@pytest.mark.parametrize("text,_", AMBIGUOUS_CASES)
+def test_all_real_substrings_still_found(text, _):
+    index = SpineIndex(text, alphabet=Alphabet("ab"))
+    n = len(text)
+    for i in range(0, n, 3):
+        for j in range(i + 1, min(i + 9, n + 1)):
+            assert index.contains(text[i:j])
+
+
+def test_chains_keyed_by_rib_not_by_node():
+    # In the first ambiguous case, two distinct ribs own chains; the
+    # chain elements of one rib must be invisible to the other even if
+    # the paper's physical placement would interleave them.
+    text = AMBIGUOUS_CASES[0][0]
+    index = SpineIndex(text, alphabet=Alphabet("ab"))
+    chains = {key: chain for key, chain in index._extchains.items()}
+    assert len(chains) >= 2
+    for key, chain in chains.items():
+        rib_dest, rib_pt = index._ribs[key]
+        last = rib_pt
+        for dest, pt in chain:
+            assert pt > last
+            last = pt
+
+
+def test_paper_placement_reconstruction_has_one_extrib_per_node():
+    for text, _ in AMBIGUOUS_CASES:
+        index = SpineIndex(text, alphabet=Alphabet("ab"))
+        located = [loc for loc, *_ in index.extrib_elements()]
+        assert len(located) == len(set(located))

@@ -1,0 +1,85 @@
+"""Generalized (multi-string) SPINE tests."""
+
+import pytest
+
+from repro.alphabet import dna_alphabet
+from repro.core import GeneralizedSpineIndex
+from repro.exceptions import SearchError
+
+
+@pytest.fixture
+def gidx():
+    g = GeneralizedSpineIndex(dna_alphabet())
+    g.add_string("ACGTACGT", name="s1")
+    g.add_string("TTACGG", name="s2")
+    g.add_string("ACGT", name="s3")
+    return g
+
+
+class TestMembership:
+    def test_ids_and_names(self, gidx):
+        assert gidx.string_count == 3
+        assert gidx.string_name(0) == "s1"
+        assert gidx.string_name(2) == "s3"
+        assert gidx.string_length(1) == 6
+
+    def test_default_names(self):
+        g = GeneralizedSpineIndex(dna_alphabet())
+        sid = g.add_string("ACG")
+        assert g.string_name(sid) == "string0"
+
+    def test_contains_across_strings(self, gidx):
+        assert gidx.contains("TTAC")      # only in s2
+        assert gidx.contains("GTAC")      # only in s1
+        assert not gidx.contains("GGGG")
+
+    def test_pattern_with_separator_rejected(self, gidx):
+        with pytest.raises(SearchError):
+            gidx.contains("AC#G")
+        with pytest.raises(SearchError):
+            gidx.find_all("#")
+
+
+class TestFindAll:
+    def test_occurrences_attributed_per_string(self, gidx):
+        assert sorted(gidx.find_all("ACG")) == [
+            (0, 0), (0, 4), (1, 2), (2, 0)]
+
+    def test_no_cross_boundary_matches(self, gidx):
+        # "GTTT" would span s1's end and s2's start if boundaries
+        # leaked; the separator makes it impossible.
+        assert not gidx.contains("GTTT")
+        assert gidx.find_all("TT") == [(1, 0)]
+
+    def test_locate_rejects_spans(self, gidx):
+        with pytest.raises(SearchError):
+            gidx.locate(7, 4)  # crosses s1 -> separator
+
+
+class TestMatching:
+    def test_matching_statistics_cover_all_members(self, gidx):
+        result = gidx.matching_statistics("TTACGTAC")
+        assert max(result.lengths) >= 5
+
+    def test_maximal_matches_attribution(self, gidx):
+        hits = gidx.maximal_matches("ACGT", min_length=4)
+        by_string = {h[0] for h in hits}
+        assert 0 in by_string and 2 in by_string
+        for sid, local, qstart, length in hits:
+            member_len = gidx.string_length(sid)
+            assert 0 <= local <= member_len - length
+
+    def test_incremental_addition(self, gidx):
+        assert not gidx.contains("CCCC")
+        gidx.add_string("CCCC", name="s4")
+        assert gidx.contains("CCCC")
+        assert gidx.find_all("CCC") == [(3, 0), (3, 1)]
+
+
+class TestDeepVerification:
+    def test_generalized_index_invariants(self, gidx):
+        from repro.core import verify_index
+
+        # The underlying index over "s1#s2#s3" must satisfy every
+        # structural and deep (oracle) invariant, separators included.
+        assert verify_index(gidx.index, deep=True)

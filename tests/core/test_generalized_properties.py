@@ -1,0 +1,70 @@
+"""Property-based tests for the generalized (multi-string) index."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import Alphabet
+from repro.core import GeneralizedSpineIndex
+from tests.conftest import brute_occurrences
+
+collections = st.lists(
+    st.text(alphabet="ab", min_size=1, max_size=25),
+    min_size=1, max_size=5)
+
+
+@settings(max_examples=80, deadline=None)
+@given(collections, st.data())
+def test_find_all_matches_per_member_brute_force(strings, data):
+    gidx = GeneralizedSpineIndex(Alphabet("ab"))
+    for text in strings:
+        gidx.add_string(text)
+    pattern = data.draw(st.text(alphabet="ab", min_size=1, max_size=6))
+    expected = sorted(
+        (sid, start)
+        for sid, text in enumerate(strings)
+        for start in brute_occurrences(text, pattern))
+    assert sorted(gidx.find_all(pattern)) == expected
+
+
+@settings(max_examples=60, deadline=None)
+@given(collections)
+def test_contains_is_union_of_members(strings):
+    gidx = GeneralizedSpineIndex(Alphabet("ab"))
+    for text in strings:
+        gidx.add_string(text)
+    probes = {text[i:j] for text in strings
+              for i in range(len(text))
+              for j in range(i + 1, min(i + 6, len(text) + 1))}
+    for probe in probes:
+        assert gidx.contains(probe)
+    # A probe crossing members must not exist unless it is genuinely a
+    # member substring.
+    if len(strings) >= 2:
+        crossing = strings[0][-2:] + strings[1][:2]
+        in_any = any(crossing in text for text in strings)
+        assert gidx.contains(crossing) == in_any
+
+
+@settings(max_examples=60, deadline=None)
+@given(collections, st.data())
+def test_matching_statistics_bounded_by_member_content(strings, data):
+    gidx = GeneralizedSpineIndex(Alphabet("ab"))
+    for text in strings:
+        gidx.add_string(text)
+    query = data.draw(st.text(alphabet="ab", min_size=1, max_size=30))
+    result = gidx.matching_statistics(query)
+    for j, length in enumerate(result.lengths):
+        if length:
+            matched = query[j + 1 - length:j + 1]
+            assert any(matched in text for text in strings), matched
+
+
+@settings(max_examples=50, deadline=None)
+@given(collections)
+def test_incremental_equals_batch(strings):
+    together = GeneralizedSpineIndex(Alphabet("ab"))
+    for text in strings:
+        together.add_string(text)
+    rebuilt = GeneralizedSpineIndex(Alphabet("ab"))
+    for text in strings:
+        rebuilt.add_string(text)
+    assert together.index.structurally_equal(rebuilt.index)

@@ -1,0 +1,60 @@
+"""Space-model tests (Table 2 arithmetic and the layout report)."""
+
+import pytest
+
+from repro.core import SpineIndex, collect_statistics
+from repro.core.layout import (
+    COMPETITOR_BYTES_PER_CHAR, layout_report, lt_entry_bytes,
+    naive_bytes_per_node, naive_node_fields, optimized_bytes_per_node,
+    rt_entry_bytes)
+from repro.sequences import generate_dna
+
+
+class TestNaiveModel:
+    def test_table2_total_is_4825(self):
+        assert naive_bytes_per_node(4) == pytest.approx(48.25)
+
+    def test_table2_field_inventory(self):
+        fields = {f.name: f for f in naive_node_fields(4)}
+        assert fields["CharacterLabel"].total == pytest.approx(0.25)
+        assert fields["RibDest"].count == 3
+        assert fields["RibPT"].count == 3
+        assert fields["VertebraDest"].total == 4
+
+    def test_protein_naive_larger(self):
+        # 19 rib slots instead of 3 -> much larger worst case.
+        assert naive_bytes_per_node(20) > naive_bytes_per_node(4) * 2
+
+
+class TestOptimizedModel:
+    def test_lt_entry_is_6_bytes(self):
+        assert lt_entry_bytes() == 6
+
+    def test_rt_entry_grows_with_fanout(self):
+        sizes = [rt_entry_bytes(k, has_extrib=False) for k in (1, 2, 3)]
+        assert sizes == sorted(sizes)
+        assert rt_entry_bytes(2, True) > rt_entry_bytes(2, False)
+
+    def test_zero_length(self):
+        assert optimized_bytes_per_node({}, 0, 0) == float(lt_entry_bytes())
+
+    def test_overflow_entries_charged(self):
+        base = optimized_bytes_per_node({1: 10}, 0, 1000)
+        bumped = optimized_bytes_per_node({1: 10}, 0, 1000,
+                                          overflow_entries=5)
+        assert bumped > base
+
+
+class TestLayoutReport:
+    def test_report_on_real_index(self):
+        stats = collect_statistics(SpineIndex(generate_dna(20000, seed=5)))
+        report = layout_report(stats)
+        assert report["naive_bytes_per_node"] == pytest.approx(48.25)
+        assert report["optimized_bytes_per_char"] < 12.5
+        assert report["labels_fit_two_bytes"]
+        assert 10.0 < report["rt_nodes_percent"] < 45.0
+
+    def test_competitor_constants_present(self):
+        assert COMPETITOR_BYTES_PER_CHAR[
+            "suffix array (Manber & Myers)"] == 6.0
+        assert "DAWG (Blumer et al.)" in COMPETITOR_BYTES_PER_CHAR

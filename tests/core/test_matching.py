@@ -1,0 +1,120 @@
+"""Matching statistics and maximal matches on SPINE."""
+
+import pytest
+
+from repro.core import SpineIndex, matching_statistics, maximal_matches
+from repro.core.matching import brute_force_matching_statistics
+from repro.exceptions import SearchError
+
+S1 = "acaccgacgatacgagattacgagacgagaatacaacag"
+S2 = "catagagagacgattacgagaaaacgggaaagacgatcc"
+
+
+@pytest.fixture(scope="module")
+def s1_index():
+    return SpineIndex(S1)
+
+
+class TestMatchingStatistics:
+    def test_agrees_with_brute_force_on_paper_pair(self, s1_index):
+        result = matching_statistics(s1_index, S2)
+        assert result.lengths == brute_force_matching_statistics(S1, S2)
+
+    def test_lengths_grow_by_at_most_one(self, s1_index):
+        lengths = matching_statistics(s1_index, S2).lengths
+        for prev, cur in zip(lengths, lengths[1:]):
+            assert cur <= prev + 1
+
+    def test_end_nodes_are_first_occurrence_ends(self, s1_index):
+        result = matching_statistics(s1_index, S2)
+        for j, (length, end) in enumerate(zip(result.lengths,
+                                              result.end_nodes)):
+            if length == 0:
+                assert end == 0
+                continue
+            matched = S2[j + 1 - length:j + 1]
+            assert S1.find(matched) + length == end
+
+    def test_query_with_absent_characters(self):
+        from repro.alphabet import Alphabet
+
+        # 'b' never occurs in the data: statistics reset to zero there.
+        idx = SpineIndex("aaaa", alphabet=Alphabet("ab"))
+        result = matching_statistics(idx, "abab")
+        assert result.lengths == [1, 0, 1, 0]
+
+    def test_full_query_match(self, s1_index):
+        result = matching_statistics(s1_index, S1)
+        assert result.lengths[-1] == len(S1)
+
+    def test_checks_counted(self, s1_index):
+        result = matching_statistics(s1_index, S2)
+        assert result.checks >= len(S2)
+        assert result.link_hops > 0
+
+
+class TestMaximalMatches:
+    def test_paper_example_threshold6(self, s1_index):
+        matches, _ = maximal_matches(s1_index, S2, min_length=6)
+        found = {(S2[m.query_start:m.query_end], m.data_starts)
+                 for m in matches}
+        # The length-10 shared substring of the Section 4 example.
+        assert ("gattacgaga", (15,)) in found
+        # Every reported match really occurs in both strings.
+        for match in matches:
+            word = S2[match.query_start:match.query_end]
+            assert word in S1
+            for start in match.data_starts:
+                assert S1[start:start + match.length] == word
+
+    def test_right_maximality(self, s1_index):
+        matches, result = maximal_matches(s1_index, S2, min_length=6)
+        for match in matches:
+            end = match.query_end
+            if end < len(S2):
+                # Extending by the next query character must leave S1.
+                extended = S2[match.query_start:end + 1]
+                assert extended not in S1
+
+    def test_repetitions_included(self):
+        idx = SpineIndex("abcabcabc")
+        matches, _ = maximal_matches(idx, "abc", min_length=3)
+        assert matches[0].data_starts == (0, 3, 6)
+
+    def test_min_length_filters(self, s1_index):
+        all_matches, _ = maximal_matches(s1_index, S2, min_length=1)
+        long_matches, _ = maximal_matches(s1_index, S2, min_length=8)
+        assert len(long_matches) < len(all_matches)
+        assert all(m.length >= 8 for m in long_matches)
+
+    def test_min_length_validated(self, s1_index):
+        with pytest.raises(SearchError):
+            maximal_matches(s1_index, S2, min_length=0)
+
+    def test_without_positions(self, s1_index):
+        matches, _ = maximal_matches(s1_index, S2, min_length=6,
+                                     with_positions=False)
+        assert matches
+        assert all(m.data_starts == () for m in matches)
+
+    def test_match_at_query_end_reported(self):
+        idx = SpineIndex("abcde")
+        matches, _ = maximal_matches(idx, "cde", min_length=2)
+        assert any(m.query_end == 3 and m.length == 3 for m in matches)
+
+    def test_query_end_property(self):
+        from repro.core.matching import MaximalMatch
+
+        match = MaximalMatch(query_start=4, length=3, data_starts=(1,))
+        assert match.query_end == 7
+
+
+class TestBruteForceOracle:
+    def test_oracle_simple(self):
+        assert brute_force_matching_statistics("abab", "bab") == [1, 2, 3]
+
+    def test_oracle_absent_chars(self):
+        assert brute_force_matching_statistics("aaaa", "bb") == [0, 0]
+
+    def test_oracle_empty_query(self):
+        assert brute_force_matching_statistics("abc", "") == []

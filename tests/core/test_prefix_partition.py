@@ -1,0 +1,56 @@
+"""Prefix-partitioning (Section 2.7): the index of a prefix is the
+initial fragment of the index."""
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.core import SpineIndex, verify_index
+from repro.exceptions import SearchError
+
+TEXT = "aaccacaacaaccaccacaa"
+
+
+class TestPrefixPartition:
+    @pytest.mark.parametrize("k", range(len(TEXT) + 1))
+    def test_truncation_equals_fresh_build(self, k):
+        alpha = Alphabet("ac")
+        full = SpineIndex(TEXT, alphabet=alpha)
+        fresh = SpineIndex(TEXT[:k], alphabet=alpha)
+        assert full.prefix_index(k).structurally_equal(fresh)
+
+    def test_prefix_is_verifiable(self):
+        full = SpineIndex(TEXT)
+        for k in (0, 5, 13, len(TEXT)):
+            assert verify_index(full.prefix_index(k), deep=True)
+
+    def test_prefix_out_of_range(self):
+        index = SpineIndex(TEXT)
+        with pytest.raises(SearchError):
+            index.prefix_index(-1)
+        with pytest.raises(SearchError):
+            index.prefix_index(len(TEXT) + 1)
+
+    def test_prefix_is_independent_copy(self):
+        full = SpineIndex(TEXT)
+        prefix = full.prefix_index(10)
+        prefix.extend("cc")
+        # Growing the prefix copy must not disturb the original.
+        assert full.text == TEXT
+        assert prefix.text == TEXT[:10] + "cc"
+
+    def test_prefix_queries(self):
+        full = SpineIndex(TEXT)
+        prefix = full.prefix_index(10)
+        assert prefix.find_all("ca") == [3, 5, 8][:len(
+            prefix.find_all("ca"))]
+        assert not prefix.contains(TEXT[:11])
+
+    def test_suffix_tree_lacks_this_property_note(self):
+        # Not a suffix-tree assertion — a documentation guard: the
+        # SPINE property is that node creation order equals logical
+        # order, so node ids of the prefix index are literally the
+        # first k+1 ids of the full one.
+        full = SpineIndex(TEXT)
+        prefix = full.prefix_index(12)
+        for i in range(1, 13):
+            assert prefix.link(i) == full.link(i)

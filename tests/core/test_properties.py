@@ -1,0 +1,110 @@
+"""Property-based tests (hypothesis) for the SPINE core.
+
+These encode the paper's correctness theorem — valid paths are exactly
+the substrings — plus the link-label semantics, occurrence completeness,
+prefix partitioning, online equivalence, and packed-layout equivalence,
+against brute-force oracles on arbitrary small strings.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import Alphabet
+from repro.core import SpineIndex, verify_index
+from repro.core.matching import (
+    brute_force_matching_statistics, matching_statistics)
+from repro.core.packed import PackedSpineIndex
+from tests.conftest import brute_occurrences
+
+texts = st.text(alphabet="ab", min_size=0, max_size=60)
+texts3 = st.text(alphabet="abc", min_size=0, max_size=50)
+texts4 = st.text(alphabet="acgt", min_size=0, max_size=40)
+
+
+def build(text, symbols):
+    return SpineIndex(text, alphabet=Alphabet(symbols))
+
+
+@settings(max_examples=150, deadline=None)
+@given(texts)
+def test_structure_and_semantics_binary(text):
+    index = build(text, "ab")
+    assert verify_index(index, deep=True)
+
+
+@settings(max_examples=80, deadline=None)
+@given(texts3)
+def test_structure_and_semantics_ternary(text):
+    index = build(text, "abc")
+    assert verify_index(index, deep=True)
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts4)
+def test_structure_and_semantics_dna(text):
+    index = build(text, "acgt")
+    assert verify_index(index, deep=True)
+
+
+@settings(max_examples=100, deadline=None)
+@given(texts, st.data())
+def test_find_all_equals_brute_force(text, data):
+    index = build(text, "ab")
+    pattern = data.draw(st.text(alphabet="ab", min_size=1, max_size=8))
+    assert index.find_all(pattern) == brute_occurrences(text, pattern)
+
+
+@settings(max_examples=100, deadline=None)
+@given(texts, st.text(alphabet="ab", min_size=0, max_size=40))
+def test_matching_statistics_equal_brute_force(text, query):
+    index = build(text, "ab")
+    assert matching_statistics(index, query).lengths == \
+        brute_force_matching_statistics(text, query)
+
+
+@settings(max_examples=80, deadline=None)
+@given(texts, st.integers(min_value=0, max_value=60))
+def test_prefix_partitioning(text, k):
+    k = min(k, len(text))
+    full = build(text, "ab")
+    assert full.prefix_index(k).structurally_equal(build(text[:k], "ab"))
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts3, st.integers(min_value=1, max_value=5))
+def test_online_equals_batch(text, pieces):
+    batch = build(text, "abc")
+    online = SpineIndex(alphabet=Alphabet("abc"))
+    step = max(1, len(text) // pieces)
+    for i in range(0, len(text), step):
+        online.extend(text[i:i + step])
+    if not text:
+        online.extend("")
+    assert batch.structurally_equal(online)
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts3, st.data())
+def test_packed_equivalence(text, data):
+    index = build(text, "abc")
+    packed = PackedSpineIndex.from_index(index)
+    for i in range(1, len(text) + 1):
+        assert packed.link(i) == index.link(i)
+    pattern = data.draw(st.text(alphabet="abc", min_size=1, max_size=6))
+    assert packed.find_all(pattern) == index.find_all(pattern)
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts)
+def test_node_count_invariant(text):
+    index = build(text, "ab")
+    assert index.node_count == len(text) + 1
+    counts = index.edge_counts()
+    assert counts["vertebras"] == counts["links"] == len(text)
+
+
+@settings(max_examples=60, deadline=None)
+@given(texts, st.data())
+def test_count_matches_find_all(text, data):
+    index = build(text, "ab")
+    pattern = data.draw(st.text(alphabet="ab", min_size=1, max_size=6))
+    assert index.count(pattern) == len(brute_occurrences(text, pattern))

@@ -1,0 +1,178 @@
+"""Binary persistence round-trips and corruption detection."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import Alphabet, dna_alphabet
+from repro.core import SpineIndex
+from repro.core.serialize import load_index, save_index
+from repro.exceptions import StorageError
+from repro.sequences import generate_dna
+
+
+class TestRoundTrip:
+    def test_paper_example(self, tmp_path):
+        path = tmp_path / "x.spine"
+        original = SpineIndex("aaccacaaca")
+        save_index(original, path)
+        loaded = load_index(path)
+        assert loaded.structurally_equal(original)
+        assert loaded.alphabet.symbols == original.alphabet.symbols
+        assert loaded.find_all("ac") == [1, 4, 7]
+
+    def test_genome(self, tmp_path):
+        path = tmp_path / "g.spine"
+        text = generate_dna(6000, seed=77)
+        original = SpineIndex(text, alphabet=dna_alphabet())
+        save_index(original, path)
+        loaded = load_index(path)
+        assert loaded.structurally_equal(original)
+        probe = text[2000:2020]
+        assert loaded.find_all(probe) == original.find_all(probe)
+
+    def test_empty_index(self, tmp_path):
+        path = tmp_path / "e.spine"
+        original = SpineIndex(alphabet=dna_alphabet())
+        save_index(original, path)
+        loaded = load_index(path)
+        assert len(loaded) == 0
+        assert loaded.structurally_equal(original)
+
+    def test_loaded_index_can_grow(self, tmp_path):
+        path = tmp_path / "grow.spine"
+        save_index(SpineIndex("ACGTAC", alphabet=dna_alphabet()), path)
+        loaded = load_index(path)
+        loaded.extend("GTAC")
+        direct = SpineIndex("ACGTACGTAC", alphabet=dna_alphabet())
+        assert loaded.structurally_equal(direct)
+
+    def test_separator_alphabet_preserved(self, tmp_path):
+        from repro.core import GeneralizedSpineIndex
+
+        gidx = GeneralizedSpineIndex(dna_alphabet())
+        gidx.add_string("ACGT")
+        gidx.add_string("TTGG")
+        path = tmp_path / "gen.spine"
+        save_index(gidx.index, path)
+        loaded = load_index(path)
+        assert loaded.alphabet.separator_code == \
+            gidx.index.alphabet.separator_code
+        assert loaded.structurally_equal(gidx.index)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="abc", min_size=0, max_size=60))
+def test_roundtrip_property(tmp_path_factory, text):
+    path = tmp_path_factory.mktemp("ser") / "p.spine"
+    original = SpineIndex(text, alphabet=Alphabet("abc"))
+    save_index(original, path)
+    assert load_index(path).structurally_equal(original)
+
+
+class TestCorruptionDetection:
+    def _saved(self, tmp_path):
+        path = tmp_path / "c.spine"
+        save_index(SpineIndex("aaccacaaca"), path)
+        return path
+
+    def test_bad_magic(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[:4] = b"JUNK"
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="magic"):
+            load_index(path)
+
+    def test_bad_version(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        struct.pack_into("<H", data, 4, 99)
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="version"):
+            load_index(path)
+
+    def test_flipped_payload_byte(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = bytearray(path.read_bytes())
+        data[-3] ^= 0xFF
+        path.write_bytes(bytes(data))
+        with pytest.raises(StorageError, match="checksum|truncated"):
+            load_index(path)
+
+    def test_truncated_file(self, tmp_path):
+        path = self._saved(tmp_path)
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) // 2])
+        with pytest.raises(StorageError):
+            load_index(path)
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "nil.spine"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError, match="short header"):
+            load_index(path)
+
+
+class TestGeneralizedPersistence:
+    def _collection(self):
+        from repro.core import GeneralizedSpineIndex
+
+        gidx = GeneralizedSpineIndex(dna_alphabet())
+        gidx.add_string("ACGTACGT", name="chr1")
+        gidx.add_string("TTACGG", name="chr2")
+        gidx.add_string(generate_dna(800, seed=31), name="chr3")
+        return gidx
+
+    def test_roundtrip_members(self, tmp_path):
+        from repro.core.serialize import load_generalized, \
+            save_generalized
+
+        path = tmp_path / "g.spine"
+        original = self._collection()
+        save_generalized(original, path)
+        loaded = load_generalized(path)
+        assert loaded.string_count == 3
+        for sid in range(3):
+            assert loaded.string_name(sid) == original.string_name(sid)
+            assert loaded.string_length(sid) == \
+                original.string_length(sid)
+        assert loaded.index.structurally_equal(original.index)
+        assert sorted(loaded.find_all("ACG")) == \
+            sorted(original.find_all("ACG"))
+
+    def test_loaded_collection_can_grow(self, tmp_path):
+        from repro.core.serialize import load_generalized, \
+            save_generalized
+
+        path = tmp_path / "grow.spine"
+        original = self._collection()
+        save_generalized(original, path)
+        loaded = load_generalized(path)
+        sid = loaded.add_string("GGGGCCCC", name="chr4")
+        hits = loaded.find_all("GGCC")
+        assert (sid, 2) in hits
+        # Member attribution still consistent for every hit.
+        for hit_sid, local in hits:
+            member_len = loaded.string_length(hit_sid)
+            assert 0 <= local <= member_len - 4
+
+    def test_plain_index_rejected(self, tmp_path):
+        from repro.core.serialize import load_generalized
+
+        path = tmp_path / "plain.spine"
+        save_index(SpineIndex("ACGT", alphabet=dna_alphabet()), path)
+        with pytest.raises(StorageError):
+            load_generalized(path)
+
+    def test_plain_load_still_works_on_generalized_file(self, tmp_path):
+        from repro.core.serialize import save_generalized
+
+        path = tmp_path / "dual.spine"
+        original = self._collection()
+        save_generalized(original, path)
+        # The core sections remain a valid plain index (the member
+        # section trails them).
+        plain = load_index(path)
+        assert plain.structurally_equal(original.index)

@@ -1,0 +1,80 @@
+"""Structural statistics (Tables 3/4, Figure 8 machinery)."""
+
+import pytest
+
+from repro.core import SpineIndex, collect_statistics
+from repro.sequences import generate_dna
+
+
+@pytest.fixture(scope="module")
+def stats():
+    return collect_statistics(SpineIndex(generate_dna(8000, seed=21)),
+                              link_bins=10)
+
+
+class TestLabelMaxima:
+    def test_paper_example_values(self):
+        st = collect_statistics(SpineIndex("aaccacaaca"))
+        assert st.max_lel == 3   # link of node 9/10
+        assert st.max_pt == 3    # extrib N7 -> N10
+        assert st.max_prt == 1
+        assert st.max_label == 3
+
+    def test_max_label_consistent(self, stats):
+        assert stats.max_label == max(stats.max_lel, stats.max_pt,
+                                      stats.max_prt)
+
+    def test_two_byte_fit(self, stats):
+        assert stats.labels_fit_two_bytes()
+
+
+class TestFanout:
+    def test_paper_example_fanout(self):
+        st = collect_statistics(SpineIndex("aaccacaaca"))
+        # Nodes with downstream edges: 0 (1 rib), 1 (1 rib),
+        # 3 (1 rib), 5 (1 rib + 1 extrib), 7 (1 extrib).
+        assert st.fanout_histogram == {1: 4, 2: 1}
+        assert st.rib_count == 4
+        assert st.extrib_count == 2
+        assert st.nodes_with_downstream == 5
+
+    def test_downstream_minority(self, stats):
+        assert 10.0 < stats.downstream_percentage < 45.0
+
+    def test_percentages_decay(self, stats):
+        pct = stats.fanout_percentages(max_fanout=4)
+        assert pct[1] >= pct[2] >= pct[3] >= pct[4]
+
+    def test_percentages_sum_to_total(self, stats):
+        pct = stats.fanout_percentages()
+        assert sum(pct.values()) == pytest.approx(
+            stats.downstream_percentage)
+
+
+class TestLinkHistogram:
+    def test_bins_sum_to_100(self, stats):
+        assert sum(stats.link_destination_bins) == pytest.approx(100.0)
+
+    def test_first_bin_dominates(self, stats):
+        bins = stats.link_destination_bins
+        assert bins[0] == max(bins)
+
+    def test_bin_count_respected(self):
+        st = collect_statistics(SpineIndex(generate_dna(2000, seed=2)),
+                                link_bins=7)
+        assert len(st.link_destination_bins) == 7
+
+
+class TestDegenerateInputs:
+    def test_empty_index(self):
+        from repro.alphabet import dna_alphabet
+
+        st = collect_statistics(SpineIndex("", alphabet=dna_alphabet()))
+        assert st.length == 0
+        assert st.downstream_percentage == 0.0
+        assert st.fanout_percentages() == {}
+
+    def test_single_char(self):
+        st = collect_statistics(SpineIndex("a"))
+        assert st.rib_count == 0
+        assert st.max_label == 0

@@ -1,0 +1,105 @@
+"""The invariant checker must catch corrupted structures."""
+
+import pytest
+
+from repro.core import SpineIndex, verify_index
+from repro.exceptions import VerificationError
+
+
+@pytest.fixture
+def index():
+    return SpineIndex("aaccacaaca")
+
+
+class TestAcceptsValid:
+    def test_paper_example(self, index):
+        assert verify_index(index, deep=True)
+
+    def test_empty(self):
+        from repro.alphabet import dna_alphabet
+
+        assert verify_index(SpineIndex("", alphabet=dna_alphabet()),
+                            deep=True)
+
+    def test_deep_guard_on_large_inputs(self):
+        big = SpineIndex("ac" * 300)
+        with pytest.raises(VerificationError):
+            verify_index(big, deep=True, max_deep_length=100)
+        assert verify_index(big)  # shallow is fine
+
+
+class TestDetectsCorruption:
+    def test_link_not_upstream(self, index):
+        index._link_dest[5] = 9
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_lel_out_of_range(self, index):
+        index._link_lel[4] = 4
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_lel_zero_dest_mismatch(self, index):
+        index._link_dest[3] = 1  # LEL stays 0
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_lel_jump(self, index):
+        index._link_dest[9] = 8
+        index._link_lel[9] = 8
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_rib_not_downstream(self, index):
+        key = next(iter(index._ribs))
+        index._ribs[key] = (0, 0)
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_rib_pt_too_large(self, index):
+        asize = index._asize
+        key = 3 * asize + index.alphabet.encode_char("a")
+        index._ribs[key] = (5, 99)
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_rib_duplicating_vertebra(self, index):
+        asize = index._asize
+        # Node 2's vertebra is 'c' (3rd char); plant a bogus 'c' rib.
+        key = 2 * asize + index.alphabet.encode_char("c")
+        index._ribs[key] = (9, 1)
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_orphan_extrib_chain(self, index):
+        index._extchains[999] = [(9, 2)]
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_chain_thresholds_must_increase(self, index):
+        asize = index._asize
+        key = 3 * asize + index.alphabet.encode_char("a")
+        index._extchains[key] = [(7, 2), (10, 2)]
+        with pytest.raises(VerificationError):
+            verify_index(index)
+
+    def test_deep_catches_wrong_lel_value(self, index):
+        # Structurally plausible but semantically wrong LEL.
+        index._link_dest[8] = 1
+        index._link_lel[8] = 1
+        with pytest.raises(VerificationError):
+            verify_index(index, deep=True)
+
+    def test_deep_catches_false_positive(self, index):
+        # Loosen a rib threshold: structurally fine, semantically a
+        # false-positive generator (the paper's accaa example).
+        asize = index._asize
+        key = 5 * asize + index.alphabet.encode_char("a")
+        index._ribs[key] = (8, 5)
+        with pytest.raises(VerificationError):
+            verify_index(index, deep=True)
+
+    def test_array_length_mismatch(self, index):
+        index._link_lel.append(0)
+        with pytest.raises(VerificationError):
+            verify_index(index)

@@ -1,0 +1,270 @@
+"""Disk-resident SPINE: equivalence with the in-memory index plus
+I/O behaviour."""
+
+import random
+
+import pytest
+
+from repro.alphabet import Alphabet, dna_alphabet, protein_alphabet
+from repro.core import SpineIndex
+from repro.core.matching import matching_statistics, maximal_matches
+from repro.disk import DiskSpineIndex
+from repro.exceptions import ConstructionError, SearchError
+from repro.sequences import generate_dna, generate_protein
+
+
+def build_pair(text, symbols, buffer_pages=4, page_size=256, **kwargs):
+    alpha = Alphabet(symbols)
+    mem = SpineIndex(text, alphabet=alpha)
+    dsk = DiskSpineIndex(alphabet=alpha, buffer_pages=buffer_pages,
+                         page_size=page_size, **kwargs)
+    dsk.extend(text)
+    return mem, dsk
+
+
+class TestEquivalence:
+    def test_links_equal_under_tiny_buffer(self):
+        rng = random.Random(71)
+        for _ in range(25):
+            syms = "abcd"[:rng.choice([2, 3, 4])]
+            text = "".join(rng.choice(syms)
+                           for _ in range(rng.randint(1, 150)))
+            mem, dsk = build_pair(text, syms)
+            for i in range(1, len(text) + 1):
+                assert dsk.link(i) == mem.link(i), (text, i)
+            dsk.close()
+
+    def test_find_all_equal(self):
+        text = generate_dna(2500, seed=81)
+        mem, dsk = build_pair(text, "ACGT", buffer_pages=8,
+                              page_size=512)
+        for start in (0, 450, 1300, 2480):
+            pattern = text[start:start + 10]
+            assert dsk.find_all(pattern) == mem.find_all(pattern)
+        dsk.close()
+
+    def test_matching_statistics_equal(self):
+        text = generate_dna(1500, seed=82)
+        query = generate_dna(600, seed=83)
+        mem, dsk = build_pair(text, "ACGT", buffer_pages=8,
+                              page_size=512)
+        disk_result = dsk.matching_statistics(query)
+        mem_result = matching_statistics(mem, query)
+        assert disk_result.lengths == mem_result.lengths
+        assert disk_result.checks == mem_result.checks
+        dsk.close()
+
+    def test_maximal_matches_equal(self):
+        text = generate_dna(1200, seed=84)
+        query = text[300:700]  # guaranteed deep matches
+        mem, dsk = build_pair(text, "ACGT", buffer_pages=8,
+                              page_size=512)
+        mm_mem, _ = maximal_matches(mem, query, min_length=8)
+        mm_dsk, _ = dsk.maximal_matches(query, min_length=8)
+        key = lambda m: (m.query_start, m.length,
+                         tuple(sorted(m.data_starts)))
+        assert sorted(map(key, mm_mem)) == sorted(map(key, mm_dsk))
+        dsk.close()
+
+    def test_protein_alphabet(self):
+        text = generate_protein(1200, seed=85)
+        mem = SpineIndex(text, alphabet=protein_alphabet())
+        dsk = DiskSpineIndex(alphabet=protein_alphabet(),
+                             buffer_pages=8, page_size=1024)
+        dsk.extend(text)
+        for i in range(1, len(text) + 1, 13):
+            assert dsk.link(i) == mem.link(i)
+        assert dsk.rib_count == len(mem._ribs)
+        dsk.close()
+
+
+class TestPersistence:
+    def test_file_backed_roundtrip(self, tmp_path):
+        path = str(tmp_path / "spine.pages")
+        text = "ACGTACGGTTACGAC" * 30
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=4, page_size=512) as dsk:
+            dsk.extend(text)
+            assert dsk.contains("GGTTACG")
+            dsk.flush()
+        # Bytes actually hit the file.
+        assert (tmp_path / "spine.pages").stat().st_size > 0
+
+    def test_sync_writes_forced(self, tmp_path):
+        path = str(tmp_path / "spine.pages")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=2, page_size=256,
+                            sync_writes=True) as dsk:
+            dsk.extend("ACGT" * 50)
+            dsk.flush()
+            assert dsk.pagefile.metrics.sync_writes > 0
+
+
+class TestPolicies:
+    @pytest.mark.parametrize("policy", ["lru", "clock", "pintop"])
+    def test_all_policies_correct(self, policy):
+        text = generate_dna(1000, seed=86)
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        dsk = DiskSpineIndex(alphabet=dna_alphabet(), buffer_pages=4,
+                             page_size=256, policy=policy)
+        dsk.extend(text)
+        for i in range(1, len(text) + 1, 7):
+            assert dsk.link(i) == mem.link(i)
+        dsk.close()
+
+    def test_unknown_policy(self):
+        with pytest.raises(ConstructionError):
+            DiskSpineIndex(alphabet=dna_alphabet(), policy="mru")
+
+
+class TestValidation:
+    def test_code_out_of_range(self):
+        dsk = DiskSpineIndex(alphabet=dna_alphabet())
+        with pytest.raises(ConstructionError):
+            dsk.append_code(9)
+        dsk.close()
+
+    def test_link_out_of_range(self):
+        dsk = DiskSpineIndex(alphabet=dna_alphabet())
+        dsk.extend("ACG")
+        with pytest.raises(SearchError):
+            dsk.link(0)
+        with pytest.raises(SearchError):
+            dsk.link(4)
+        dsk.close()
+
+    def test_find_all_empty_pattern(self):
+        dsk = DiskSpineIndex(alphabet=dna_alphabet())
+        dsk.extend("ACG")
+        with pytest.raises(SearchError):
+            dsk.find_all("")
+        dsk.close()
+
+    def test_min_length_validated(self):
+        dsk = DiskSpineIndex(alphabet=dna_alphabet())
+        dsk.extend("ACGACG")
+        with pytest.raises(SearchError):
+            dsk.maximal_matches("ACG", min_length=0)
+        dsk.close()
+
+
+class TestIOBehaviour:
+    def test_io_snapshot_counts_traffic(self):
+        text = generate_dna(3000, seed=87)
+        dsk = DiskSpineIndex(alphabet=dna_alphabet(), buffer_pages=4,
+                             page_size=256)
+        dsk.extend(text)
+        dsk.flush()
+        snap = dsk.io_snapshot()
+        assert snap["writes"] > 0
+        assert snap["buffer_hits"] > 0
+        assert snap["reads"] + snap["writes"] <= \
+            snap["buffer_hits"] + snap["buffer_misses"] + snap["writes"]
+
+    def test_bigger_buffer_less_io(self):
+        text = generate_dna(4000, seed=88)
+        totals = []
+        for pages in (4, 64):
+            dsk = DiskSpineIndex(alphabet=dna_alphabet(),
+                                 buffer_pages=pages, page_size=256)
+            dsk.extend(text)
+            dsk.flush()
+            snap = dsk.io_snapshot()
+            totals.append(snap["reads"] + snap["writes"])
+            dsk.close()
+        assert totals[1] < totals[0]
+
+
+class TestCheckpointReopen:
+    def test_roundtrip(self, tmp_path):
+        from repro.disk import DiskSpineIndex
+
+        path = str(tmp_path / "ck.spine")
+        text = generate_dna(2500, seed=96)
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8) as dsk:
+            dsk.extend(text)
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert len(reopened) == len(text)
+        assert reopened.rib_count == len(mem._ribs)
+        for i in range(1, len(text) + 1, 17):
+            assert reopened.link(i) == mem.link(i)
+        probe = text[1234:1250]
+        assert reopened.find_all(probe) == mem.find_all(probe)
+        reopened.close()
+
+    def test_resume_online_build_after_reopen(self, tmp_path):
+        from repro.disk import DiskSpineIndex
+
+        path = str(tmp_path / "resume.spine")
+        text = generate_dna(1500, seed=97)
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8) as dsk:
+            dsk.extend(text[:1000])
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        reopened.extend(text[1000:])
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        for i in range(1, len(text) + 1, 13):
+            assert reopened.link(i) == mem.link(i)
+        reopened.close()
+
+    def test_close_with_checkpoint_flag(self, tmp_path):
+        from repro.disk import DiskSpineIndex
+
+        path = str(tmp_path / "flag.spine")
+        dsk = DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                             buffer_pages=8)
+        dsk.extend("ACGTACGTAC")
+        dsk.close(checkpoint=True)
+        reopened = DiskSpineIndex.open(path)
+        assert len(reopened) == 10
+        assert reopened.contains("GTAC")
+        reopened.close()
+
+    def test_open_missing_file(self, tmp_path):
+        from repro.disk import DiskSpineIndex
+        from repro.exceptions import StorageError
+
+        with pytest.raises(StorageError):
+            DiskSpineIndex.open(str(tmp_path / "nope.spine"))
+
+    def test_open_non_index_file(self, tmp_path):
+        from repro.disk import DiskSpineIndex
+        from repro.exceptions import StorageError
+
+        path = tmp_path / "junk.bin"
+        path.write_bytes(b"\x00" * 8192)
+        with pytest.raises(StorageError):
+            DiskSpineIndex.open(str(path))
+
+    def test_alphabet_mismatch_detected(self, tmp_path):
+        from repro.disk import DiskSpineIndex
+        from repro.exceptions import StorageError
+
+        path = str(tmp_path / "mis.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path) as dsk:
+            dsk.extend("ACGT")
+            dsk.checkpoint()
+        with pytest.raises(StorageError):
+            DiskSpineIndex.open(path, alphabet=Alphabet("ab"))
+
+    def test_large_directory_spans_meta_pages(self, tmp_path):
+        from repro.disk import DiskSpineIndex
+
+        # Tiny pages force a long page directory that overflows the
+        # single metadata page and exercises the continuation chain.
+        path = str(tmp_path / "many.spine")
+        text = generate_dna(4000, seed=98)
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            page_size=256, buffer_pages=8) as dsk:
+            dsk.extend(text)
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, page_size=256,
+                                       buffer_pages=8)
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        for i in range(1, len(text) + 1, 97):
+            assert reopened.link(i) == mem.link(i)
+        reopened.close()

@@ -1,0 +1,144 @@
+"""Disk-resident suffix tree tests."""
+
+import pytest
+
+from repro.alphabet import dna_alphabet
+from repro.core import SpineIndex
+from repro.core.matching import matching_statistics
+from repro.disk import DiskSpineIndex, DiskSuffixTree
+from repro.exceptions import SearchError
+from repro.sequences import generate_dna
+from repro.storage import DiskModel
+from tests.conftest import brute_occurrences
+
+
+@pytest.fixture(scope="module")
+def text():
+    return generate_dna(2500, seed=91)
+
+
+@pytest.fixture(scope="module")
+def disk_tree(text):
+    tree = DiskSuffixTree(dna_alphabet(), buffer_pages=8, page_size=512)
+    tree.extend(text)
+    tree.finalize()
+    return tree
+
+
+class TestQueries:
+    def test_contains(self, disk_tree, text):
+        assert disk_tree.contains(text[100:140])
+        assert disk_tree.contains(text[-30:])
+
+    def test_find_all(self, disk_tree, text):
+        for start in (0, 700, 2400):
+            pattern = text[start:start + 12]
+            assert disk_tree.find_all(pattern) == brute_occurrences(
+                text, pattern)
+
+    def test_find_all_requires_finalize(self, text):
+        tree = DiskSuffixTree(dna_alphabet(), buffer_pages=4)
+        tree.extend("ACGTACG")
+        with pytest.raises(SearchError):
+            tree.find_all("ACG")
+        tree.close()
+
+    def test_matching_statistics_agree_with_spine(self, disk_tree, text):
+        query = generate_dna(800, seed=92)
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        assert disk_tree.matching_statistics(query).lengths == \
+            matching_statistics(mem, query).lengths
+
+    def test_maximal_matches(self, disk_tree, text):
+        query = text[500:900]
+        matches, _ = disk_tree.maximal_matches(query, min_length=10)
+        assert matches
+        for match in matches:
+            word = query[match.query_start:match.query_start
+                         + match.length]
+            for start in match.data_starts:
+                assert text[start:start + match.length] == word
+
+
+class TestIO:
+    def test_construction_counts_io(self, text):
+        tree = DiskSuffixTree(dna_alphabet(), buffer_pages=8,
+                              page_size=512, sync_writes=True)
+        tree.extend(text)
+        tree.flush()
+        snap = tree.io_snapshot()
+        assert snap["writes"] > 0
+        assert snap["sync_writes"] == snap["writes"]
+        tree.close()
+
+    def test_search_accounts_page_touches(self, disk_tree, text):
+        before = disk_tree.io_snapshot()["buffer_hits"] \
+            + disk_tree.io_snapshot()["buffer_misses"]
+        disk_tree.contains(text[40:80])
+        after = disk_tree.io_snapshot()["buffer_hits"] \
+            + disk_tree.io_snapshot()["buffer_misses"]
+        assert after > before
+
+    def test_spine_builds_with_less_io_than_st(self):
+        # The Figure 7 effect at test scale: equal budgets sized to the
+        # experiment regime (half of SPINE's working set), 4-KiB pages.
+        sample = generate_dna(6000, seed=93)
+        model = DiskModel()
+        probe = DiskSpineIndex(alphabet=dna_alphabet(), buffer_pages=64)
+        probe.extend(sample)
+        budget = max(8, probe.pagefile.page_count // 2)
+        probe.close()
+        spine = DiskSpineIndex(alphabet=dna_alphabet(),
+                               buffer_pages=budget, sync_writes=True)
+        spine.extend(sample)
+        spine.flush()
+        st = DiskSuffixTree(dna_alphabet(), buffer_pages=budget,
+                            sync_writes=True)
+        st.extend(sample)
+        st.flush()
+        assert model.cost_seconds(spine.pagefile.metrics) < \
+            model.cost_seconds(st.pagefile.metrics)
+        spine.close()
+        st.close()
+
+
+class TestRelayout:
+    def test_bfs_relayout_preserves_answers(self, text):
+        from repro.sequences import generate_dna
+
+        tree = DiskSuffixTree(dna_alphabet(), buffer_pages=8,
+                              page_size=512)
+        tree.extend(text)
+        tree.finalize()
+        pattern = text[500:512]
+        before = tree.find_all(pattern)
+        query = generate_dna(400, seed=94)
+        ms_before = tree.matching_statistics(query).lengths
+        tree.relayout_bfs()
+        tree.pool.clear()
+        assert tree.find_all(pattern) == before
+        assert tree.matching_statistics(query).lengths == ms_before
+        tree.close()
+
+    def test_bfs_relayout_improves_search_locality(self, text):
+        from repro.sequences import generate_dna
+        from repro.storage import DiskModel
+
+        model = DiskModel()
+        query = generate_dna(1500, seed=95)
+
+        def cold_cost(tree):
+            tree.flush()
+            tree.pool.clear()
+            before = model.cost_seconds(tree.pagefile.metrics)
+            tree.matching_statistics(query)
+            return model.cost_seconds(tree.pagefile.metrics) - before
+
+        tree = DiskSuffixTree(dna_alphabet(), buffer_pages=16)
+        tree.extend(text)
+        tree.finalize()
+        creation = cold_cost(tree)
+        tree.relayout_bfs()
+        bfs = cold_cost(tree)
+        assert bfs < creation
+        tree.close()

@@ -1,0 +1,96 @@
+"""Persistent (record-serialized) suffix tree tests."""
+
+import random
+
+import pytest
+
+from repro.alphabet import Alphabet, dna_alphabet
+from repro.disk.st_store import PersistentSuffixTree
+from repro.exceptions import SearchError, StorageError
+from repro.sequences import generate_dna
+from tests.conftest import all_substrings, brute_occurrences
+
+
+class TestInMemoryPages:
+    def test_contains_and_find_all(self):
+        text = "banana"
+        tree = PersistentSuffixTree.from_text(text)
+        for sub in all_substrings(text):
+            assert tree.contains(sub)
+        assert not tree.contains("nan" + "ab")
+        assert tree.find_all("ana") == brute_occurrences(text, "ana")
+        assert tree.find_all("na") == [2, 4]
+        tree.close()
+
+    def test_randomized(self):
+        rng = random.Random(101)
+        for _ in range(25):
+            syms = "abcd"[:rng.choice([2, 3, 4])]
+            text = "".join(rng.choice(syms)
+                           for _ in range(rng.randint(1, 120)))
+            tree = PersistentSuffixTree.from_text(
+                text, alphabet=Alphabet(syms), page_size=256,
+                buffer_pages=4)
+            for _ in range(10):
+                ln = rng.randint(1, min(8, len(text)))
+                i = rng.randint(0, len(text) - ln)
+                pattern = text[i:i + ln]
+                assert tree.find_all(pattern) == brute_occurrences(
+                    text, pattern), (text, pattern)
+            tree.close()
+
+    def test_dna_scale(self):
+        text = generate_dna(4000, seed=111)
+        tree = PersistentSuffixTree.from_text(text,
+                                              alphabet=dna_alphabet())
+        for start in (0, 777, 2222, 3970):
+            pattern = text[start:start + 15]
+            assert tree.find_all(pattern) == brute_occurrences(
+                text, pattern)
+        assert len(tree) == len(text)
+        tree.close()
+
+    def test_empty_pattern_rejected(self):
+        tree = PersistentSuffixTree.from_text("abc")
+        with pytest.raises(SearchError):
+            tree.find_all("")
+        tree.close()
+
+
+class TestPersistence:
+    def test_reopen_roundtrip(self, tmp_path):
+        path = str(tmp_path / "tree.stdk")
+        text = generate_dna(2500, seed=112)
+        built = PersistentSuffixTree.from_text(
+            text, path=path, alphabet=dna_alphabet())
+        probe = text[900:918]
+        expect = built.find_all(probe)
+        built.close()
+        reopened = PersistentSuffixTree.open(path)
+        assert reopened.find_all(probe) == expect
+        assert reopened.count(probe) == len(expect)
+        assert len(reopened) == len(text)
+        assert reopened.alphabet.symbols == "ACGT"
+        reopened.close()
+
+    def test_open_missing(self, tmp_path):
+        with pytest.raises(StorageError):
+            PersistentSuffixTree.open(str(tmp_path / "none.stdk"))
+
+    def test_open_junk(self, tmp_path):
+        path = tmp_path / "junk.stdk"
+        path.write_bytes(b"\x00" * 8192)
+        with pytest.raises(StorageError):
+            PersistentSuffixTree.open(str(path))
+
+    def test_queries_count_io(self, tmp_path):
+        path = str(tmp_path / "io.stdk")
+        text = generate_dna(3000, seed=113)
+        tree = PersistentSuffixTree.from_text(
+            text, path=path, alphabet=dna_alphabet(), buffer_pages=4)
+        tree.close()
+        reopened = PersistentSuffixTree.open(path, buffer_pages=4)
+        before = reopened.io_snapshot()["reads"]
+        reopened.find_all(text[1500:1512])
+        assert reopened.io_snapshot()["reads"] > before
+        reopened.close()

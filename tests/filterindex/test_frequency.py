@@ -1,0 +1,171 @@
+"""Frequency-filter index: completeness and selectivity."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import Alphabet, dna_alphabet
+from repro.exceptions import ConstructionError, SearchError
+from repro.filterindex import FrequencyFilterIndex
+from repro.sequences import generate_dna
+from tests.conftest import brute_occurrences
+
+
+class TestExactness:
+    @pytest.mark.parametrize("window,k", [(8, 2), (16, 3), (1024, 2)])
+    def test_find_all_equals_brute_force(self, window, k):
+        text = generate_dna(2000, seed=33)
+        index = FrequencyFilterIndex(text, window=window, k=k,
+                                     alphabet=dna_alphabet())
+        for start in (0, 311, 999, 1980):
+            for length in (3, 8, 25, 60):
+                pattern = text[start:start + length]
+                if not pattern:
+                    continue
+                assert index.find_all(pattern) == brute_occurrences(
+                    text, pattern), (window, k, start, length)
+
+    def test_absent_patterns(self):
+        text = "ACGT" * 200
+        index = FrequencyFilterIndex(text, window=64, k=2,
+                                     alphabet=dna_alphabet())
+        assert index.find_all("GGGG") == []
+        assert not index.contains("TTTT")
+
+    def test_pattern_shorter_than_k(self):
+        text = "ACGTACGT"
+        index = FrequencyFilterIndex(text, window=4, k=3,
+                                     alphabet=dna_alphabet())
+        assert index.find_all("A") == [0, 4]
+
+    def test_pattern_longer_than_text(self):
+        index = FrequencyFilterIndex("ACGT", window=4, k=2,
+                                     alphabet=dna_alphabet())
+        assert index.find_all("ACGTACGT") == []
+
+    def test_pattern_spanning_window_boundary(self):
+        text = "A" * 60 + "CGTGCA" + "A" * 60
+        index = FrequencyFilterIndex(text, window=32, k=2,
+                                     alphabet=dna_alphabet())
+        # The payload straddles the 64-boundary region.
+        assert index.find_all("CGTGCA") == [60]
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.text(alphabet="ab", min_size=1, max_size=120), st.data())
+def test_no_false_negatives_property(text, data):
+    index = FrequencyFilterIndex(text, window=8, k=2,
+                                 alphabet=Alphabet("ab"))
+    start = data.draw(st.integers(0, max(0, len(text) - 1)))
+    length = data.draw(st.integers(1, 10))
+    pattern = text[start:start + length]
+    if pattern:
+        assert start in index.find_all(pattern)
+
+
+class TestSelectivity:
+    def test_filter_discards_regions(self):
+        # GC-rich payload inside an AT-rich background: the filter must
+        # discard most spans for a GC-rich probe.
+        rng = random.Random(1)
+        background = "".join(rng.choice("AT") for _ in range(20_000))
+        payload = "GCGGCCGCGGTACC"
+        text = background[:10_000] + payload + background[10_000:]
+        index = FrequencyFilterIndex(text, window=256, k=2,
+                                     alphabet=dna_alphabet())
+        assert index.find_all(payload) == [10_000]
+        assert index.filter_ratio() < 0.1
+
+    def test_ratio_one_before_queries(self):
+        index = FrequencyFilterIndex("ACGT", window=4, k=2,
+                                     alphabet=dna_alphabet())
+        assert index.filter_ratio() == 1.0
+
+
+class TestSpace:
+    def test_far_smaller_than_full_indexes(self):
+        text = generate_dna(30_000, seed=34)
+        index = FrequencyFilterIndex(text, window=1024, k=2,
+                                     alphabet=dna_alphabet())
+        bpc = index.measured_bytes()["bytes_per_char"]
+        # "a very small approximate index" — far below SPINE's ~12.
+        assert bpc < 2.0
+
+
+class TestValidation:
+    def test_bad_window(self):
+        with pytest.raises(ConstructionError):
+            FrequencyFilterIndex("ACGT", window=1)
+
+    def test_bad_k(self):
+        with pytest.raises(ConstructionError):
+            FrequencyFilterIndex("ACGT", k=0)
+
+    def test_empty_pattern(self):
+        index = FrequencyFilterIndex("ACGT", window=4, k=2,
+                                     alphabet=dna_alphabet())
+        with pytest.raises(SearchError):
+            index.find_all("")
+
+    def test_empty_text(self):
+        index = FrequencyFilterIndex("", window=4, k=2,
+                                     alphabet=dna_alphabet())
+        assert index.find_all("AC") == []
+
+
+class TestMultiResolution:
+    def _index(self, text):
+        from repro.filterindex import MultiResolutionFilterIndex
+
+        return MultiResolutionFilterIndex(text, windows=(16, 64, 256),
+                                          k=2, alphabet=dna_alphabet())
+
+    def test_exactness_across_pattern_lengths(self):
+        text = generate_dna(3000, seed=35)
+        index = self._index(text)
+        for start, length in ((10, 4), (500, 20), (1200, 100),
+                              (2000, 400)):
+            pattern = text[start:start + length]
+            assert index.find_all(pattern) == brute_occurrences(
+                text, pattern), (start, length)
+
+    def test_routes_to_finest_covering_level(self):
+        text = generate_dna(2000, seed=36)
+        index = self._index(text)
+        assert index._route("ACGT").window == 16
+        assert index._route("A" * 40).window == 64
+        assert index._route("A" * 100).window == 256
+        assert index._route("A" * 1000).window == 256
+
+    def test_space_sums_levels(self):
+        text = generate_dna(5000, seed=37)
+        index = self._index(text)
+        parts = sum(level.measured_bytes()["total"]
+                    for level in index.levels)
+        assert index.measured_bytes()["total"] == parts
+
+    def test_requires_a_resolution(self):
+        from repro.filterindex import MultiResolutionFilterIndex
+
+        with pytest.raises(ConstructionError):
+            MultiResolutionFilterIndex("ACGT", windows=())
+
+    def test_fine_level_more_selective_for_short_patterns(self):
+        import random as _random
+
+        rng = _random.Random(4)
+        background = "".join(rng.choice("AT") for _ in range(8000))
+        payload = "GCGGCCGC"
+        text = background[:4000] + payload + background[4000:]
+        fine = FrequencyFilterIndex(text, window=64, k=2,
+                                    alphabet=dna_alphabet())
+        coarse = FrequencyFilterIndex(text, window=2048, k=2,
+                                      alphabet=dna_alphabet())
+        assert fine.find_all(payload) == coarse.find_all(payload) \
+            == [4000]
+        fine_spans = sum(hi - lo for lo, hi in
+                         fine.candidate_spans(payload))
+        coarse_spans = sum(hi - lo for lo, hi in
+                           coarse.candidate_spans(payload))
+        assert fine_spans < coarse_spans

@@ -1,0 +1,112 @@
+"""Named pseudo-genome corpus tests."""
+
+import pytest
+
+from repro.exceptions import CorpusError
+from repro.sequences import (
+    CORPUS_PROFILES, corpus_names, corpus_spec, load_corpus_sequence)
+
+
+class TestSpecs:
+    def test_all_paper_sequences_present(self):
+        for name in ("ECO", "CEL", "HC21", "HC19",
+                     "ECO-R", "YEAST-R", "DROS-R"):
+            assert name in CORPUS_PROFILES
+
+    def test_length_ratios_match_paper(self):
+        # Paper lengths 3.5 : 15.5 : 28.5 : 57.5 Mbp.
+        eco = corpus_spec("ECO").length_at(1000)
+        cel = corpus_spec("CEL").length_at(1000)
+        hc19 = corpus_spec("HC19").length_at(1000)
+        assert cel / eco == pytest.approx(15.5 / 3.5, rel=0.01)
+        assert hc19 / eco == pytest.approx(57.5 / 3.5, rel=0.01)
+
+    def test_kind_filter(self):
+        assert set(corpus_names("dna")) == {"ECO", "CEL", "HC21", "HC19"}
+        assert set(corpus_names("protein")) == {"ECO-R", "YEAST-R",
+                                                "DROS-R"}
+
+    def test_unknown_name(self):
+        with pytest.raises(CorpusError):
+            corpus_spec("HUMAN")
+        with pytest.raises(CorpusError):
+            load_corpus_sequence("HUMAN")
+
+    def test_invalid_scale(self):
+        with pytest.raises(CorpusError):
+            load_corpus_sequence("ECO", scale=0)
+
+
+class TestMaterialization:
+    def test_dna_alphabet(self):
+        text = load_corpus_sequence("ECO", scale=300)
+        assert set(text) <= set("ACGT")
+        assert len(text) == corpus_spec("ECO").length_at(300)
+
+    def test_protein_alphabet(self):
+        text = load_corpus_sequence("ECO-R", scale=300)
+        assert set(text) <= set("ACDEFGHIKLMNPQRSTVWY")
+
+    def test_deterministic_and_cached(self):
+        a = load_corpus_sequence("CEL", scale=200)
+        b = load_corpus_sequence("CEL", scale=200)
+        assert a is b  # memoized
+        assert a == load_corpus_sequence("CEL", scale=200)
+
+    def test_different_genomes_differ(self):
+        assert load_corpus_sequence("ECO", scale=200) != \
+            load_corpus_sequence("CEL", scale=200)[:len(
+                load_corpus_sequence("ECO", scale=200))]
+
+    def test_human_more_repetitive_than_bacterial(self):
+        # The repeat_fraction recipe must show up in k-mer diversity.
+        eco = load_corpus_sequence("ECO", scale=2000)
+        hc21 = load_corpus_sequence("HC21", scale=2000)[:len(eco)]
+        eco_kmers = {eco[i:i + 16] for i in range(len(eco) - 16)}
+        hc_kmers = {hc21[i:i + 16] for i in range(len(hc21) - 16)}
+        assert len(hc_kmers) < len(eco_kmers)
+
+
+class TestRealDataHook:
+    def test_env_directory_overrides_synthetic(self, tmp_path,
+                                               monkeypatch):
+        from repro.sequences import write_fasta
+        from repro.sequences.corpus import _CACHE
+
+        real = "ACGTNNNNACGTACGTacgt" * 50  # Ns and case to clean
+        write_fasta(tmp_path / "ECO.fa", [("real ecoli", real)])
+        monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path))
+        _CACHE.clear()
+        try:
+            loaded = load_corpus_sequence("ECO", scale=100)
+            assert "N" not in loaded
+            assert set(loaded) <= set("ACGT")
+            assert len(loaded) == corpus_spec("ECO").length_at(100)
+            assert loaded.startswith("ACGTACGTACGT")
+        finally:
+            _CACHE.clear()
+
+    def test_missing_file_falls_back_to_synthetic(self, tmp_path,
+                                                  monkeypatch):
+        from repro.sequences.corpus import _CACHE
+
+        monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path))
+        _CACHE.clear()
+        try:
+            synthetic = load_corpus_sequence("CEL", scale=100)
+            assert len(synthetic) == corpus_spec("CEL").length_at(100)
+        finally:
+            _CACHE.clear()
+
+    def test_unusable_real_file_rejected(self, tmp_path, monkeypatch):
+        from repro.sequences import write_fasta
+        from repro.sequences.corpus import _CACHE
+
+        write_fasta(tmp_path / "HC21.fa", [("junk", "NNNNNNNN")])
+        monkeypatch.setenv("REPRO_CORPUS_DIR", str(tmp_path))
+        _CACHE.clear()
+        try:
+            with pytest.raises(CorpusError):
+                load_corpus_sequence("HC21", scale=100)
+        finally:
+            _CACHE.clear()

@@ -1,0 +1,52 @@
+"""FASTA I/O tests."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.sequences import read_fasta, write_fasta
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "x.fa"
+    records = [("seq1 description", "ACGT" * 30), ("seq2", "TTTT")]
+    write_fasta(path, records, line_width=50)
+    assert read_fasta(path) == records
+
+
+def test_wrapping_respected(tmp_path):
+    path = tmp_path / "x.fa"
+    write_fasta(path, [("s", "A" * 100)], line_width=10)
+    lines = path.read_text().splitlines()
+    assert lines[0] == ">s"
+    assert all(len(line) <= 10 for line in lines[1:])
+    assert "".join(lines[1:]) == "A" * 100
+
+
+def test_blank_lines_ignored(tmp_path):
+    path = tmp_path / "x.fa"
+    path.write_text(">a\n\nACGT\n\nACGT\n>b\nTT\n")
+    assert read_fasta(path) == [("a", "ACGTACGT"), ("b", "TT")]
+
+
+def test_data_before_header_rejected(tmp_path):
+    path = tmp_path / "bad.fa"
+    path.write_text("ACGT\n>late\nACGT\n")
+    with pytest.raises(ReproError):
+        read_fasta(path)
+
+
+def test_invalid_line_width(tmp_path):
+    with pytest.raises(ReproError):
+        write_fasta(tmp_path / "x.fa", [("s", "ACGT")], line_width=0)
+
+
+def test_empty_file(tmp_path):
+    path = tmp_path / "empty.fa"
+    path.write_text("")
+    assert read_fasta(path) == []
+
+
+def test_header_whitespace_stripped(tmp_path):
+    path = tmp_path / "x.fa"
+    path.write_text(">  padded  \nAC\n")
+    assert read_fasta(path) == [("padded", "AC")]

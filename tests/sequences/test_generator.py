@@ -1,0 +1,92 @@
+"""Synthetic sequence generation tests."""
+
+import numpy as np
+import pytest
+
+from repro.alphabet import dna_alphabet, protein_alphabet
+from repro.exceptions import ReproError
+from repro.sequences import (
+    MarkovSequenceGenerator, RepeatPlanter, SequenceProfile,
+    generate_dna, generate_protein, uniform_random)
+
+
+class TestUniformRandom:
+    def test_length_and_alphabet(self):
+        text = uniform_random(500, dna_alphabet(), seed=1)
+        assert len(text) == 500
+        assert set(text) <= set("ACGT")
+
+    def test_deterministic(self):
+        alpha = dna_alphabet()
+        assert uniform_random(200, alpha, seed=9) == \
+            uniform_random(200, alpha, seed=9)
+
+    def test_negative_length(self):
+        with pytest.raises(ReproError):
+            uniform_random(-1, dna_alphabet())
+
+
+class TestMarkov:
+    def test_generates_requested_length(self):
+        gen = MarkovSequenceGenerator(dna_alphabet(), order=2, seed=3)
+        assert len(gen.generate(300)) == 300
+
+    def test_order_zero_allowed(self):
+        gen = MarkovSequenceGenerator(dna_alphabet(), order=0, seed=3)
+        assert len(gen.generate(100)) == 100
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ReproError):
+            MarkovSequenceGenerator(dna_alphabet(), order=-1)
+
+    def test_codes_in_range(self):
+        gen = MarkovSequenceGenerator(protein_alphabet(), order=1, seed=5)
+        codes = gen.generate_codes(400)
+        assert codes.min() >= 0
+        assert codes.max() < 20
+
+    def test_composition_is_biased_not_uniform(self):
+        # Dirichlet-sampled transitions should deviate from uniform.
+        gen = MarkovSequenceGenerator(dna_alphabet(), order=0,
+                                      concentration=0.5, seed=11)
+        codes = gen.generate_codes(4000)
+        counts = np.bincount(codes, minlength=4) / 4000
+        assert abs(counts - 0.25).max() > 0.03
+
+
+class TestRepeatPlanter:
+    def test_repeats_actually_recur(self):
+        text = generate_dna(8000, seed=4, repeat_fraction=0.5)
+        # A heavily repetitive string has far fewer distinct 20-mers
+        # than a uniform one of the same length.
+        kmers = {text[i:i + 20] for i in range(len(text) - 20)}
+        uniform = uniform_random(8000, dna_alphabet(), seed=4)
+        uniform_kmers = {uniform[i:i + 20]
+                         for i in range(len(uniform) - 20)}
+        assert len(kmers) < len(uniform_kmers)
+
+    def test_exact_target_length(self):
+        for n in (1, 17, 1000, 4097):
+            assert len(generate_dna(n, seed=2)) == n
+
+    def test_invalid_fraction(self):
+        planter = RepeatPlanter(repeat_fraction=1.5)
+        with pytest.raises(ReproError):
+            planter.plant(np.zeros(10, dtype=np.int64), 10, 4,
+                          np.random.default_rng(0))
+
+    def test_extreme_fraction_still_fills(self):
+        profile = SequenceProfile(length=3000, repeat_fraction=0.9)
+        text = profile.realize(dna_alphabet(), seed=1)
+        assert len(text) == 3000
+
+
+class TestConvenience:
+    def test_generate_protein(self):
+        text = generate_protein(600, seed=6)
+        assert len(text) == 600
+        assert set(text) <= set("ACDEFGHIKLMNPQRSTVWY")
+
+    def test_deterministic_per_seed(self):
+        assert generate_dna(400, seed=8) == generate_dna(400, seed=8)
+        assert generate_dna(400, seed=8) != generate_dna(400, seed=9)

@@ -1,0 +1,96 @@
+"""Sequence-evolution helper tests."""
+
+import pytest
+
+from repro.exceptions import ReproError
+from repro.sequences import (
+    derive_sequence, generate_dna, indel_mutate, point_mutate, rearrange)
+
+
+class TestPointMutate:
+    def test_rate_zero_is_identity(self):
+        text = generate_dna(500, seed=1)
+        assert point_mutate(text, 0.0, seed=2) == text
+
+    def test_rate_one_changes_everything(self):
+        from repro.alphabet import dna_alphabet
+
+        text = "A" * 200
+        mutated = point_mutate(text, 1.0, seed=3,
+                               alphabet=dna_alphabet())
+        assert len(mutated) == 200
+        assert "A" not in mutated
+
+    def test_unary_alphabet_cannot_mutate(self):
+        # Inferred alphabet of "AAAA" has no alternative symbols; the
+        # text must come back unchanged rather than erroring.
+        assert point_mutate("A" * 50, 1.0, seed=3) == "A" * 50
+
+    def test_approximate_rate(self):
+        text = generate_dna(10_000, seed=4)
+        mutated = point_mutate(text, 0.1, seed=5)
+        diffs = sum(1 for a, b in zip(text, mutated) if a != b)
+        assert 0.06 < diffs / len(text) < 0.14
+
+    def test_deterministic(self):
+        text = generate_dna(300, seed=6)
+        assert point_mutate(text, 0.2, seed=7) == \
+            point_mutate(text, 0.2, seed=7)
+
+    def test_invalid_rate(self):
+        with pytest.raises(ReproError):
+            point_mutate("ACGT", 1.5)
+
+    def test_empty(self):
+        assert point_mutate("", 0.5) == ""
+
+
+class TestIndelMutate:
+    def test_changes_length(self):
+        text = generate_dna(5_000, seed=8)
+        mutated = indel_mutate(text, 0.02, seed=9)
+        assert mutated != text
+        assert abs(len(mutated) - len(text)) < len(text) // 4
+
+    def test_rate_zero_identity(self):
+        text = generate_dna(400, seed=10)
+        assert indel_mutate(text, 0.0, seed=11) == text
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            indel_mutate("ACGT", -0.1)
+        with pytest.raises(ReproError):
+            indel_mutate("ACGT", 0.1, max_indel=0)
+
+
+class TestRearrange:
+    def test_preserves_multiset(self):
+        text = generate_dna(4_000, seed=12)
+        moved = rearrange(text, 200, seed=13, swaps=2)
+        assert sorted(moved) == sorted(text)
+        assert moved != text
+
+    def test_short_text_untouched(self):
+        assert rearrange("ACGT", 100, seed=1) == "ACGT"
+
+    def test_validation(self):
+        with pytest.raises(ReproError):
+            rearrange("ACGT" * 100, 0)
+        with pytest.raises(ReproError):
+            rearrange("ACGT" * 100, 10, swaps=-1)
+
+
+class TestDeriveSequence:
+    def test_descendant_is_alignable(self):
+        from repro.align import align_anchors
+        from repro.align.mum import coverage
+
+        ancestor = generate_dna(8_000, seed=14)
+        derived = derive_sequence(ancestor, seed=15, snp_rate=0.02)
+        chain = align_anchors(ancestor, derived, min_length=20)
+        assert coverage(chain, len(derived)) > 0.3
+
+    def test_deterministic(self):
+        ancestor = generate_dna(1_000, seed=16)
+        assert derive_sequence(ancestor, seed=17) == \
+            derive_sequence(ancestor, seed=17)

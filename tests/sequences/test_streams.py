@@ -1,0 +1,121 @@
+"""Streaming FASTA + streaming index construction tests."""
+
+import pytest
+
+from repro.alphabet import dna_alphabet
+from repro.core import GeneralizedSpineIndex, SpineIndex
+from repro.exceptions import ReproError
+from repro.sequences import generate_dna, write_fasta
+from repro.sequences.streams import (
+    iter_fasta, stream_build, stream_build_generalized)
+
+
+@pytest.fixture
+def fasta(tmp_path):
+    path = tmp_path / "multi.fa"
+    records = [("one", generate_dna(3000, seed=121)),
+               ("two", generate_dna(1500, seed=122)),
+               ("three", "ACGT" * 10)]
+    write_fasta(path, records, line_width=60)
+    return str(path), records
+
+
+class TestIterFasta:
+    def test_headers_and_content(self, fasta):
+        path, records = fasta
+        seen = [(header, "".join(chunks))
+                for header, chunks in iter_fasta(path, chunk_size=512)]
+        assert seen == records
+
+    def test_small_chunks(self, fasta):
+        path, records = fasta
+        for header, chunks in iter_fasta(path, chunk_size=7):
+            pieces = list(chunks)
+            assert all(len(p) <= 60 + 7 for p in pieces)
+            assert "".join(pieces) == dict(records)[header]
+            break
+
+    def test_skipping_records_without_consuming(self, fasta):
+        path, records = fasta
+        headers = [header for header, _ in iter_fasta(path)]
+        assert headers == ["one", "two", "three"]
+
+    def test_bad_chunk_size(self, fasta):
+        path, _ = fasta
+        with pytest.raises(ReproError):
+            list(iter_fasta(path, chunk_size=0))
+
+    def test_data_before_header(self, tmp_path):
+        path = tmp_path / "bad.fa"
+        path.write_text("ACGT\n>late\nAC\n")
+        with pytest.raises(ReproError):
+            list(iter_fasta(str(path)))
+
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "empty.fa"
+        path.write_text("")
+        assert list(iter_fasta(str(path))) == []
+
+
+class TestStreamBuild:
+    def test_equals_batch_build(self, fasta):
+        path, records = fasta
+        streamed = stream_build(
+            path, SpineIndex(alphabet=dna_alphabet()), record=0,
+            chunk_size=333)
+        batch = SpineIndex(records[0][1], alphabet=dna_alphabet())
+        assert streamed.structurally_equal(batch)
+
+    def test_record_selection(self, fasta):
+        path, records = fasta
+        streamed = stream_build(
+            path, SpineIndex(alphabet=dna_alphabet()), record=2)
+        assert streamed.text == records[2][1]
+
+    def test_progress_callback(self, fasta):
+        path, records = fasta
+        ticks = []
+        stream_build(path, SpineIndex(alphabet=dna_alphabet()),
+                     record=0, chunk_size=500, progress=ticks.append)
+        assert ticks[-1] == len(records[0][1])
+        assert ticks == sorted(ticks)
+
+    def test_missing_record(self, fasta):
+        path, _ = fasta
+        with pytest.raises(ReproError):
+            stream_build(path, SpineIndex(alphabet=dna_alphabet()),
+                         record=9)
+
+    def test_streaming_disk_build(self, fasta, tmp_path):
+        from repro.disk import DiskSpineIndex
+
+        path, records = fasta
+        disk = DiskSpineIndex(alphabet=dna_alphabet(), buffer_pages=8)
+        stream_build(path, disk, record=1, chunk_size=400)
+        mem = SpineIndex(records[1][1], alphabet=dna_alphabet())
+        for i in range(1, len(mem) + 1, 37):
+            assert disk.link(i) == mem.link(i)
+        disk.close()
+
+
+class TestStreamBuildGeneralized:
+    def test_all_records_ingested(self, fasta):
+        path, records = fasta
+        gidx = GeneralizedSpineIndex(dna_alphabet())
+        sids = stream_build_generalized(path, gidx, chunk_size=256)
+        assert sids == [0, 1, 2]
+        assert gidx.string_count == 3
+        for sid, (header, text) in enumerate(records):
+            assert gidx.string_name(sid) == header
+            assert gidx.string_length(sid) == len(text)
+            probe = text[10:26]
+            assert (sid, 10) in gidx.find_all(probe)
+
+    def test_equals_batch_generalized(self, fasta):
+        path, records = fasta
+        streamed = GeneralizedSpineIndex(dna_alphabet())
+        stream_build_generalized(path, streamed, chunk_size=100)
+        batch = GeneralizedSpineIndex(dna_alphabet())
+        for header, text in records:
+            batch.add_string(text, name=header)
+        assert streamed.index.structurally_equal(batch.index)

@@ -1,0 +1,55 @@
+"""Disk cost model tests."""
+
+import pytest
+
+from repro.storage import DiskModel, IOMetrics
+
+
+def test_transfer_time_positive():
+    model = DiskModel()
+    assert 0 < model.transfer_ms < model.seek_ms
+
+
+def test_sequential_cheaper_than_random():
+    model = DiskModel()
+    seq = IOMetrics()
+    rnd = IOMetrics()
+    for i in range(100):
+        seq.record_read(i)          # purely sequential
+        rnd.record_read((i * 37) % 100 + (0 if i % 2 else 50))
+    assert model.cost_seconds(seq) < model.cost_seconds(rnd)
+
+
+def test_sync_writes_charged_positioning():
+    model = DiskModel()
+    plain = IOMetrics()
+    synced = IOMetrics()
+    for i in range(50):
+        plain.record_write(i, sync=False)
+        synced.record_write(i, sync=True)
+    assert model.cost_seconds(synced) > model.cost_seconds(plain) * 5
+
+
+def test_zero_metrics_zero_cost():
+    assert DiskModel().cost_seconds(IOMetrics()) == 0.0
+
+
+def test_cost_scales_with_volume():
+    model = DiskModel()
+    small = IOMetrics()
+    large = IOMetrics()
+    for i in range(10):
+        small.record_read(i * 5)
+    for i in range(100):
+        large.record_read(i * 5)
+    assert model.cost_seconds(large) == pytest.approx(
+        10 * model.cost_seconds(small), rel=0.05)
+
+
+def test_custom_hardware():
+    slow = DiskModel(seek_ms=20.0, transfer_mb_per_s=10.0)
+    fast = DiskModel(seek_ms=1.0, transfer_mb_per_s=200.0)
+    metrics = IOMetrics()
+    for i in range(20):
+        metrics.record_read(i * 3)
+    assert slow.cost_seconds(metrics) > fast.cost_seconds(metrics)

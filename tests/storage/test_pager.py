@@ -1,0 +1,93 @@
+"""PageFile tests (memory- and file-backed)."""
+
+import pytest
+
+from repro.exceptions import StorageError
+from repro.storage import PageFile
+
+
+class TestMemoryBacked:
+    def test_allocate_read_write(self):
+        pf = PageFile(page_size=128)
+        pid = pf.allocate_page()
+        assert pid == 0
+        data = bytearray(128)
+        data[:4] = b"abcd"
+        pf.write_page(pid, data)
+        assert pf.read_page(pid)[:4] == bytearray(b"abcd")
+
+    def test_fresh_page_reads_zero(self):
+        pf = PageFile(page_size=64)
+        pid = pf.allocate_page()
+        assert pf.read_page(pid) == bytearray(64)
+
+    def test_out_of_range(self):
+        pf = PageFile(page_size=64)
+        with pytest.raises(StorageError):
+            pf.read_page(0)
+        pf.allocate_page()
+        with pytest.raises(StorageError):
+            pf.read_page(1)
+        with pytest.raises(StorageError):
+            pf.write_page(-1, bytearray(64))
+
+    def test_wrong_size_write(self):
+        pf = PageFile(page_size=64)
+        pid = pf.allocate_page()
+        with pytest.raises(StorageError):
+            pf.write_page(pid, bytearray(10))
+
+    def test_invalid_page_size(self):
+        with pytest.raises(StorageError):
+            PageFile(page_size=0)
+
+    def test_closed_rejects_ops(self):
+        pf = PageFile(page_size=64)
+        pf.allocate_page()
+        pf.close()
+        with pytest.raises(StorageError):
+            pf.read_page(0)
+
+
+class TestFileBacked:
+    def test_roundtrip(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with PageFile(path=path, page_size=256) as pf:
+            a = pf.allocate_page()
+            b = pf.allocate_page()
+            buf = bytearray(256)
+            buf[0] = 7
+            pf.write_page(b, buf)
+            assert pf.read_page(b)[0] == 7
+            assert pf.read_page(a) == bytearray(256)
+
+    def test_sync_writes_counted(self, tmp_path):
+        path = str(tmp_path / "pages.bin")
+        with PageFile(path=path, page_size=128, sync_writes=True) as pf:
+            pid = pf.allocate_page()
+            pf.write_page(pid, bytearray(128))
+            assert pf.metrics.sync_writes == 1
+
+
+class TestMetrics:
+    def test_sequential_vs_random(self):
+        pf = PageFile(page_size=64)
+        for _ in range(4):
+            pf.allocate_page()
+        pf.read_page(0)
+        pf.read_page(1)   # sequential
+        pf.read_page(3)   # random
+        pf.read_page(2)   # random
+        m = pf.metrics
+        assert m.reads == 4
+        assert m.sequential_reads == 1
+        assert m.random_reads == 3
+
+    def test_snapshot_and_reset(self):
+        pf = PageFile(page_size=64)
+        pf.allocate_page()
+        pf.read_page(0)
+        snap = pf.metrics.snapshot()
+        assert snap["reads"] == 1
+        pf.metrics.reset()
+        assert pf.metrics.reads == 0

@@ -1,0 +1,159 @@
+"""Document store tests (CRUD, masking, compaction, persistence)."""
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.exceptions import SearchError, StorageError
+from repro.sequences import generate_dna
+from repro.store import DocumentStore
+
+
+@pytest.fixture
+def store():
+    s = DocumentStore()
+    s.add("alpha", "ACGTACGT")
+    s.add("beta", "TTACGGAC")
+    s.add("gamma", generate_dna(500, seed=201))
+    return s
+
+
+class TestCrud:
+    def test_add_and_get(self, store):
+        assert store.get("alpha") == "ACGTACGT"
+        assert len(store) == 3
+        assert store.names() == ["alpha", "beta", "gamma"]
+
+    def test_duplicate_name_rejected(self, store):
+        with pytest.raises(StorageError):
+            store.add("alpha", "CCCC")
+
+    def test_delete_masks(self, store):
+        assert ("alpha", 0) in store.search("ACGT")
+        store.delete("alpha")
+        assert all(name != "alpha" for name, _ in store.search("ACGT"))
+        assert "alpha" not in store.names()
+        assert len(store) == 2
+        with pytest.raises(SearchError):
+            store.get("alpha")
+
+    def test_delete_unknown(self, store):
+        with pytest.raises(SearchError):
+            store.delete("nope")
+
+    def test_readd_after_delete(self, store):
+        store.delete("alpha")
+        store.add("alpha", "GGGGG")
+        assert store.get("alpha") == "GGGGG"
+        hits = store.search("GGG")
+        assert ("alpha", 0) in hits and ("alpha", 1) in hits
+        # Old alpha content must stay masked.
+        assert ("alpha", 4) not in store.search("ACGT")
+
+
+class TestQueries:
+    def test_search_attribution(self, store):
+        hits = store.search("ACG")
+        assert ("alpha", 0) in hits
+        assert ("alpha", 4) in hits
+        assert ("beta", 2) in hits
+
+    def test_contains(self, store):
+        assert store.contains("TTAC")
+        assert not store.contains("AAAAAAAAAAAAAAAA") or \
+            "AAAAAAAAAAAAAAAA" in store.get("gamma")
+
+    def test_match_ranking(self, store):
+        gamma = store.get("gamma")
+        query = gamma[100:220]
+        totals = store.match(query, min_length=20)
+        assert next(iter(totals)) == "gamma"
+        assert totals["gamma"] >= 100
+
+    def test_match_skips_deleted(self, store):
+        gamma = store.get("gamma")
+        store.delete("gamma")
+        totals = store.match(gamma[100:220], min_length=20)
+        assert "gamma" not in totals
+
+
+class TestCompaction:
+    def test_dead_fraction_and_compact(self, store):
+        assert store.dead_fraction == 0.0
+        store.delete("gamma")
+        assert store.dead_fraction > 0.9
+        reclaimed = store.compact()
+        assert reclaimed == 500
+        assert store.dead_fraction == 0.0
+        assert store.names() == ["alpha", "beta"]
+        assert ("alpha", 0) in store.search("ACGT")
+
+    def test_compact_preserves_queries(self, store):
+        before = sorted(store.search("AC"))
+        store.delete("beta")
+        expected = [hit for hit in before if hit[0] != "beta"]
+        store.compact()
+        assert sorted(store.search("AC")) == expected
+
+
+class TestPersistence:
+    def test_save_open_roundtrip(self, store, tmp_path):
+        store.delete("beta")
+        path = tmp_path / "store.spine"
+        store.save(path)
+        loaded = DocumentStore.open(path)
+        assert loaded.names() == store.names()
+        assert sorted(loaded.search("ACGT")) == \
+            sorted(store.search("ACGT"))
+        assert loaded.get("gamma") == store.get("gamma")
+        # Tombstones persisted.
+        with pytest.raises(SearchError):
+            loaded.get("beta")
+
+    def test_open_requires_sidecar(self, store, tmp_path):
+        from repro.core.serialize import save_generalized
+
+        path = tmp_path / "bare.spine"
+        save_generalized(store._gindex, path)
+        with pytest.raises(StorageError):
+            DocumentStore.open(path)
+
+    def test_loaded_store_accepts_new_documents(self, store, tmp_path):
+        path = tmp_path / "grow.spine"
+        store.save(path)
+        loaded = DocumentStore.open(path)
+        loaded.add("delta", "CCCCAAAA")
+        assert ("delta", 0) in loaded.search("CCCC")
+
+
+class TestCustomAlphabet:
+    def test_text_documents(self):
+        store = DocumentStore(alphabet=Alphabet(
+            "abcdefghijklmnopqrstuvwxyz "))
+        store.add("doc1", "the quick brown fox")
+        store.add("doc2", "the lazy dog naps quickly")
+        assert sorted(store.search("quick")) == [("doc1", 4),
+                                                 ("doc2", 18)]
+        assert store.match("quick fox", min_length=3)
+
+
+class TestEdgeCases:
+    def test_empty_store(self):
+        store = DocumentStore()
+        assert len(store) == 0
+        assert store.names() == []
+        assert store.search("ACGT") == []
+        assert store.dead_fraction == 0.0
+        assert store.compact() == 0
+
+    def test_compact_empty_after_deleting_everything(self, store):
+        for name in list(store.names()):
+            store.delete(name)
+        reclaimed = store.compact()
+        assert reclaimed > 0
+        assert len(store) == 0
+        store.add("fresh", "ACGT")
+        assert store.search("ACGT") == [("fresh", 0)]
+
+    def test_match_empty_store(self):
+        store = DocumentStore()
+        assert store.match("ACGTACGT") == {}

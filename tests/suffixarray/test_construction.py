@@ -1,0 +1,70 @@
+"""Suffix array construction and LCP tests."""
+
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import Alphabet
+from repro.exceptions import ConstructionError
+from repro.suffixarray import build_suffix_array, kasai_lcp, \
+    naive_suffix_array
+
+
+def codes_of(text, symbols):
+    return Alphabet(symbols).encode(text)
+
+
+class TestDoubling:
+    @pytest.mark.parametrize("text", ["banana", "mississippi", "aaaa",
+                                      "abcd", "a", "abab" * 10])
+    def test_matches_naive(self, text):
+        symbols = "".join(sorted(set(text)))
+        sa = build_suffix_array(codes_of(text, symbols))
+        assert list(sa) == naive_suffix_array(text)
+
+    def test_empty(self):
+        assert len(build_suffix_array([])) == 0
+
+    def test_negative_codes_rejected(self):
+        with pytest.raises(ConstructionError):
+            build_suffix_array([1, -2, 3])
+
+    def test_random_cross_validation(self):
+        rng = random.Random(3)
+        for _ in range(80):
+            syms = "abcd"[:rng.choice([2, 3, 4])]
+            text = "".join(rng.choice(syms)
+                           for _ in range(rng.randint(1, 80)))
+            sa = build_suffix_array(codes_of(text, syms))
+            assert list(sa) == naive_suffix_array(text), text
+
+
+@settings(max_examples=80, deadline=None)
+@given(st.text(alphabet="abc", min_size=0, max_size=60))
+def test_doubling_property(text):
+    sa = build_suffix_array(codes_of(text, "abc"))
+    assert list(sa) == naive_suffix_array(text)
+
+
+class TestKasai:
+    def test_lcp_values(self):
+        text = "banana"
+        codes = codes_of(text, "abn")
+        sa = build_suffix_array(codes)
+        lcp = kasai_lcp(codes, sa)
+        for k in range(1, len(text)):
+            a, b = text[sa[k]:], text[sa[k - 1]:]
+            expect = 0
+            while expect < min(len(a), len(b)) and a[expect] == b[expect]:
+                expect += 1
+            assert lcp[k] == expect
+
+    def test_lcp_zero_at_origin(self):
+        codes = codes_of("abab", "ab")
+        lcp = kasai_lcp(codes, build_suffix_array(codes))
+        assert lcp[0] == 0
+
+    def test_empty(self):
+        assert len(kasai_lcp([], np.empty(0, dtype=np.int64))) == 0

@@ -1,0 +1,65 @@
+"""SuffixArrayIndex query tests."""
+
+import pytest
+
+from repro.alphabet import dna_alphabet
+from repro.exceptions import SearchError
+from repro.sequences import generate_dna
+from repro.suffixarray import SuffixArrayIndex
+from tests.conftest import all_substrings, brute_occurrences
+
+
+@pytest.fixture(scope="module")
+def index():
+    return SuffixArrayIndex("mississippi")
+
+
+class TestQueries:
+    def test_contains_all_substrings(self, index):
+        for sub in all_substrings("mississippi"):
+            assert index.contains(sub)
+
+    def test_contains_rejects_non_substrings(self, index):
+        for word in ("imp", "ssm", "pps", "mississippii"):
+            assert not index.contains(word)
+
+    def test_contains_empty(self, index):
+        assert index.contains("")
+
+    @pytest.mark.parametrize("pattern", ["s", "ss", "issi", "i", "p"])
+    def test_find_all(self, index, pattern):
+        assert index.find_all(pattern) == brute_occurrences(
+            "mississippi", pattern)
+
+    def test_find_all_absent(self, index):
+        # 'imp' uses only alphabet characters but never occurs.
+        assert index.find_all("imp") == []
+
+    def test_count(self, index):
+        assert index.count("ss") == 2
+        assert index.count("i") == 4
+
+    def test_empty_pattern_errors(self, index):
+        with pytest.raises(SearchError):
+            index.find_all("")
+        with pytest.raises(SearchError):
+            index.count("")
+
+    def test_pattern_longer_than_text(self, index):
+        assert not index.contains("mississippimississippi")
+
+
+class TestDnaScale:
+    def test_agreement_with_brute_force(self):
+        text = generate_dna(3000, seed=51)
+        index = SuffixArrayIndex(text, alphabet=dna_alphabet())
+        for start in (0, 513, 1999, 2960):
+            pattern = text[start:start + 14]
+            assert index.find_all(pattern) == brute_occurrences(
+                text, pattern)
+
+    def test_space_model_is_paper_6_bytes(self):
+        index = SuffixArrayIndex("ACGT" * 100, alphabet=dna_alphabet())
+        model = index.measured_bytes()
+        assert model["bytes_per_char"] == 6.0
+        assert model["total"] == 400 * 6

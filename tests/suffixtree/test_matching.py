@@ -1,0 +1,98 @@
+"""Suffix-tree matching statistics vs oracles and vs SPINE."""
+
+import random
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.core import SpineIndex, maximal_matches, matching_statistics
+from repro.core.matching import brute_force_matching_statistics
+from repro.exceptions import SearchError
+from repro.suffixtree import (
+    SuffixTree, st_matching_statistics, st_maximal_matches)
+
+S1 = "acaccgacgatacgagattacgagacgagaatacaacag"
+S2 = "catagagagacgattacgagaaaacgggaaagacgatcc"
+
+
+class TestMatchingStatistics:
+    def test_paper_pair(self):
+        tree = SuffixTree(S1)
+        assert st_matching_statistics(tree, S2).lengths == \
+            brute_force_matching_statistics(S1, S2)
+
+    def test_random_cross_validation(self):
+        rng = random.Random(7)
+        for _ in range(60):
+            syms = "abcd"[:rng.choice([2, 3, 4])]
+            text = "".join(rng.choice(syms) for _ in range(rng.randint(
+                1, 70)))
+            query = "".join(rng.choice(syms) for _ in range(rng.randint(
+                1, 50)))
+            alpha = Alphabet(syms)
+            tree = SuffixTree(text, alphabet=alpha)
+            st = st_matching_statistics(tree, query)
+            assert st.lengths == brute_force_matching_statistics(
+                text, query), (text, query)
+
+    def test_checks_exceed_spine_checks(self):
+        # Section 4.1's claim, on a pair with real repeat structure.
+        from repro.sequences import generate_dna
+
+        data = generate_dna(4000, seed=31)
+        query = generate_dna(1500, seed=32)
+        tree = SuffixTree(data)
+        index = SpineIndex(data)
+        st = st_matching_statistics(tree, query)
+        sp = matching_statistics(index, query)
+        assert st.lengths == sp.lengths
+        # Mismatch-path suffix checks (see table6).
+        assert st.checks - len(query) > sp.checks - len(query)
+
+    def test_suffix_link_hops_counted(self):
+        tree = SuffixTree(S1)
+        result = st_matching_statistics(tree, S2)
+        assert result.suffix_link_hops > 0
+
+
+class TestMaximalMatches:
+    def test_agrees_with_spine_on_paper_pair(self):
+        tree = SuffixTree(S1).finalize()
+        index = SpineIndex(S1)
+        st_m, _ = st_maximal_matches(tree, S2, min_length=6)
+        sp_m, _ = maximal_matches(index, S2, min_length=6)
+        key = lambda m: (m.query_start, m.length, m.data_starts)
+        assert sorted(map(key, st_m)) == sorted(map(key, sp_m))
+
+    def test_random_agreement_with_spine(self):
+        rng = random.Random(17)
+        for _ in range(40):
+            syms = "ab"
+            text = "".join(rng.choice(syms) for _ in range(rng.randint(
+                4, 60)))
+            query = "".join(rng.choice(syms) for _ in range(rng.randint(
+                4, 40)))
+            alpha = Alphabet(syms)
+            tree = SuffixTree(text, alphabet=alpha).finalize()
+            index = SpineIndex(text, alphabet=alpha)
+            st_m, _ = st_maximal_matches(tree, query, min_length=2)
+            sp_m, _ = maximal_matches(index, query, min_length=2)
+            key = lambda m: (m.query_start, m.length, m.data_starts)
+            assert sorted(map(key, st_m)) == sorted(map(key, sp_m)), (
+                text, query)
+
+    def test_positions_need_finalized_tree(self):
+        tree = SuffixTree(S1)
+        with pytest.raises(SearchError):
+            st_maximal_matches(tree, S2, min_length=6)
+
+    def test_without_positions_on_unfinalized(self):
+        tree = SuffixTree(S1)
+        matches, _ = st_maximal_matches(tree, S2, min_length=6,
+                                        with_positions=False)
+        assert matches
+
+    def test_min_length_validated(self):
+        tree = SuffixTree(S1).finalize()
+        with pytest.raises(SearchError):
+            st_maximal_matches(tree, S2, min_length=0)

@@ -1,0 +1,40 @@
+"""Suffix-tree space model tests."""
+
+import pytest
+
+from repro.suffixtree import (
+    SUFFIX_TREE_BYTES_PER_CHAR, SuffixTree, st_space_model)
+from repro.sequences import generate_dna
+
+
+def test_paper_constants():
+    assert SUFFIX_TREE_BYTES_PER_CHAR["standard"] == 17.0
+    assert SUFFIX_TREE_BYTES_PER_CHAR["kurtz"] == 12.5
+    assert SUFFIX_TREE_BYTES_PER_CHAR["lazy"] == 8.5
+
+
+def test_model_matches_standard_constant_on_dna():
+    tree = SuffixTree(generate_dna(20000, seed=41)).finalize()
+    model = st_space_model(tree)
+    # The measured model should land near the paper's 17 B/char.
+    assert model["bytes_per_char"] == pytest.approx(17.0, abs=2.5)
+
+
+def test_breakdown_sums():
+    tree = SuffixTree("mississippi").finalize()
+    model = st_space_model(tree)
+    assert model["internal_bytes"] + model["leaf_bytes"] == model["total"]
+    assert model["internal_nodes"] + model["leaf_nodes"] \
+        == tree.node_count
+
+
+def test_spine_smaller_than_st():
+    from repro.core import SpineIndex
+    from repro.core.packed import PackedSpineIndex
+
+    text = generate_dna(20000, seed=42)
+    st_bpc = st_space_model(SuffixTree(text).finalize())["bytes_per_char"]
+    spine_bpc = PackedSpineIndex.from_index(
+        SpineIndex(text)).measured_bytes()["bytes_per_char"]
+    # Section 6.1: SPINE about 30 % smaller.
+    assert spine_bpc < st_bpc * 0.8

@@ -1,0 +1,102 @@
+"""Suffix tree construction and query tests."""
+
+import pytest
+
+from repro.alphabet import Alphabet, dna_alphabet
+from repro.exceptions import ConstructionError, SearchError
+from repro.suffixtree import SuffixTree
+from tests.conftest import all_substrings, brute_occurrences
+
+
+class TestContains:
+    @pytest.mark.parametrize("text", ["banana", "mississippi",
+                                      "aaccacaaca", "abcabxabcd",
+                                      "aaaaa", "ab"])
+    def test_all_substrings_and_frontier(self, text):
+        tree = SuffixTree(text)
+        subs = all_substrings(text)
+        for sub in subs:
+            assert tree.contains(sub), sub
+        for stem in subs | {""}:
+            for ch in sorted(set(text)):
+                word = stem + ch
+                if word not in subs:
+                    assert not tree.contains(word), word
+
+    def test_empty_pattern(self):
+        assert SuffixTree("abc").contains("")
+
+
+class TestFindAll:
+    @pytest.mark.parametrize("pattern", ["a", "an", "ana", "banana",
+                                         "na"])
+    def test_occurrences(self, pattern):
+        tree = SuffixTree("banana").finalize()
+        assert tree.find_all(pattern) == brute_occurrences("banana",
+                                                           pattern)
+
+    def test_requires_finalize(self):
+        tree = SuffixTree("banana")
+        with pytest.raises(SearchError):
+            tree.find_all("an")
+
+    def test_empty_pattern_rejected(self):
+        tree = SuffixTree("banana").finalize()
+        with pytest.raises(SearchError):
+            tree.find_all("")
+
+    def test_count(self):
+        tree = SuffixTree("aaaa").finalize()
+        assert tree.count("aa") == 3
+
+
+class TestOnline:
+    def test_extend_in_pieces(self):
+        text = "ACGTACGGTTACGA"
+        tree = SuffixTree(alphabet=dna_alphabet())
+        tree.extend(text[:4])
+        tree.extend(text[4:])
+        for sub in all_substrings(text, max_len=6):
+            assert tree.contains(sub)
+
+    def test_cannot_extend_after_finalize(self):
+        tree = SuffixTree("abc").finalize()
+        with pytest.raises(ConstructionError):
+            tree.extend("d")
+
+    def test_finalize_idempotent(self):
+        tree = SuffixTree("abab").finalize().finalize()
+        assert len(tree) == 4
+
+
+class TestStructure:
+    def test_node_count_linear(self):
+        text = "abcabxabcd" * 10
+        tree = SuffixTree(text).finalize()
+        # At most 2n internal+leaf nodes plus root slack.
+        assert tree.node_count <= 2 * (len(text) + 1) + 1
+
+    def test_leaf_count_after_finalize(self):
+        tree = SuffixTree("banana").finalize()
+        # Every suffix (incl. the sentinel-only one) ends at a leaf.
+        assert tree.leaf_count() == len("banana") + 1
+
+    def test_internal_plus_leaves(self):
+        tree = SuffixTree("mississippi").finalize()
+        assert tree.internal_node_count() + tree.leaf_count() \
+            == tree.node_count
+
+    def test_iter_nodes_covers_all(self):
+        tree = SuffixTree("abcab")
+        assert sum(1 for _ in tree.iter_nodes()) == tree.node_count
+
+
+class TestAccessHook:
+    def test_touch_called_with_write_flag(self):
+        events = []
+        tree = SuffixTree(alphabet=Alphabet("ab"),
+                          track_accesses=lambda s, w: events.append((s, w)))
+        tree.extend("abaab")
+        assert events
+        assert any(w for _, w in events)       # creations
+        assert any(not w for _, w in events)   # lookups

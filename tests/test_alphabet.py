@@ -1,0 +1,111 @@
+"""Tests for repro.alphabet."""
+
+import pytest
+
+from repro.alphabet import (
+    SEPARATOR_CHAR, Alphabet, alphabet_for, binary_alphabet,
+    dna_alphabet, protein_alphabet)
+from repro.exceptions import AlphabetError
+
+
+class TestConstruction:
+    def test_symbols_in_code_order(self):
+        alpha = Alphabet("xyz")
+        assert alpha.encode("zyx") == [2, 1, 0]
+
+    def test_duplicate_symbols_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("abca")
+
+    def test_empty_rejected(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("")
+
+    def test_size_and_len(self):
+        alpha = Alphabet("ACGT")
+        assert alpha.size == 4
+        assert len(alpha) == 4
+
+
+class TestCoding:
+    def test_roundtrip(self):
+        alpha = Alphabet("abc")
+        text = "abcabccba"
+        assert alpha.decode(alpha.encode(text)) == text
+
+    def test_encode_unknown_char(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ab").encode("abz")
+
+    def test_encode_char(self):
+        assert Alphabet("ab").encode_char("b") == 1
+
+    def test_encode_char_unknown(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ab").encode_char("q")
+
+    def test_decode_out_of_range(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ab").decode([5])
+
+    def test_case_insensitive(self):
+        alpha = Alphabet("ACGT", case_insensitive=True)
+        assert alpha.encode("acgt") == [0, 1, 2, 3]
+        assert "g" in alpha
+
+    def test_contains(self):
+        alpha = Alphabet("ab")
+        assert "a" in alpha
+        assert "z" not in alpha
+
+
+class TestBitsPerSymbol:
+    def test_dna_two_bits(self):
+        assert dna_alphabet().bits_per_symbol == 2
+
+    def test_protein_five_bits(self):
+        assert protein_alphabet().bits_per_symbol == 5
+
+    def test_binary_one_bit(self):
+        assert binary_alphabet().bits_per_symbol == 1
+
+    def test_single_symbol(self):
+        assert Alphabet("a").bits_per_symbol == 1
+
+
+class TestSeparator:
+    def test_with_separator_adds_code(self):
+        alpha = dna_alphabet().with_separator()
+        assert alpha.separator_code == 4
+        assert alpha.total_size == 5
+        assert alpha.size == 4  # separator excluded from size
+
+    def test_with_separator_idempotent(self):
+        alpha = dna_alphabet().with_separator()
+        assert alpha.with_separator() is alpha
+
+    def test_separator_conflict(self):
+        with pytest.raises(AlphabetError):
+            Alphabet("ab" + SEPARATOR_CHAR).with_separator()
+
+    def test_bits_account_for_separator(self):
+        # 4 symbols -> 2 bits; +separator -> 5 symbols -> 3 bits.
+        assert dna_alphabet().with_separator().bits_per_symbol == 3
+
+
+class TestHelpers:
+    def test_alphabet_for(self):
+        alpha = alphabet_for("banana")
+        assert alpha.symbols == "abn"
+
+    def test_alphabet_for_empty(self):
+        with pytest.raises(AlphabetError):
+            alphabet_for("")
+
+    def test_equality_and_hash(self):
+        assert Alphabet("ab") == Alphabet("ab")
+        assert Alphabet("ab") != Alphabet("abc")
+        assert hash(Alphabet("ab")) == hash(Alphabet("ab"))
+
+    def test_protein_has_20_residues(self):
+        assert protein_alphabet().size == 20

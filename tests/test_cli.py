@@ -1,0 +1,135 @@
+"""CLI tests (direct main() invocation with temp files)."""
+
+import pytest
+
+from repro.cli import main
+from repro.sequences import read_fasta, write_fasta
+
+
+@pytest.fixture
+def fasta(tmp_path):
+    path = tmp_path / "seq.fa"
+    write_fasta(path, [("demo", "ACGTACGGTTACGACGT" * 10)])
+    return str(path)
+
+
+@pytest.fixture
+def index_file(tmp_path, fasta):
+    out = str(tmp_path / "demo.spine")
+    assert main(["build", fasta, "-o", out]) == 0
+    return out
+
+
+class TestCorpus:
+    def test_corpus_writes_fasta(self, tmp_path, capsys):
+        out = str(tmp_path / "eco.fa")
+        assert main(["corpus", "ECO", "--scale", "300", "-o", out]) == 0
+        records = read_fasta(out)
+        assert len(records) == 1
+        assert len(records[0][1]) == 1050
+
+    def test_corpus_unknown_name(self, tmp_path, capsys):
+        out = str(tmp_path / "x.fa")
+        assert main(["corpus", "NOPE", "-o", out]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestBuildSearch:
+    def test_search_first(self, index_file, capsys):
+        assert main(["search", index_file, "GGTTACG"]) == 0
+        assert capsys.readouterr().out.strip() == "6"
+
+    def test_search_all(self, index_file, capsys):
+        assert main(["search", index_file, "ACGTACG", "--all"]) == 0
+        out = capsys.readouterr().out
+        assert "occurrence" in out
+
+    def test_search_missing(self, index_file, capsys):
+        assert main(["search", index_file, "AAAAAAAAAA"]) == 1
+        assert "not found" in capsys.readouterr().out
+
+    def test_build_empty_fasta(self, tmp_path, capsys):
+        empty = tmp_path / "empty.fa"
+        empty.write_text("")
+        assert main(["build", str(empty), "-o",
+                     str(tmp_path / "x.spine")]) == 2
+
+
+class TestMatchStatsVerify:
+    def test_match(self, index_file, tmp_path, capsys):
+        query = tmp_path / "q.fa"
+        write_fasta(query, [("q", "TTACGACGTACGTAC")])
+        assert main(["match", index_file, str(query),
+                     "--min-length", "8"]) == 0
+        out = capsys.readouterr().out
+        assert "maximal match" in out
+
+    def test_stats(self, index_file, capsys):
+        assert main(["stats", index_file]) == 0
+        out = capsys.readouterr().out
+        assert "bytes/char" in out
+        assert "length:" in out
+
+    def test_verify(self, index_file, capsys):
+        assert main(["verify", index_file, "--deep"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_verify_corrupted(self, index_file, capsys, tmp_path):
+        data = bytearray(open(index_file, "rb").read())
+        data[-2] ^= 0xFF
+        bad = tmp_path / "bad.spine"
+        bad.write_bytes(bytes(data))
+        assert main(["verify", str(bad)]) == 2
+
+
+class TestApproxRepeatsDot:
+    def test_approx(self, index_file, capsys):
+        # One substitution away from an indexed substring.
+        assert main(["approx", index_file, "ACGTACGATT", "-k", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "end position" in out
+
+    def test_approx_no_hits(self, index_file, capsys):
+        assert main(["approx", index_file, "GGGGGGGGGGGG",
+                     "-k", "0"]) == 1
+
+    def test_repeats(self, index_file, capsys):
+        assert main(["repeats", index_file,
+                     "--thresholds", "5", "10"]) == 0
+        out = capsys.readouterr().out
+        assert "longest repeat:" in out
+        assert "coverage" in out
+
+    def test_dot(self, tmp_path, capsys):
+        from repro.core import SpineIndex
+        from repro.core.serialize import save_index
+
+        path = str(tmp_path / "small.spine")
+        save_index(SpineIndex("aaccacaaca"), path)
+        assert main(["dot", path]) == 0
+        assert "digraph" in capsys.readouterr().out
+        assert main(["dot", path, "--text"]) == 0
+        assert "node   0" in capsys.readouterr().out
+
+
+class TestGeneralizedCli:
+    def test_build_and_search_collection(self, tmp_path, capsys):
+        multi = tmp_path / "multi.fa"
+        write_fasta(multi, [("recA", "ACGTACGTAA"),
+                            ("recB", "TTTTGGGACGT")])
+        out = str(tmp_path / "multi.spine")
+        assert main(["build", str(multi), "-o", out,
+                     "--generalized"]) == 0
+        assert "2 records" in capsys.readouterr().out
+        assert main(["search", out, "ACGT", "--generalized"]) == 0
+        text = capsys.readouterr().out
+        assert "recA\t0" in text
+        assert "recB\t7" in text
+
+    def test_generalized_search_miss(self, tmp_path, capsys):
+        multi = tmp_path / "m.fa"
+        write_fasta(multi, [("r", "ACGT")])
+        out = str(tmp_path / "m.spine")
+        assert main(["build", str(multi), "-o", out,
+                     "--generalized"]) == 0
+        assert main(["search", out, "GGGG", "--generalized"]) == 1

@@ -1,0 +1,121 @@
+"""Cross-structure fuzzing: every index family must agree with brute
+force — and therefore with each other — on identical inputs.
+
+This is the repository's broadest safety net: one randomized stream of
+(text, pattern) cases driven through SPINE (reference, packed, disk),
+the suffix tree, the suffix array, the DAWG, the frequency filter and
+the trie oracle simultaneously.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.alphabet import Alphabet
+from repro.automaton import SuffixAutomaton
+from repro.core import SpineIndex
+from repro.core.packed import PackedSpineIndex
+from repro.disk import DiskSpineIndex
+from repro.filterindex import FrequencyFilterIndex
+from repro.suffixarray import SuffixArrayIndex
+from repro.suffixtree import SuffixTree
+from repro.trie import SuffixTrie
+from tests.conftest import brute_occurrences
+
+
+def build_all(text, symbols):
+    alpha = Alphabet(symbols)
+    spine = SpineIndex(text, alphabet=alpha)
+    disk = DiskSpineIndex(alphabet=alpha, buffer_pages=4, page_size=256)
+    disk.extend(text)
+    return {
+        "spine": spine,
+        "packed": PackedSpineIndex.from_index(spine),
+        "disk": disk,
+        "suffix_tree": SuffixTree(text, alphabet=alpha).finalize(),
+        "suffix_array": SuffixArrayIndex(text, alphabet=alpha),
+        "filter": FrequencyFilterIndex(text, window=16, k=2,
+                                       alphabet=alpha),
+        "trie": SuffixTrie(text),
+    }
+
+
+FIND_ALL = {
+    "spine": lambda s, p: s.find_all(p),
+    "packed": lambda s, p: s.find_all(p),
+    "disk": lambda s, p: s.find_all(p),
+    "suffix_tree": lambda s, p: s.find_all(p),
+    "suffix_array": lambda s, p: s.find_all(p),
+    "filter": lambda s, p: s.find_all(p),
+    "trie": lambda s, p: s.occurrences(p),
+}
+
+
+class TestRandomizedAgreement:
+    def test_find_all_agreement(self):
+        rng = random.Random(0xBEEF)
+        for _ in range(30):
+            symbols = "abcd"[:rng.choice([2, 3, 4])]
+            text = "".join(rng.choice(symbols)
+                           for _ in range(rng.randint(4, 120)))
+            structures = build_all(text, symbols)
+            for _ in range(12):
+                length = rng.randint(1, min(10, len(text)))
+                if rng.random() < 0.7:
+                    start = rng.randint(0, len(text) - length)
+                    pattern = text[start:start + length]
+                else:
+                    pattern = "".join(rng.choice(symbols)
+                                      for _ in range(length))
+                expect = brute_occurrences(text, pattern)
+                for name, getter in FIND_ALL.items():
+                    got = sorted(getter(structures[name], pattern))
+                    assert got == expect, (name, text, pattern)
+                # DAWG only answers containment.
+                dawg = SuffixAutomaton(text, alphabet=Alphabet(symbols))
+                assert dawg.contains(pattern) == bool(expect)
+            structures["disk"].close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="ab", min_size=1, max_size=60), st.data())
+def test_disk_spine_property(text, data):
+    """Disk SPINE under hypothesis: tiny pages, tiny buffer."""
+    alpha = Alphabet("ab")
+    mem = SpineIndex(text, alphabet=alpha)
+    disk = DiskSpineIndex(alphabet=alpha, buffer_pages=2, page_size=128)
+    disk.extend(text)
+    try:
+        for i in range(1, len(text) + 1):
+            assert disk.link(i) == mem.link(i)
+        pattern = data.draw(st.text(alphabet="ab", min_size=1,
+                                    max_size=6))
+        assert disk.find_all(pattern) == mem.find_all(pattern)
+    finally:
+        disk.close()
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="abc", min_size=0, max_size=50))
+def test_all_structures_substring_sets_agree(text):
+    """The complete substring language must be identical everywhere."""
+    if not text:
+        return
+    symbols = "abc"
+    structures = build_all(text, symbols)
+    trie_subs = structures["trie"].substrings()
+    probes = set(list(trie_subs)[:40])
+    # A few guaranteed non-substrings from the frontier.
+    for sub in list(probes)[:10]:
+        for ch in symbols:
+            if sub + ch not in trie_subs:
+                probes.add(sub + ch)
+    for probe in probes:
+        expected = probe in trie_subs
+        assert structures["spine"].contains(probe) == expected
+        assert structures["packed"].contains(probe) == expected
+        assert structures["disk"].contains(probe) == expected
+        assert structures["suffix_tree"].contains(probe) == expected
+        assert structures["suffix_array"].contains(probe) == expected
+    structures["disk"].close()

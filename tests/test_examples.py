@@ -1,0 +1,38 @@
+"""The fast example scripts must run end to end (smoke tests).
+
+The slower examples (disk_index, genome_alignment) are exercised by
+their underlying library tests; the quick ones run here verbatim so
+documentation and code cannot drift apart.
+"""
+
+import runpy
+import sys
+
+
+def _run(path, capsys):
+    old_argv = sys.argv
+    sys.argv = [path]
+    try:
+        runpy.run_path(path, run_name="__main__")
+    finally:
+        sys.argv = old_argv
+    return capsys.readouterr().out
+
+
+def test_quickstart(capsys):
+    out = _run("examples/quickstart.py", capsys)
+    assert "deep verification: OK" in out
+    assert "[1, 4, 7]" in out
+    assert "bytes/char" in out
+
+
+def test_multi_sequence_search(capsys):
+    out = _run("examples/multi_sequence_search.py", capsys)
+    assert "plasmid-B" in out
+    assert "new member id 4" in out
+
+
+def test_streaming_search(capsys):
+    out = _run("examples/streaming_search.py", capsys)
+    assert "Find-as-you-type" in out
+    assert "maximal match event(s)" in out

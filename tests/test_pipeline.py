@@ -1,0 +1,72 @@
+"""End-to-end pipeline: CLI workflow + library round trip on one file.
+
+The closest thing to a user's first session: generate a corpus file,
+index it, search, match a related query, analyse repeats, visualize —
+all through the public surfaces, all artifacts on disk.
+"""
+
+import pytest
+
+from repro.cli import main
+from repro.sequences import (
+    derive_sequence, read_fasta, write_fasta)
+
+
+@pytest.fixture
+def workspace(tmp_path):
+    return tmp_path
+
+
+def test_full_cli_pipeline(workspace, capsys):
+    corpus = str(workspace / "genome.fa")
+    assert main(["corpus", "CEL", "--scale", "600", "-o", corpus]) == 0
+    genome = read_fasta(corpus)[0][1]
+
+    index_file = str(workspace / "genome.spine")
+    assert main(["build", corpus, "-o", index_file]) == 0
+
+    # Exact search round trip.
+    probe = genome[4_000:4_024]
+    assert main(["search", index_file, probe, "--all"]) == 0
+    out = capsys.readouterr().out
+    assert "4000" in out
+
+    # Stream a diverged relative against it.
+    related = derive_sequence(genome[2_000:5_000], seed=1,
+                              snp_rate=0.05)
+    query = str(workspace / "query.fa")
+    write_fasta(query, [("relative", related)])
+    assert main(["match", index_file, query, "--min-length", "14"]) == 0
+    out = capsys.readouterr().out
+    assert "maximal match(es)" in out
+
+    # Approximate search for a mutated probe.
+    mutated = probe[:10] + ("A" if probe[10] != "A" else "C") \
+        + probe[11:]
+    assert main(["approx", index_file, mutated, "-k", "1"]) == 0
+
+    # Analyses and integrity.
+    assert main(["repeats", index_file]) == 0
+    assert main(["stats", index_file]) == 0
+    assert main(["verify", index_file]) == 0
+    capsys.readouterr()
+
+
+def test_library_round_trip(workspace):
+    """The same pipeline via the Python API, including persistence."""
+    from repro import (
+        SpineIndex, load_index, maximal_matches, save_index)
+    from repro.sequences import load_corpus_sequence
+
+    genome = load_corpus_sequence("ECO", scale=600)
+    index = SpineIndex(genome)
+    path = workspace / "eco.spine"
+    save_index(index, path)
+    loaded = load_index(path)
+    related = derive_sequence(genome[:2_000], seed=2, snp_rate=0.04)
+    fresh_matches, _ = maximal_matches(index, related, min_length=14)
+    loaded_matches, _ = maximal_matches(loaded, related, min_length=14)
+    key = lambda m: (m.query_start, m.length, m.data_starts)
+    assert sorted(map(key, fresh_matches)) == \
+        sorted(map(key, loaded_matches))
+    assert fresh_matches, "expected conserved segments to match"

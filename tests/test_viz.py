@@ -1,0 +1,70 @@
+"""Visualization tests (structure of emitted DOT/text)."""
+
+import pytest
+
+from repro.core import SpineIndex
+from repro.exceptions import SearchError
+from repro.suffixtree import SuffixTree
+from repro.viz import spine_to_dot, spine_to_text, suffix_tree_to_dot
+
+
+@pytest.fixture(scope="module")
+def index():
+    return SpineIndex("aaccacaaca")
+
+
+class TestSpineDot:
+    def test_contains_all_nodes(self, index):
+        dot = spine_to_dot(index)
+        for i in range(11):
+            assert f"n{i} [label=\"{i}\"]" in dot
+
+    def test_edge_counts_match_figure3(self, index):
+        dot = spine_to_dot(index)
+        assert dot.count("penwidth=2") == 10           # vertebras
+        assert dot.count("color=blue") == 4            # ribs
+        assert dot.count("style=dotted") == 2          # extribs
+        assert dot.count("style=dashed") == 10         # links
+
+    def test_paper_labels_present(self, index):
+        dot = spine_to_dot(index)
+        assert 'label="a(1)"' in dot     # rib at node 3, PT 1
+        assert 'label="1(2)"' in dot     # extrib 5->7: PRT 1, PT 2
+        assert 'label="1(3)"' in dot     # extrib 7->10: PRT 1, PT 3
+
+    def test_valid_digraph(self, index):
+        dot = spine_to_dot(index, name="g")
+        assert dot.startswith("digraph g {")
+        assert dot.rstrip().endswith("}")
+
+    def test_size_guard(self):
+        big = SpineIndex("ac" * 2000)
+        with pytest.raises(SearchError):
+            spine_to_dot(big)
+
+
+class TestSpineText:
+    def test_lists_every_node(self, index):
+        text = spine_to_text(index)
+        for i in range(11):
+            assert f"node {i:>3}:" in text
+
+    def test_mentions_paper_edges(self, index):
+        text = spine_to_text(index)
+        assert "rib -a(PT 1)-> 5" in text
+        assert "extrib(PT 2, PRT 1) -> 7" in text
+        assert "link(LEL 2) -> 2" in text
+
+
+class TestSuffixTreeDot:
+    def test_edges_and_links(self):
+        tree = SuffixTree("aaccacaaca")
+        dot = suffix_tree_to_dot(tree)
+        assert dot.startswith("digraph suffixtree {")
+        # One solid edge per non-root node.
+        assert dot.count(" -> ") >= tree.node_count - 1
+        assert "style=dashed" in dot  # suffix links
+
+    def test_sentinel_rendered(self):
+        tree = SuffixTree("ab").finalize()
+        assert "$" in suffix_tree_to_dot(tree)

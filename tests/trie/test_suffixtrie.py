@@ -1,0 +1,71 @@
+"""Suffix trie oracle tests (it must itself be trustworthy)."""
+
+import pytest
+
+from repro.exceptions import ConstructionError
+from repro.trie import SuffixTrie
+from tests.conftest import all_substrings, brute_occurrences
+
+
+class TestQueries:
+    def test_contains(self):
+        trie = SuffixTrie("banana")
+        for sub in all_substrings("banana"):
+            assert trie.contains(sub)
+        assert not trie.contains("nanab")
+        assert not trie.contains("ab")
+        assert trie.contains("")
+
+    def test_occurrences(self):
+        trie = SuffixTrie("banana")
+        assert trie.occurrences("ana") == brute_occurrences("banana",
+                                                            "ana")
+        assert trie.occurrences("na") == [2, 4]
+        assert trie.occurrences("zz") == []
+
+    def test_first_occurrence_end(self):
+        trie = SuffixTrie("abcabc")
+        assert trie.first_occurrence_end("abc") == 3
+        assert trie.first_occurrence_end("bc") == 3
+        assert trie.first_occurrence_end("zz") is None
+
+
+class TestStructure:
+    def test_paper_figure1_string(self):
+        # Figure 1's trie for aaccacaaca; the figure's point is the
+        # duplication horizontal compaction removes.
+        trie = SuffixTrie("aaccacaaca")
+        assert trie.node_count() == len(trie.substrings()) + 1
+        assert trie.substrings() == all_substrings("aaccacaaca")
+
+    def test_node_count_vs_edges(self):
+        trie = SuffixTrie("mississippi")
+        assert trie.edge_count() == trie.node_count() - 1
+
+    def test_unary_nodes_exist_for_compaction(self):
+        trie = SuffixTrie("aaccacaaca")
+        # The suffix tree merges exactly these nodes away.
+        assert trie.unary_node_count() > 0
+
+    def test_empty_string(self):
+        trie = SuffixTrie("")
+        assert trie.node_count() == 1
+        assert trie.substrings() == set()
+
+    def test_max_length_guard(self):
+        with pytest.raises(ConstructionError):
+            SuffixTrie("a" * 100, max_length=50)
+
+
+class TestCompactionComparison:
+    def test_horizontal_beats_vertical_on_node_count(self):
+        from repro.core import SpineIndex
+        from repro.suffixtree import SuffixTree
+
+        text = "aaccacaaca"
+        trie_nodes = SuffixTrie(text).node_count()
+        st_nodes = SuffixTree(text).node_count
+        spine_nodes = SpineIndex(text).node_count
+        # Figure 1 -> Figure 2 -> Figure 3 progression.
+        assert spine_nodes < st_nodes < trie_nodes
+        assert spine_nodes == len(text) + 1
