@@ -1,0 +1,177 @@
+"""Machine-readable performance snapshots (``BENCH_*.json``).
+
+Unlike the pytest-benchmark suites next door, this is a standalone
+script: it runs one standardized workload — metrics-disabled wall-clock
+timings for the hot paths, then an instrumented pass for the
+construction / search / disk / serialize counters — and writes a single
+JSON document every future PR can diff against::
+
+    PYTHONPATH=src python benchmarks/bench_report.py -o benchmarks
+
+produces ``benchmarks/BENCH_<label>.json`` (label defaults to a
+timestamp). The document embeds the :mod:`repro.obs` report shape, so
+``repro profile`` output and bench snapshots are directly comparable.
+
+Scale knobs are deliberately modest (pure-Python construction); raise
+``--scale`` for higher-fidelity runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import sys
+import time
+
+from repro import obs
+from repro.core.index import SpineIndex
+from repro.core.matching import matching_statistics
+from repro.core.serialize import load_index, save_index
+from repro.disk.spine_disk import DiskSpineIndex
+from repro.obs.report import build_report, observe_index
+from repro.sequences import generate_dna
+
+
+def _best_seconds(fn, repeats):
+    """Best-of-N wall-clock seconds for one call of ``fn``."""
+    best = None
+    for _ in range(repeats):
+        started = time.perf_counter()
+        fn()
+        elapsed = time.perf_counter() - started
+        if best is None or elapsed < best:
+            best = elapsed
+    return best
+
+
+def _timed_workload(text, queries, repeats, seed):
+    """Metrics-disabled timings: what the hot paths really cost."""
+    scale = len(text)
+    build_seconds = _best_seconds(lambda: SpineIndex(text), repeats)
+    index = SpineIndex(text)
+    rng = random.Random(seed)
+    plen = 12
+    patterns = [
+        text[start:start + plen]
+        for start in (rng.randrange(0, scale - plen)
+                      for _ in range(queries))
+    ]
+
+    def run_find_all():
+        for pattern in patterns:
+            index.find_all(pattern)
+
+    find_all_seconds = _best_seconds(run_find_all, repeats)
+    query = generate_dna(max(64, scale // 4), seed=seed + 1)
+    match_seconds = _best_seconds(
+        lambda: matching_statistics(index, query), 1)
+    return {
+        "construction": {
+            "chars": scale,
+            "best_seconds": build_seconds,
+            "chars_per_second": scale / build_seconds,
+        },
+        "find_all": {
+            "queries": queries,
+            "pattern_length": plen,
+            "best_seconds": find_all_seconds,
+            "queries_per_second": queries / find_all_seconds,
+        },
+        "matching_statistics": {
+            "query_chars": len(query),
+            "seconds": match_seconds,
+            "chars_per_second": len(query) / match_seconds,
+        },
+    }
+
+
+def _instrumented_pass(text, queries, disk_chars, buffer_pages, seed):
+    """One metrics-enabled run across every instrumented layer."""
+    import tempfile
+
+    rng = random.Random(seed)
+    plen = 12
+    with obs.metrics_enabled() as registry:
+        index = SpineIndex(text)
+        for _ in range(queries):
+            start = rng.randrange(0, len(text) - plen)
+            index.find_all(text[start:start + plen])
+        matching_statistics(index, generate_dna(max(64, len(text) // 8),
+                                                seed=seed + 2))
+        observe_index(registry, index)
+        fd, tmp = tempfile.mkstemp(suffix=".spine")
+        os.close(fd)
+        try:
+            save_index(index, tmp)
+            load_index(tmp)
+        finally:
+            os.unlink(tmp)
+        disk = DiskSpineIndex(alphabet=index.alphabet,
+                              buffer_pages=buffer_pages)
+        disk.extend(text[:disk_chars])
+        for _ in range(queries):
+            start = rng.randrange(0, max(1, disk_chars - plen))
+            disk.contains(text[start:start + plen])
+        disk.io_snapshot()
+        disk.close()
+        snapshot = registry.snapshot()
+    return snapshot
+
+
+def collect_snapshot(scale=20_000, queries=100, repeats=3,
+                     disk_chars=4_000, buffer_pages=32, seed=7,
+                     label=None):
+    """The full BENCH document (workload timings + metrics counters)."""
+    text = generate_dna(scale, seed=seed)
+    workload = _timed_workload(text, queries, repeats, seed)
+    metrics = _instrumented_pass(text, queries,
+                                 min(disk_chars, scale), buffer_pages,
+                                 seed)
+    registry = obs.MetricsRegistry()  # only for the report envelope
+    report = build_report(registry, label=label, context={
+        "scale": scale,
+        "queries": queries,
+        "repeats": repeats,
+        "disk_chars": min(disk_chars, scale),
+        "buffer_pages": buffer_pages,
+        "seed": seed,
+    })
+    report["metrics"] = metrics
+    report["workload"] = workload
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="write a BENCH_<label>.json performance snapshot")
+    parser.add_argument("-o", "--outdir", default=".",
+                        help="directory for the snapshot (default: .)")
+    parser.add_argument("--label",
+                        help="snapshot label (default: timestamp)")
+    parser.add_argument("--scale", type=int, default=20_000,
+                        help="data-string length (default 20000)")
+    parser.add_argument("--queries", type=int, default=100)
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--disk-chars", type=int, default=4_000)
+    parser.add_argument("--buffer-pages", type=int, default=32)
+    parser.add_argument("--seed", type=int, default=7)
+    args = parser.parse_args(argv)
+    label = args.label or time.strftime("%Y%m%d-%H%M%S")
+    report = collect_snapshot(scale=args.scale, queries=args.queries,
+                              repeats=args.repeats,
+                              disk_chars=args.disk_chars,
+                              buffer_pages=args.buffer_pages,
+                              seed=args.seed, label=label)
+    path = os.path.join(args.outdir, f"BENCH_{label}.json")
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    throughput = report["workload"]["construction"]["chars_per_second"]
+    print(f"wrote {path} (construction {throughput:,.0f} chars/s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,8 @@ match     stream a query FASTA against a saved index (Section 4's
           maximal-match operation)
 stats     structural statistics and the space model of a saved index
 verify    check a saved index's invariants
+profile   run an instrumented build/search/disk workload and emit a
+          machine-readable metrics report (JSON)
 ========  =============================================================
 """
 
@@ -183,6 +185,79 @@ def _cmd_stats(args):
     return 0
 
 
+def _cmd_profile(args):
+    """Instrumented end-to-end run: build, persist, query, disk —
+    every layer reporting into one metrics registry (repro.obs)."""
+    import json
+    import os
+    import random
+    import tempfile
+
+    from repro import obs
+    from repro.core.index import SpineIndex
+    from repro.core.matching import matching_statistics
+    from repro.core.serialize import load_index, save_index
+    from repro.disk.spine_disk import DiskSpineIndex
+    from repro.obs.report import build_report, observe_index
+
+    header, text = _load_first_record(args.fasta)
+    rng = random.Random(args.seed)
+    plen = max(1, min(args.pattern_length, len(text)))
+
+    def sample_pattern():
+        start = rng.randrange(0, max(1, len(text) - plen + 1))
+        return text[start:start + plen]
+
+    with obs.metrics_enabled() as registry:
+        index = SpineIndex(text)
+        for _ in range(args.queries):
+            index.find_all(sample_pattern())
+            index.contains(sample_pattern())
+        query = "".join(sample_pattern()
+                        for _ in range(max(1, args.queries // 10)))
+        matching_statistics(index, query)
+        observe_index(registry, index)
+
+        # Persistence round trip (section bytes and timings).
+        fd, tmp = tempfile.mkstemp(suffix=".spine")
+        os.close(fd)
+        try:
+            save_index(index, tmp)
+            load_index(tmp)
+        finally:
+            os.unlink(tmp)
+
+        # Disk layer: page-resident build + queries through the buffer
+        # pool (in memory — identical I/O accounting, no temp file).
+        disk_chars = min(len(text), args.disk_chars)
+        disk = DiskSpineIndex(alphabet=index.alphabet,
+                              buffer_pages=args.buffer_pages)
+        disk.extend(text[:disk_chars])
+        for _ in range(args.queries):
+            pattern = sample_pattern()[:max(1, min(plen, disk_chars))]
+            disk.contains(pattern)
+        disk.io_snapshot()
+        disk.close()
+
+        report = build_report(registry, label=header, context={
+            "fasta": args.fasta,
+            "chars": len(text),
+            "queries": args.queries,
+            "pattern_length": plen,
+            "disk_chars": disk_chars,
+            "buffer_pages": args.buffer_pages,
+            "seed": args.seed,
+        })
+    payload = json.dumps(report, indent=2, sort_keys=True)
+    if args.output:
+        with open(args.output, "w") as handle:
+            handle.write(payload + "\n")
+        print(f"wrote metrics report to {args.output}")
+    else:
+        print(payload)
+    return 0
+
+
 def _cmd_verify(args):
     from repro.core.serialize import load_index
     from repro.core.verify import verify_index
@@ -251,6 +326,23 @@ def build_parser():
     p = sub.add_parser("stats", help="index statistics")
     p.add_argument("index")
     p.set_defaults(func=_cmd_stats)
+
+    p = sub.add_parser(
+        "profile",
+        help="instrumented build/search/disk run; emits a JSON report")
+    p.add_argument("fasta")
+    p.add_argument("-o", "--output",
+                   help="write the JSON report here (default: stdout)")
+    p.add_argument("--queries", type=int, default=50,
+                   help="random point queries per layer (default 50)")
+    p.add_argument("--pattern-length", type=int, default=12)
+    p.add_argument("--disk-chars", type=int, default=20_000,
+                   help="cap on characters fed to the page-resident "
+                        "index (default 20000)")
+    p.add_argument("--buffer-pages", type=int, default=32,
+                   help="disk buffer pool capacity (default 32)")
+    p.add_argument("--seed", type=int, default=0)
+    p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("verify", help="check index invariants")
     p.add_argument("index")

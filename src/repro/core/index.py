@@ -46,10 +46,12 @@ and the sparse rib/extrib maps in dicts keyed by ``node * alphabet_size
 
 from __future__ import annotations
 
+import time
 from array import array
 
-from repro.alphabet import Alphabet, alphabet_for
+from repro.alphabet import alphabet_for, dna_alphabet
 from repro.exceptions import ConstructionError, SearchError
+from repro.obs import get_registry
 
 
 class SpineIndex:
@@ -75,8 +77,10 @@ class SpineIndex:
 
     def __init__(self, text="", alphabet=None, track_stats=False):
         if alphabet is None:
-            alphabet = alphabet_for(text) if text else Alphabet("ACGT",
-                                                                name="dna")
+            # The canonical DNA factory (case-insensitive), so an empty
+            # SpineIndex() and SpineIndex(alphabet=dna_alphabet()) agree
+            # on lowercase input.
+            alphabet = alphabet_for(text) if text else dna_alphabet()
         self.alphabet = alphabet
         self._asize = alphabet.total_size
         # codes[i] = character label of the vertebra into node i (1-based);
@@ -91,9 +95,12 @@ class SpineIndex:
         # strictly ascending (see the deviation note above).
         self._extchains = {}
         self._n = 0
-        self._track_stats = track_stats
+        # An enabled global metrics registry implies effort tracking:
+        # the obs subsystem generalizes the ad-hoc counters below.
+        self._track_stats = track_stats or get_registry().enabled
         #: Construction-effort counters (link-chain hops, rib creations,
-        #: extrib-chain hops); populated when ``track_stats`` is true.
+        #: extrib-chain hops); populated when ``track_stats`` is true or
+        #: metrics are enabled (:mod:`repro.obs`).
         self.construction_counters = {
             "chain_hops": 0, "rib_creations": 0,
             "extrib_hops": 0, "extrib_creations": 0,
@@ -106,11 +113,30 @@ class SpineIndex:
     # ------------------------------------------------------------------
 
     def extend(self, text):
-        """Append ``text`` to the indexed string (online growth)."""
+        """Append ``text`` to the indexed string (online growth).
+
+        When metrics are enabled (:mod:`repro.obs`), each call reports
+        the appended character count, the construction-effort deltas and
+        the elapsed time into the global registry — one bulk publish per
+        call, nothing per character.
+        """
+        registry = get_registry()
+        observing = registry.enabled
+        if observing:
+            before = dict(self.construction_counters)
+            started = time.perf_counter()
         append = self.append_code
         encode = self.alphabet.encode_char
         for ch in text:
             append(encode(ch))
+        if observing:
+            elapsed = time.perf_counter() - started
+            registry.timer("construction.extend.seconds").observe(elapsed)
+            registry.counter("construction.chars").inc(len(text))
+            counters = self.construction_counters
+            for name, value in counters.items():
+                registry.counter(f"construction.{name}").inc(
+                    value - before[name])
 
     def append_char(self, ch):
         """Append a single character."""
@@ -384,6 +410,17 @@ class SpineIndex:
 
         if pattern == "":
             return True
+        registry = get_registry()
+        if registry.enabled:
+            started = time.perf_counter()
+            found = find_first_end(self, self.alphabet.encode(pattern),
+                                   registry) is not None
+            registry.counter("search.queries").inc()
+            if not found:
+                registry.counter("search.misses").inc()
+            registry.timer("search.contains.seconds").observe(
+                time.perf_counter() - started)
+            return found
         return find_first_end(self, self.alphabet.encode(pattern)) is not None
 
     def find_first(self, pattern):

@@ -21,10 +21,12 @@ only takes the link when nothing at the node covers a longer suffix.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 
 from repro.core.search import OccurrenceScanner
 from repro.exceptions import SearchError
+from repro.obs import get_registry
 
 
 @dataclass
@@ -127,6 +129,10 @@ def matching_statistics(index, query):
     Returns a :class:`MatchingResult`; ``lengths[j]`` is the longest
     suffix of ``query[:j+1]`` occurring in the data string.
     """
+    registry = get_registry()
+    observing = registry.enabled
+    if observing:
+        started = time.perf_counter()
     codes = index.alphabet.encode(query)
     result = MatchingResult()
     lengths = result.lengths
@@ -141,6 +147,16 @@ def matching_statistics(index, query):
             cur, length = hit
         lengths.append(length)
         end_nodes.append(cur)
+    if observing:
+        # One bulk publish per streamed query — the per-hop accounting
+        # already lives in the MatchingResult.
+        registry.counter("matching.queries").inc()
+        registry.counter("matching.chars").inc(len(codes))
+        registry.counter("matching.checks").inc(result.checks)
+        registry.counter("matching.link_hops").inc(result.link_hops)
+        registry.histogram("matching.match_length").observe_many(lengths)
+        registry.timer("matching.statistics.seconds").observe(
+            time.perf_counter() - started)
     return result
 
 

@@ -14,21 +14,30 @@ during a matching run in one shared sequential pass;
 
 from __future__ import annotations
 
+import time
+
 from repro.exceptions import SearchError
+from repro.obs import get_registry
 
 
-def find_first_end(index, codes):
+def find_first_end(index, codes, _metrics=None):
     """End node of the first occurrence of ``codes``, or ``None``.
 
     ``codes`` is a sequence of alphabet codes; the empty sequence ends
-    at the root (node 0).
+    at the root (node 0). ``_metrics`` is an enabled registry used by
+    the instrumented query wrappers below; step accounting is one bulk
+    counter update per call, never per character.
     """
     node = 0
     step = index.step
     for pathlength, code in enumerate(codes):
         node = step(node, pathlength, code)
         if node is None:
+            if _metrics is not None:
+                _metrics.counter("search.steps").inc(pathlength + 1)
             return None
+    if _metrics is not None:
+        _metrics.counter("search.steps").inc(len(codes))
     return node
 
 
@@ -38,8 +47,18 @@ def find_first(index, pattern):
     Returns ``None`` when the pattern does not occur. The empty pattern
     trivially occurs at position 0.
     """
+    registry = get_registry()
+    metrics = registry if registry.enabled else None
+    if metrics is not None:
+        started = time.perf_counter()
     codes = index.alphabet.encode(pattern)
-    end = find_first_end(index, codes)
+    end = find_first_end(index, codes, metrics)
+    if metrics is not None:
+        metrics.counter("search.queries").inc()
+        if end is None:
+            metrics.counter("search.misses").inc()
+        metrics.timer("search.find_first.seconds").observe(
+            time.perf_counter() - started)
     if end is None:
         return None
     return end - len(codes)
@@ -56,12 +75,31 @@ def find_all(index, pattern):
     """
     if pattern == "":
         raise SearchError("find_all of the empty pattern is ill-defined")
+    registry = get_registry()
+    metrics = registry if registry.enabled else None
+    if metrics is not None:
+        started = time.perf_counter()
     codes = index.alphabet.encode(pattern)
-    first_end = find_first_end(index, codes)
+    first_end = find_first_end(index, codes, metrics)
     if first_end is None:
+        if metrics is not None:
+            metrics.counter("search.queries").inc()
+            metrics.counter("search.misses").inc()
+            metrics.timer("search.find_all.seconds").observe(
+                time.perf_counter() - started)
         return []
     m = len(codes)
     ends = _scan_occurrences(index, first_end, m)
+    if metrics is not None:
+        metrics.counter("search.queries").inc()
+        metrics.counter("search.occurrences").inc(len(ends))
+        # The downstream scan walks the backbone from the first match's
+        # end to the tail (Section 4's link-scan).
+        metrics.counter("search.scan_nodes").inc(index._n - first_end)
+        metrics.histogram("search.scan_length").observe(
+            index._n - first_end)
+        metrics.timer("search.find_all.seconds").observe(
+            time.perf_counter() - started)
     return [end - m for end in ends]
 
 

@@ -9,30 +9,60 @@ small self-describing container:
 sections for the character labels, link arrays, ribs and extrib chains,
 each with a CRC32 so corruption is detected at load time rather than as
 wrong answers later.
+
+The ``ALPH`` section records the alphabet's *full* identity — symbols,
+separator, name, and the case-insensitive flag — so query semantics
+survive a round trip (a case-insensitive DNA index keeps answering
+lowercase queries after a reload). The identity fields trail the
+symbols, so files written before the extension still load (with the
+historical generic, case-sensitive defaults) and older readers simply
+ignore the tail.
+
+When metrics are enabled (:mod:`repro.obs`), save and load report
+per-section byte counts and timings into the global registry.
 """
 
 from __future__ import annotations
 
 import struct
+import time
 import zlib
 from array import array
 
 from repro.alphabet import Alphabet
 from repro.exceptions import StorageError
+from repro.obs import get_registry
 
 MAGIC = b"SPNE"
 VERSION = 1
 _HEADER = struct.Struct("<4sHHq")  # magic, version, flags, length
 _SECTION = struct.Struct("<4sqI")  # tag, payload bytes, crc32
 
+#: Flag bit of the extended ALPH section: alphabet folds case.
+_ALPH_CASE_INSENSITIVE = 1
 
-def _write_section(handle, tag, payload):
+
+def _write_section(handle, tag, payload, metrics=None):
+    if metrics is not None:
+        started = time.perf_counter()
     handle.write(_SECTION.pack(tag, len(payload),
                                zlib.crc32(payload) & 0xFFFFFFFF))
     handle.write(payload)
+    if metrics is not None:
+        tag_name = tag.decode("ascii").lower()
+        metrics.timer(
+            f"serialize.save.{tag_name}.seconds"
+        ).observe(time.perf_counter() - started)
+        metrics.counter(
+            f"serialize.save.{tag_name}.bytes"
+        ).inc(_SECTION.size + len(payload))
+        metrics.counter("serialize.save.bytes").inc(
+            _SECTION.size + len(payload))
 
 
-def _read_section(handle, expected_tag):
+def _read_section(handle, expected_tag, metrics=None):
+    if metrics is not None:
+        started = time.perf_counter()
     raw = handle.read(_SECTION.size)
     if len(raw) != _SECTION.size:
         raise StorageError("truncated index file (section header)")
@@ -45,37 +75,84 @@ def _read_section(handle, expected_tag):
         raise StorageError("truncated index file (section payload)")
     if zlib.crc32(payload) & 0xFFFFFFFF != crc:
         raise StorageError(f"checksum mismatch in section {tag!r}")
+    if metrics is not None:
+        tag_name = expected_tag.decode("ascii").lower()
+        metrics.timer(
+            f"serialize.load.{tag_name}.seconds"
+        ).observe(time.perf_counter() - started)
+        metrics.counter("serialize.load.bytes").inc(
+            _SECTION.size + size)
     return payload
+
+
+def _alphabet_payload(alpha):
+    """The ALPH section body: separator, symbols, then the identity
+    extension (flags + name) appended in a tail older readers ignore."""
+    sep = alpha.separator_code if alpha.separator_code is not None else -1
+    symbol_bytes = alpha.symbols.encode("utf-8")
+    flags = _ALPH_CASE_INSENSITIVE if alpha.case_insensitive else 0
+    name_bytes = alpha.name.encode("utf-8")
+    return (struct.pack("<hH", sep, len(symbol_bytes)) + symbol_bytes
+            + struct.pack("<BH", flags, len(name_bytes)) + name_bytes)
+
+
+def _alphabet_from_payload(payload):
+    """Rebuild the full alphabet identity from an ALPH section body.
+
+    Files written before the identity extension end right after the
+    symbols; they load with the historical defaults (``name="generic"``,
+    case-sensitive), matching what those files answered when written.
+    """
+    sep, sym_len = struct.unpack_from("<hH", payload)
+    offset = 4
+    symbols = payload[offset:offset + sym_len].decode("utf-8")
+    offset += sym_len
+    name = "generic"
+    case_insensitive = False
+    if len(payload) >= offset + 3:
+        flags, name_len = struct.unpack_from("<BH", payload, offset)
+        offset += 3
+        name = payload[offset:offset + name_len].decode("utf-8")
+        case_insensitive = bool(flags & _ALPH_CASE_INSENSITIVE)
+    alphabet = Alphabet(symbols, name=name,
+                        case_insensitive=case_insensitive)
+    if sep >= 0:
+        alphabet.separator_code = sep
+    return alphabet
 
 
 def save_index(index, path):
     """Serialize a :class:`SpineIndex` to ``path``."""
+    registry = get_registry()
+    metrics = registry if registry.enabled else None
+    if metrics is not None:
+        started = time.perf_counter()
     n = index._n
     with open(path, "wb") as handle:
         handle.write(_HEADER.pack(MAGIC, VERSION, 0, n))
-        alpha = index.alphabet
-        sep = alpha.separator_code if alpha.separator_code is not None \
-            else -1
-        symbol_bytes = alpha.symbols.encode("utf-8")
-        alpha_payload = struct.pack(
-            "<hH", sep, len(symbol_bytes)
-        ) + symbol_bytes
-        _write_section(handle, b"ALPH", alpha_payload)
-        _write_section(handle, b"CLBL", bytes(index._codes))
-        _write_section(handle, b"LDST", index._link_dest.tobytes())
-        _write_section(handle, b"LLEL", index._link_lel.tobytes())
+        _write_section(handle, b"ALPH",
+                       _alphabet_payload(index.alphabet), metrics)
+        _write_section(handle, b"CLBL", bytes(index._codes), metrics)
+        _write_section(handle, b"LDST", index._link_dest.tobytes(),
+                       metrics)
+        _write_section(handle, b"LLEL", index._link_lel.tobytes(),
+                       metrics)
         ribs = sorted(index._ribs.items())
         rib_payload = struct.pack("<q", len(ribs)) + b"".join(
             struct.pack("<qqq", key, dest, pt)
             for key, (dest, pt) in ribs)
-        _write_section(handle, b"RIBS", rib_payload)
+        _write_section(handle, b"RIBS", rib_payload, metrics)
         chains = sorted(index._extchains.items())
         parts = [struct.pack("<q", len(chains))]
         for key, chain in chains:
             parts.append(struct.pack("<qq", key, len(chain)))
             for dest, pt in chain:
                 parts.append(struct.pack("<qq", dest, pt))
-        _write_section(handle, b"EXTC", b"".join(parts))
+        _write_section(handle, b"EXTC", b"".join(parts), metrics)
+    if metrics is not None:
+        metrics.counter("serialize.save.files").inc()
+        metrics.timer("serialize.save.seconds").observe(
+            time.perf_counter() - started)
 
 
 def save_generalized(gindex, path):
@@ -140,6 +217,10 @@ def load_index(path):
     """Load a :class:`SpineIndex` saved by :func:`save_index`."""
     from repro.core.index import SpineIndex
 
+    registry = get_registry()
+    metrics = registry if registry.enabled else None
+    if metrics is not None:
+        started = time.perf_counter()
     with open(path, "rb") as handle:
         raw = handle.read(_HEADER.size)
         if len(raw) != _HEADER.size:
@@ -149,26 +230,22 @@ def load_index(path):
             raise StorageError("not a SPINE index file (bad magic)")
         if version != VERSION:
             raise StorageError(f"unsupported format version {version}")
-        alpha_payload = _read_section(handle, b"ALPH")
-        sep, sym_len = struct.unpack_from("<hH", alpha_payload)
-        symbols = alpha_payload[4:4 + sym_len].decode("utf-8")
-        alphabet = Alphabet(symbols)
-        if sep >= 0:
-            alphabet.separator_code = sep
+        alphabet = _alphabet_from_payload(
+            _read_section(handle, b"ALPH", metrics))
         index = SpineIndex(alphabet=alphabet)
-        codes = _read_section(handle, b"CLBL")
+        codes = _read_section(handle, b"CLBL", metrics)
         if len(codes) != n + 1:
             raise StorageError("character section length mismatch")
         index._codes = bytearray(codes)
         link_dest = array("i")
-        link_dest.frombytes(_read_section(handle, b"LDST"))
+        link_dest.frombytes(_read_section(handle, b"LDST", metrics))
         link_lel = array("i")
-        link_lel.frombytes(_read_section(handle, b"LLEL"))
+        link_lel.frombytes(_read_section(handle, b"LLEL", metrics))
         if len(link_dest) != n + 1 or len(link_lel) != n + 1:
             raise StorageError("link section length mismatch")
         index._link_dest = link_dest
         index._link_lel = link_lel
-        rib_payload = _read_section(handle, b"RIBS")
+        rib_payload = _read_section(handle, b"RIBS", metrics)
         (count,) = struct.unpack_from("<q", rib_payload)
         offset = 8
         ribs = {}
@@ -178,7 +255,7 @@ def load_index(path):
             offset += 24
             ribs[key] = (dest, pt)
         index._ribs = ribs
-        ext_payload = _read_section(handle, b"EXTC")
+        ext_payload = _read_section(handle, b"EXTC", metrics)
         (count,) = struct.unpack_from("<q", ext_payload)
         offset = 8
         chains = {}
@@ -193,4 +270,8 @@ def load_index(path):
             chains[key] = chain
         index._extchains = chains
         index._n = n
+    if metrics is not None:
+        metrics.counter("serialize.load.files").inc()
+        metrics.timer("serialize.load.seconds").observe(
+            time.perf_counter() - started)
     return index

@@ -36,10 +36,12 @@ interesting output is page traffic.
 from __future__ import annotations
 
 import struct
+import time
 
-from repro.alphabet import Alphabet
+from repro.alphabet import Alphabet, dna_alphabet
 from repro.core.matching import MatchingResult, MaximalMatch
 from repro.exceptions import ConstructionError, SearchError, StorageError
+from repro.obs import get_registry, record_io_snapshot
 from repro.storage.buffer import (
     BufferPool, ClockPolicy, LRUPolicy, PinTopPolicy)
 from repro.storage.pager import PageFile
@@ -48,6 +50,9 @@ _CL = struct.Struct("<B")
 _LT = struct.Struct("<iH")
 _EXT = struct.Struct("<3i")
 _SLOT_INTS = 4  # code, dest, pt, chain_head
+
+#: Flag bit of the version-2 metadata: alphabet folds case.
+_META_CASE_INSENSITIVE = 1
 
 _PTR_CLASS_SHIFT = 26
 _PTR_ROW_MASK = (1 << _PTR_CLASS_SHIFT) - 1
@@ -122,13 +127,18 @@ class DiskSpineIndex:
 
     #: Magic bytes of the metadata page (page 0) of a persisted index.
     META_MAGIC = b"SPDK"
-    META_VERSION = 1
+    #: Version 2 added the alphabet identity (name, case folding) to
+    #: the checkpoint metadata; version-1 files still open (their
+    #: alphabets load with the historical generic defaults).
+    META_VERSION = 2
 
     def __init__(self, alphabet=None, path=None, page_size=4096,
                  buffer_pages=64, policy="lru", sync_writes=False,
                  pintop_fraction=0.5, _defer_init=False):
         if alphabet is None:
-            alphabet = Alphabet("ACGT", name="dna")
+            # Canonical case-insensitive factory, matching SpineIndex's
+            # default so both accept lowercase input out of the box.
+            alphabet = dna_alphabet()
         self.alphabet = alphabet
         self._asize = alphabet.total_size
         self.pagefile = PageFile(path=path, page_size=page_size,
@@ -178,9 +188,14 @@ class DiskSpineIndex:
     def _meta_blob(self):
         symbols = self.alphabet.symbols.encode("utf-8")
         sep = self.alphabet.separator_code
+        flags = (_META_CASE_INSENSITIVE
+                 if self.alphabet.case_insensitive else 0)
+        name = self.alphabet.name.encode("utf-8")
         parts = [struct.pack("<qqhH", self._n, self._rib_count,
                              -1 if sep is None else sep, len(symbols)),
-                 symbols]
+                 symbols,
+                 struct.pack("<BH", flags, len(name)),
+                 name]
         for _, region in self._regions():
             parts.append(struct.pack("<qi", region.count,
                                      len(region.pages)))
@@ -227,7 +242,12 @@ class DiskSpineIndex:
              policy="lru", sync_writes=False, pintop_fraction=0.5):
         """Reopen an index persisted with :meth:`checkpoint`.
 
-        ``alphabet`` may be omitted; it is restored from the metadata.
+        ``alphabet`` may be omitted; the full identity (symbols,
+        separator, name, case folding) is restored from the metadata.
+        When it *is* given, it must agree with the stored identity —
+        the check covers more than the symbol string, so e.g. a
+        case-sensitive stand-in for a case-insensitive index is
+        rejected instead of silently changing query semantics.
         """
         import os
 
@@ -236,7 +256,7 @@ class DiskSpineIndex:
         size = os.path.getsize(path)
         if size < page_size:
             raise StorageError(f"{path}: too small to hold an index")
-        probe_alphabet = alphabet if alphabet is not None             else Alphabet("ACGT", name="dna")
+        probe_alphabet = alphabet if alphabet is not None             else dna_alphabet()
         index = cls(alphabet=probe_alphabet, path=path,
                     page_size=page_size, buffer_pages=buffer_pages,
                     policy=policy, sync_writes=sync_writes,
@@ -248,7 +268,7 @@ class DiskSpineIndex:
         magic, version, blob_len = header.unpack_from(frame)
         if magic != cls.META_MAGIC:
             raise StorageError(f"{path}: not a disk SPINE index")
-        if version != cls.META_VERSION:
+        if version not in (1, cls.META_VERSION):
             raise StorageError(f"unsupported disk format {version}")
         payload_per_page = page_size - 4
         chunks = [bytes(frame[header.size:payload_per_page])]
@@ -264,15 +284,47 @@ class DiskSpineIndex:
         offset += 20
         symbols = blob[offset:offset + sym_len].decode("utf-8")
         offset += sym_len
-        restored = Alphabet(symbols)
+        name = "generic"
+        case_insensitive = False
+        if version >= 2:
+            flags, name_len = struct.unpack_from("<BH", blob, offset)
+            offset += 3
+            name = blob[offset:offset + name_len].decode("utf-8")
+            offset += name_len
+            case_insensitive = bool(flags & _META_CASE_INSENSITIVE)
+        restored = Alphabet(symbols, name=name,
+                            case_insensitive=case_insensitive)
         if sep >= 0:
             restored.separator_code = sep
-        if alphabet is not None and alphabet.symbols != symbols:
-            raise StorageError("alphabet mismatch with stored index")
+        if alphabet is not None:
+            mismatches = []
+            if alphabet.symbols != restored.symbols:
+                mismatches.append("symbols")
+            if alphabet.separator_code != restored.separator_code:
+                mismatches.append("separator")
+            if version >= 2:
+                # Version-1 files carry no identity to compare against.
+                if alphabet.case_insensitive != restored.case_insensitive:
+                    mismatches.append("case folding")
+                if alphabet.name != restored.name:
+                    mismatches.append("name")
+            if mismatches:
+                raise StorageError(
+                    "alphabet mismatch with stored index "
+                    f"({', '.join(mismatches)})")
         index.alphabet = restored
         if restored.total_size != index._asize:
-            raise StorageError("alphabet size mismatch with stored "
-                               "index layout")
+            # The probe alphabet sized the RT classes wrongly; rebuild
+            # the directories to the stored alphabet before parsing
+            # their page lists.
+            index._asize = restored.total_size
+            max_fanout = max(1, index._asize - 1)
+            index._rt = {
+                k: _Region(index.pagefile, index.pool,
+                           struct.Struct(f"<{1 + _SLOT_INTS * k}i"))
+                for k in range(1, max_fanout + 1)
+            }
+            index._rt_free = {k: [] for k in index._rt}
         index._n = n
         index._rib_count = rib_count
         for _, region in index._regions():
@@ -393,9 +445,18 @@ class DiskSpineIndex:
     # ------------------------------------------------------------------
 
     def extend(self, text):
-        """Append ``text`` (online)."""
+        """Append ``text`` (online); one bulk metrics publish per call
+        when the global registry is enabled."""
+        registry = get_registry()
+        observing = registry.enabled
+        if observing:
+            started = time.perf_counter()
         for ch in text:
             self.append_code(self.alphabet.encode_char(ch))
+        if observing:
+            registry.counter("disk.construction.chars").inc(len(text))
+            registry.timer("disk.construction.extend.seconds").observe(
+                time.perf_counter() - started)
 
     def append_code(self, c):
         """Append one character code (the paper's APPEND, on disk)."""
@@ -522,6 +583,19 @@ class DiskSpineIndex:
 
     def contains(self, pattern):
         """True iff ``pattern`` occurs in the indexed string."""
+        registry = get_registry()
+        if registry.enabled:
+            started = time.perf_counter()
+            found = self._contains(pattern)
+            registry.counter("disk.search.queries").inc()
+            if not found:
+                registry.counter("disk.search.misses").inc()
+            registry.timer("disk.search.contains.seconds").observe(
+                time.perf_counter() - started)
+            return found
+        return self._contains(pattern)
+
+    def _contains(self, pattern):
         node = 0
         for pathlength, code in enumerate(self.alphabet.encode(pattern)):
             node = self.step(node, pathlength, code)
@@ -535,6 +609,20 @@ class DiskSpineIndex:
         if pattern == "":
             raise SearchError("find_all of the empty pattern is "
                               "ill-defined")
+        registry = get_registry()
+        if registry.enabled:
+            started = time.perf_counter()
+            starts = self._find_all(pattern)
+            registry.counter("disk.search.queries").inc()
+            registry.counter("disk.search.occurrences").inc(len(starts))
+            if not starts:
+                registry.counter("disk.search.misses").inc()
+            registry.timer("disk.search.find_all.seconds").observe(
+                time.perf_counter() - started)
+            return starts
+        return self._find_all(pattern)
+
+    def _find_all(self, pattern):
         codes = self.alphabet.encode(pattern)
         node = 0
         for pathlength, code in enumerate(codes):
@@ -642,5 +730,14 @@ class DiskSpineIndex:
         return matches, result
 
     def io_snapshot(self):
-        """Physical + buffer counters accumulated so far."""
-        return self.pagefile.metrics.snapshot()
+        """Physical + buffer counters accumulated so far.
+
+        When metrics are enabled (:mod:`repro.obs`), the snapshot is
+        also mirrored into the global registry as ``disk.*`` counters
+        (set, not added — the underlying
+        :class:`~repro.storage.metrics.IOMetrics` is already
+        cumulative).
+        """
+        snapshot = self.pagefile.metrics.snapshot()
+        record_io_snapshot(get_registry(), snapshot, prefix="disk")
+        return snapshot

@@ -1,0 +1,101 @@
+"""Observability for the SPINE stack: one instrumentation surface.
+
+The library's hot paths — online construction
+(:meth:`repro.core.index.SpineIndex.extend`), pattern search
+(:mod:`repro.core.search`), streaming matches
+(:mod:`repro.core.matching`), binary persistence
+(:mod:`repro.core.serialize`) and the page-resident disk index
+(:mod:`repro.disk.spine_disk`) — all report into the process-global
+:class:`~repro.obs.registry.MetricsRegistry` held here. Metrics are
+**off by default**: the global registry starts disabled and every
+instrumented site gates on ``registry.enabled`` before doing any work,
+so production-style runs pay (near) nothing.
+
+Typical use::
+
+    from repro import obs
+
+    with obs.metrics_enabled() as registry:
+        index = SpineIndex(genome)
+        index.find_all("ACGTTACG")
+        print(registry.snapshot()["counters"])
+
+or imperatively with ``obs.enable_metrics()`` / ``obs.disable_metrics()``.
+The ``repro profile`` CLI subcommand and
+``benchmarks/bench_report.py`` build their JSON reports from exactly
+this surface.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+
+from repro.obs.registry import (
+    Counter,
+    Histogram,
+    MetricsRegistry,
+    NULL_INSTRUMENT,
+    Timer,
+)
+from repro.obs.report import build_report, record_io_snapshot
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "Timer",
+    "build_report",
+    "disable_metrics",
+    "enable_metrics",
+    "get_registry",
+    "metrics_enabled",
+    "record_io_snapshot",
+    "set_registry",
+]
+
+#: Process-global registry; disabled until someone opts in.
+_registry = MetricsRegistry(enabled=False)
+
+
+def get_registry():
+    """The process-global :class:`MetricsRegistry`."""
+    return _registry
+
+
+def set_registry(registry):
+    """Swap the global registry (returns the previous one)."""
+    global _registry
+    previous = _registry
+    _registry = registry
+    return previous
+
+
+def enable_metrics(reset=False):
+    """Enable the global registry; returns it. ``reset=True`` also
+    drops previously accumulated values."""
+    if reset:
+        _registry.reset()
+    _registry.enable()
+    return _registry
+
+
+def disable_metrics():
+    """Disable the global registry (accumulated values are kept)."""
+    _registry.disable()
+    return _registry
+
+
+@contextmanager
+def metrics_enabled(reset=True):
+    """Enable metrics for a ``with`` block, restoring the previous
+    state afterwards; yields the global registry."""
+    was_enabled = _registry.enabled
+    if reset:
+        _registry.reset()
+    _registry.enable()
+    try:
+        yield _registry
+    finally:
+        if not was_enabled:
+            _registry.disable()

@@ -1,0 +1,313 @@
+"""Counters, timers and histograms behind a metrics registry.
+
+One registry instance owns every instrument created through it; a
+process-global default registry (see :mod:`repro.obs`) lets library
+code stay instrumented without threading a registry through every call.
+
+The design constraint is the disabled mode: instrumented hot paths in
+:mod:`repro.core` and :mod:`repro.disk` run for every appended
+character and every query, so when metrics are off the per-operation
+cost must be one attribute check (``registry.enabled``) and nothing
+else. Accordingly:
+
+* instrumented code gates on ``registry.enabled`` *before* touching any
+  instrument;
+* ``counter()`` / ``timer()`` / ``histogram()`` on a disabled registry
+  hand back a shared no-op :data:`NULL_INSTRUMENT`, so even un-gated
+  call sites stay cheap and allocation-free.
+
+Instruments aggregate in plain Python numbers — there is no sampling,
+no background thread, no I/O. ``snapshot()`` renders everything to
+plain dicts for JSON reports.
+"""
+
+from __future__ import annotations
+
+import time
+from bisect import bisect_left
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_INSTRUMENT",
+    "Timer",
+]
+
+#: Default histogram bucket upper bounds (powers of two; values above
+#: the last bound land in an overflow bucket).
+DEFAULT_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
+
+
+class Counter:
+    """A monotonically growing (or explicitly set) integer metric."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount=1):
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+    def set(self, value):
+        """Overwrite with an absolute value (for mirrored snapshots,
+        e.g. the disk layer's cumulative :class:`~repro.storage.metrics.
+        IOMetrics`)."""
+        self.value = value
+
+    def __repr__(self):
+        return f"Counter({self.name!r}, value={self.value})"
+
+
+class Timer:
+    """Accumulated wall-clock durations of one operation kind."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+
+    def observe(self, seconds):
+        """Record one duration in seconds."""
+        self.count += 1
+        self.total += seconds
+        if self.min is None or seconds < self.min:
+            self.min = seconds
+        if self.max is None or seconds > self.max:
+            self.max = seconds
+
+    def time(self):
+        """Context manager timing the enclosed block::
+
+            with registry.timer("search.find_all").time():
+                index.find_all(pattern)
+        """
+        return _TimerContext(self)
+
+    @property
+    def mean(self):
+        """Mean duration in seconds (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self):
+        return (f"Timer({self.name!r}, count={self.count}, "
+                f"total={self.total:.6f})")
+
+
+class _TimerContext:
+    __slots__ = ("_timer", "_start")
+
+    def __init__(self, timer):
+        self._timer = timer
+        self._start = None
+
+    def __enter__(self):
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc):
+        self._timer.observe(time.perf_counter() - self._start)
+        return False
+
+
+class Histogram:
+    """Bucketed distribution of integer-ish observations.
+
+    ``bounds`` are ascending inclusive upper bounds; one extra overflow
+    bucket catches everything above ``bounds[-1]``.
+    """
+
+    __slots__ = ("name", "bounds", "buckets", "count", "total")
+
+    def __init__(self, name, bounds=DEFAULT_BOUNDS):
+        bounds = tuple(bounds)
+        if not bounds or list(bounds) != sorted(set(bounds)):
+            raise ValueError("histogram bounds must be ascending and "
+                             "non-empty")
+        self.name = name
+        self.bounds = bounds
+        self.buckets = [0] * (len(bounds) + 1)
+        self.count = 0
+        self.total = 0
+
+    def observe(self, value):
+        """Record one observation."""
+        self.buckets[bisect_left(self.bounds, value)] += 1
+        self.count += 1
+        self.total += value
+
+    def observe_many(self, values):
+        """Record every value of an iterable (one bulk call per query
+        keeps instrumented loops free of per-item registry lookups)."""
+        bounds = self.bounds
+        buckets = self.buckets
+        count = 0
+        total = 0
+        for value in values:
+            buckets[bisect_left(bounds, value)] += 1
+            count += 1
+            total += value
+        self.count += count
+        self.total += total
+
+    @property
+    def mean(self):
+        """Mean observed value (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def __repr__(self):
+        return f"Histogram({self.name!r}, count={self.count})"
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument kind when disabled."""
+
+    __slots__ = ()
+
+    name = "<null>"
+    value = 0
+    count = 0
+    total = 0
+    mean = 0.0
+    min = None
+    max = None
+
+    def inc(self, amount=1):
+        pass
+
+    def set(self, value):
+        pass
+
+    def observe(self, value):
+        pass
+
+    def observe_many(self, values):
+        pass
+
+    def time(self):
+        return _NULL_CONTEXT
+
+    def __repr__(self):
+        return "<null instrument>"
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+#: The shared disabled-mode instrument (every kind's method surface).
+NULL_INSTRUMENT = _NullInstrument()
+_NULL_CONTEXT = _NullContext()
+
+
+class MetricsRegistry:
+    """A named collection of counters, timers and histograms.
+
+    Parameters
+    ----------
+    enabled:
+        When false, instrument accessors return the shared
+        :data:`NULL_INSTRUMENT` and nothing is recorded. Flip at runtime
+        with :meth:`enable` / :meth:`disable`; instruments created while
+        enabled keep their values across a disable/enable cycle.
+    """
+
+    def __init__(self, enabled=True):
+        self.enabled = enabled
+        self._counters = {}
+        self._timers = {}
+        self._histograms = {}
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self):
+        """Turn recording on."""
+        self.enabled = True
+
+    def disable(self):
+        """Turn recording off (existing values are kept)."""
+        self.enabled = False
+
+    def reset(self):
+        """Drop every instrument and its accumulated values."""
+        self._counters.clear()
+        self._timers.clear()
+        self._histograms.clear()
+
+    # -- instrument accessors ------------------------------------------
+
+    def counter(self, name):
+        """The :class:`Counter` called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._counters.get(name)
+        if instrument is None:
+            instrument = self._counters[name] = Counter(name)
+        return instrument
+
+    def timer(self, name):
+        """The :class:`Timer` called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._timers.get(name)
+        if instrument is None:
+            instrument = self._timers[name] = Timer(name)
+        return instrument
+
+    def histogram(self, name, bounds=DEFAULT_BOUNDS):
+        """The :class:`Histogram` called ``name`` (created on first
+        use; ``bounds`` only applies to the creating call)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._histograms.get(name)
+        if instrument is None:
+            instrument = self._histograms[name] = Histogram(name, bounds)
+        return instrument
+
+    # -- reporting -----------------------------------------------------
+
+    def snapshot(self):
+        """Everything recorded so far, as plain JSON-ready dicts."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self._counters.items())},
+            "timers": {
+                name: {
+                    "count": t.count,
+                    "total_seconds": t.total,
+                    "mean_seconds": t.mean,
+                    "min_seconds": t.min,
+                    "max_seconds": t.max,
+                }
+                for name, t in sorted(self._timers.items())
+            },
+            "histograms": {
+                name: {
+                    "count": h.count,
+                    "total": h.total,
+                    "mean": h.mean,
+                    "bounds": list(h.bounds),
+                    "buckets": list(h.buckets),
+                }
+                for name, h in sorted(self._histograms.items())
+            },
+        }
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return (f"MetricsRegistry({state}, {len(self._counters)} counters,"
+                f" {len(self._timers)} timers, "
+                f"{len(self._histograms)} histograms)")

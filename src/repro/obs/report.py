@@ -1,0 +1,70 @@
+"""Rendering metrics registries into machine-readable reports.
+
+The ``repro profile`` CLI subcommand and
+``benchmarks/bench_report.py`` both emit the JSON shape produced by
+:func:`build_report`, so perf trajectories across PRs compare
+like-for-like documents.
+"""
+
+from __future__ import annotations
+
+import platform
+import sys
+
+#: Report schema version — bump when the JSON shape changes.
+REPORT_SCHEMA = 1
+
+
+def record_io_snapshot(registry, snapshot, prefix="disk"):
+    """Mirror an :class:`~repro.storage.metrics.IOMetrics` snapshot
+    (or any flat name->number dict) into ``registry`` counters.
+
+    The disk layer's physical/buffer counters are cumulative, so they
+    are ``set`` (not added) under ``<prefix>.<name>``; re-recording a
+    later snapshot of the same index simply refreshes the values.
+    """
+    if not registry.enabled:
+        return
+    for name, value in snapshot.items():
+        registry.counter(f"{prefix}.{name}").set(value)
+
+
+def observe_index(registry, index, prefix="index"):
+    """Record an index's structural totals as ``<prefix>.*`` counters.
+
+    Works for any object exposing ``edge_counts()`` and ``__len__``
+    (i.e. :class:`~repro.core.index.SpineIndex`); totals are ``set``
+    because they are cumulative properties of the index, not events.
+    """
+    if not registry.enabled:
+        return
+    registry.counter(f"{prefix}.length").set(len(index))
+    for name, value in index.edge_counts().items():
+        registry.counter(f"{prefix}.{name}").set(value)
+
+
+def build_report(registry, label=None, context=None):
+    """A JSON-ready report document around ``registry.snapshot()``.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.registry.MetricsRegistry` to render.
+    label:
+        Free-form run label (e.g. a corpus name or bench id).
+    context:
+        Extra key->value metadata merged into the ``context`` block
+        (scales, knob settings, input sizes ...).
+    """
+    doc = {
+        "schema": REPORT_SCHEMA,
+        "label": label,
+        "platform": {
+            "python": sys.version.split()[0],
+            "implementation": platform.python_implementation(),
+            "machine": platform.machine(),
+        },
+        "context": dict(context or {}),
+        "metrics": registry.snapshot(),
+    }
+    return doc

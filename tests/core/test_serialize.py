@@ -1,15 +1,24 @@
 """Binary persistence round-trips and corruption detection."""
 
 import struct
+import zlib
 
 import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.alphabet import Alphabet, dna_alphabet
+from repro.alphabet import Alphabet, dna_alphabet, protein_alphabet
 from repro.core import SpineIndex
 from repro.core.serialize import load_index, save_index
-from repro.exceptions import StorageError
+from repro.exceptions import AlphabetError, StorageError
 from repro.sequences import generate_dna
+
+
+def assert_same_alphabet(loaded, original):
+    """Full identity: symbols, separator, name AND case folding."""
+    assert loaded.symbols == original.symbols
+    assert loaded.separator_code == original.separator_code
+    assert loaded.name == original.name
+    assert loaded.case_insensitive == original.case_insensitive
 
 
 class TestRoundTrip:
@@ -62,6 +71,97 @@ class TestRoundTrip:
         assert loaded.structurally_equal(gidx.index)
 
 
+class TestAlphabetFidelity:
+    """Persistence must not lose the alphabet's identity: a saved
+    case-insensitive DNA index used to reload as a case-sensitive
+    'generic' one, so lowercase queries that answered True before
+    ``save_index`` raised AlphabetError after ``load_index``."""
+
+    def test_lowercase_query_survives_reload(self, tmp_path):
+        path = tmp_path / "dna.spine"
+        original = SpineIndex("ACGTACGT", alphabet=dna_alphabet())
+        assert original.contains("acgt") is True
+        save_index(original, path)
+        loaded = load_index(path)
+        assert loaded.contains("acgt") is True
+        assert loaded.find_all("gta") == original.find_all("gta")
+
+    def test_name_and_case_folding_roundtrip(self, tmp_path):
+        path = tmp_path / "p.spine"
+        original = SpineIndex("ACDEFGH", alphabet=protein_alphabet())
+        save_index(original, path)
+        loaded = load_index(path)
+        assert_same_alphabet(loaded.alphabet, original.alphabet)
+        assert loaded.structurally_equal(original)
+
+    def test_custom_name_roundtrip(self, tmp_path):
+        path = tmp_path / "c.spine"
+        alpha = Alphabet("xyz", name="toy", case_insensitive=False)
+        original = SpineIndex("xyzzy", alphabet=alpha)
+        save_index(original, path)
+        loaded = load_index(path)
+        assert_same_alphabet(loaded.alphabet, alpha)
+
+    def test_separator_alphabet_keeps_identity(self, tmp_path):
+        from repro.core import GeneralizedSpineIndex
+
+        gidx = GeneralizedSpineIndex(dna_alphabet())
+        gidx.add_string("ACGT")
+        gidx.add_string("GGTT")
+        path = tmp_path / "g.spine"
+        save_index(gidx.index, path)
+        loaded = load_index(path)
+        assert_same_alphabet(loaded.alphabet, gidx.index.alphabet)
+        # The extended alphabet still folds case like the original.
+        assert loaded.contains("ggtt")
+
+    def test_loaded_index_grows_case_insensitively(self, tmp_path):
+        path = tmp_path / "grow.spine"
+        save_index(SpineIndex("ACGTAC", alphabet=dna_alphabet()), path)
+        loaded = load_index(path)
+        loaded.extend("gtac")  # lowercase growth must fold, not raise
+        direct = SpineIndex("ACGTACGTAC", alphabet=dna_alphabet())
+        assert loaded.structurally_equal(direct)
+
+    def test_legacy_file_without_identity_still_loads(self, tmp_path):
+        """Files written before the ALPH identity extension load with
+        the historical defaults (generic, case-sensitive)."""
+        path = tmp_path / "old.spine"
+        original = SpineIndex("ACGTACGT", alphabet=dna_alphabet())
+        save_index(original, path)
+        _strip_alph_identity(path)
+        loaded = load_index(path)
+        assert loaded.alphabet.symbols == "ACGT"
+        assert loaded.alphabet.name == "generic"
+        assert loaded.alphabet.case_insensitive is False
+        assert loaded.structurally_equal(original)
+        assert loaded.contains("ACGT")
+        with pytest.raises(AlphabetError):
+            loaded.contains("acgt")
+
+
+def _strip_alph_identity(path):
+    """Rewrite ``path``'s ALPH section to the pre-extension layout
+    (separator + symbols only), recomputing the section CRC."""
+    section = struct.Struct("<4sqI")
+    data = bytearray(path.read_bytes())
+    header_size = 16
+    tag, size, _crc = section.unpack_from(data, header_size)
+    assert tag == b"ALPH"
+    body_at = header_size + section.size
+    payload = bytes(data[body_at:body_at + size])
+    _sep, sym_len = struct.unpack_from("<hH", payload)
+    legacy = payload[:4 + sym_len]
+    rebuilt = (
+        data[:header_size]
+        + section.pack(b"ALPH", len(legacy),
+                       zlib.crc32(legacy) & 0xFFFFFFFF)
+        + legacy
+        + data[body_at + size:]
+    )
+    path.write_bytes(bytes(rebuilt))
+
+
 @settings(max_examples=40, deadline=None)
 @given(st.text(alphabet="abc", min_size=0, max_size=60))
 def test_roundtrip_property(tmp_path_factory, text):
@@ -69,6 +169,25 @@ def test_roundtrip_property(tmp_path_factory, text):
     original = SpineIndex(text, alphabet=Alphabet("abc"))
     save_index(original, path)
     assert load_index(path).structurally_equal(original)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.text(alphabet="ACGT", min_size=0, max_size=60),
+       st.booleans(), st.text(alphabet="abcxyz", min_size=1,
+                              max_size=12))
+def test_roundtrip_alphabet_identity_property(tmp_path_factory, text,
+                                              case_insensitive, name):
+    """Structure AND full alphabet identity survive any round trip."""
+    path = tmp_path_factory.mktemp("serid") / "p.spine"
+    alpha = Alphabet("ACGT", name=name,
+                     case_insensitive=case_insensitive)
+    original = SpineIndex(text, alphabet=alpha)
+    save_index(original, path)
+    loaded = load_index(path)
+    assert loaded.structurally_equal(original)
+    assert_same_alphabet(loaded.alphabet, alpha)
+    if text and case_insensitive:
+        assert loaded.contains(text.lower())
 
 
 class TestCorruptionDetection:

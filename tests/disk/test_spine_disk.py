@@ -268,3 +268,140 @@ class TestCheckpointReopen:
         for i in range(1, len(text) + 1, 97):
             assert reopened.link(i) == mem.link(i)
         reopened.close()
+
+
+class TestAlphabetFidelity:
+    """Checkpoint metadata must carry the full alphabet identity:
+    ``DiskSpineIndex.open`` used to rebuild a bare ``Alphabet(symbols)``,
+    so a case-insensitive DNA index stopped answering lowercase queries
+    after a reopen."""
+
+    def _assert_same_alphabet(self, loaded, original):
+        assert loaded.symbols == original.symbols
+        assert loaded.separator_code == original.separator_code
+        assert loaded.name == original.name
+        assert loaded.case_insensitive == original.case_insensitive
+
+    def test_lowercase_query_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "dna.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8) as dsk:
+            dsk.extend("ACGTACGT")
+            assert dsk.contains("acgt") is True
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert reopened.contains("acgt") is True
+        self._assert_same_alphabet(reopened.alphabet, dna_alphabet())
+        reopened.close()
+
+    def test_default_alphabet_is_canonical_dna(self):
+        dsk = DiskSpineIndex()
+        dsk.extend("acgtACGT")  # lowercase folds instead of raising
+        assert dsk.alphabet.name == "dna"
+        assert dsk.alphabet.case_insensitive is True
+        assert dsk.contains("gtac")
+        dsk.close()
+
+    def test_protein_index_reopens_without_alphabet(self, tmp_path):
+        # total_size 20 != the probe's 4: open() must rebuild the RT
+        # directories from the stored alphabet before loading them.
+        path = str(tmp_path / "prot.spine")
+        text = generate_protein(600, seed=5)
+        with DiskSpineIndex(alphabet=protein_alphabet(), path=path,
+                            buffer_pages=16) as dsk:
+            dsk.extend(text)
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=16)
+        self._assert_same_alphabet(reopened.alphabet,
+                                   protein_alphabet())
+        mem = SpineIndex(text, alphabet=protein_alphabet())
+        probe = text[200:212]
+        assert reopened.find_all(probe) == mem.find_all(probe)
+        assert reopened.contains(probe.lower())
+        reopened.close()
+
+    def test_case_folding_mismatch_detected(self, tmp_path):
+        from repro.exceptions import StorageError
+
+        path = str(tmp_path / "fold.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path) as dsk:
+            dsk.extend("ACGT")
+            dsk.checkpoint()
+        case_sensitive_dna = Alphabet("ACGT", name="dna")
+        with pytest.raises(StorageError, match="case folding"):
+            DiskSpineIndex.open(path, alphabet=case_sensitive_dna)
+
+    def test_name_mismatch_detected(self, tmp_path):
+        from repro.exceptions import StorageError
+
+        path = str(tmp_path / "name.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path) as dsk:
+            dsk.extend("ACGT")
+            dsk.checkpoint()
+        renamed = Alphabet("ACGT", name="rna", case_insensitive=True)
+        with pytest.raises(StorageError, match="name"):
+            DiskSpineIndex.open(path, alphabet=renamed)
+
+    def test_matching_alphabet_accepted(self, tmp_path):
+        path = str(tmp_path / "ok.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path) as dsk:
+            dsk.extend("ACGTACGT")
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, alphabet=dna_alphabet())
+        assert reopened.contains("cgta")
+        reopened.close()
+
+    def test_version1_checkpoint_still_opens(self, tmp_path,
+                                             monkeypatch):
+        """Pre-identity (version 1) checkpoints load with the
+        historical defaults: generic name, case-sensitive."""
+        import struct as struct_mod
+
+        def legacy_meta_blob(self):
+            symbols = self.alphabet.symbols.encode("utf-8")
+            sep = self.alphabet.separator_code
+            parts = [struct_mod.pack(
+                "<qqhH", self._n, self._rib_count,
+                -1 if sep is None else sep, len(symbols)), symbols]
+            for _, region in self._regions():
+                parts.append(struct_mod.pack(
+                    "<qi", region.count, len(region.pages)))
+                parts.append(struct_mod.pack(
+                    f"<{len(region.pages)}i", *region.pages))
+            for k in sorted(self._rt_free):
+                free = self._rt_free[k]
+                parts.append(struct_mod.pack("<i", len(free)))
+                parts.append(struct_mod.pack(f"<{len(free)}i", *free))
+            return b"".join(parts)
+
+        path = str(tmp_path / "v1.spine")
+        text = generate_dna(800, seed=41)
+        with monkeypatch.context() as patch:
+            patch.setattr(DiskSpineIndex, "META_VERSION", 1)
+            patch.setattr(DiskSpineIndex, "_meta_blob",
+                          legacy_meta_blob)
+            with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                                buffer_pages=8) as dsk:
+                dsk.extend(text)
+                dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert reopened.alphabet.name == "generic"
+        assert reopened.alphabet.case_insensitive is False
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        probe = text[300:314]
+        assert reopened.find_all(probe) == mem.find_all(probe)
+        reopened.close()
+
+    def test_structural_equality_after_reopen(self, tmp_path):
+        path = str(tmp_path / "struct.spine")
+        text = generate_dna(1200, seed=42)
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8) as dsk:
+            dsk.extend(text)
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        for i in range(1, len(text) + 1, 7):
+            assert reopened.link(i) == mem.link(i)
+        self._assert_same_alphabet(reopened.alphabet, mem.alphabet)
+        reopened.close()

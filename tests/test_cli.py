@@ -133,3 +133,69 @@ class TestGeneralizedCli:
         assert main(["build", str(multi), "-o", out,
                      "--generalized"]) == 0
         assert main(["search", out, "GGGG", "--generalized"]) == 1
+
+
+class TestProfile:
+    def test_profile_emits_json_report(self, fasta, tmp_path, capsys):
+        import json
+
+        out = str(tmp_path / "report.json")
+        assert main(["profile", fasta, "--queries", "5",
+                     "--disk-chars", "120", "-o", out]) == 0
+        report = json.loads(open(out).read())
+        assert report["schema"] == 1
+        counters = report["metrics"]["counters"]
+        # Every instrumented layer contributed to one registry.
+        assert counters["construction.chars"] == 170
+        assert counters["search.queries"] > 0
+        assert counters["serialize.save.files"] == 1
+        assert counters["disk.buffer_hits"] > 0
+        assert "disk.buffer_misses" in counters
+        assert "disk.evictions" in counters
+        assert report["metrics"]["timers"]
+        assert report["context"]["queries"] == 5
+
+    def test_profile_to_stdout(self, fasta, capsys):
+        import json
+
+        assert main(["profile", fasta, "--queries", "2",
+                     "--disk-chars", "60"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert "construction.chars" in report["metrics"]["counters"]
+
+    def test_profile_leaves_metrics_disabled(self, fasta, tmp_path):
+        from repro import obs
+
+        assert main(["profile", fasta, "--queries", "1",
+                     "--disk-chars", "60",
+                     "-o", str(tmp_path / "r.json")]) == 0
+        assert obs.get_registry().enabled is False
+
+
+class TestBenchReport:
+    def test_bench_report_writes_snapshot(self, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(
+            __file__)))
+        script = os.path.join(repo, "benchmarks", "bench_report.py")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo, "src") + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(
+            [sys.executable, script, "-o", str(tmp_path),
+             "--label", "test", "--scale", "1500", "--queries", "5",
+             "--repeats", "1", "--disk-chars", "300"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        snapshot = json.loads(
+            (tmp_path / "BENCH_test.json").read_text())
+        assert snapshot["workload"]["construction"][
+            "chars_per_second"] > 0
+        counters = snapshot["metrics"]["counters"]
+        assert counters["construction.chars"] == 1500
+        assert "disk.buffer_hits" in counters
