@@ -87,13 +87,20 @@ def _timed_workload(text, queries, repeats, seed):
     }
 
 
-def _instrumented_pass(text, queries, disk_chars, buffer_pages, seed):
-    """One metrics-enabled run across every instrumented layer."""
+def _instrumented_pass(text, queries, disk_chars, buffer_pages, seed,
+                       trace_sample=5):
+    """One metrics-plus-tracing run across every instrumented layer.
+
+    Returns ``(metrics_snapshot, trace_summary)``; the trace summary is
+    the :func:`repro.obs.trace.summarize_spans` shape (span counts,
+    event counts, PT-rejection rate, pages-per-query distribution).
+    """
     import tempfile
 
     rng = random.Random(seed)
     plen = 12
-    with obs.metrics_enabled() as registry:
+    with obs.tracing_enabled(sample_every=trace_sample) as tracer, \
+            obs.metrics_enabled() as registry:
         index = SpineIndex(text)
         for _ in range(queries):
             start = rng.randrange(0, len(text) - plen)
@@ -117,18 +124,20 @@ def _instrumented_pass(text, queries, disk_chars, buffer_pages, seed):
         disk.io_snapshot()
         disk.close()
         snapshot = registry.snapshot()
-    return snapshot
+        trace_summary = tracer.summary()
+    return snapshot, trace_summary
 
 
 def collect_snapshot(scale=20_000, queries=100, repeats=3,
                      disk_chars=4_000, buffer_pages=32, seed=7,
-                     label=None):
-    """The full BENCH document (workload timings + metrics counters)."""
+                     label=None, trace_sample=5):
+    """The full BENCH document (workload timings + metrics counters +
+    trace summary)."""
     text = generate_dna(scale, seed=seed)
     workload = _timed_workload(text, queries, repeats, seed)
-    metrics = _instrumented_pass(text, queries,
-                                 min(disk_chars, scale), buffer_pages,
-                                 seed)
+    metrics, trace_summary = _instrumented_pass(
+        text, queries, min(disk_chars, scale), buffer_pages, seed,
+        trace_sample=trace_sample)
     registry = obs.MetricsRegistry()  # only for the report envelope
     report = build_report(registry, label=label, context={
         "scale": scale,
@@ -137,9 +146,11 @@ def collect_snapshot(scale=20_000, queries=100, repeats=3,
         "disk_chars": min(disk_chars, scale),
         "buffer_pages": buffer_pages,
         "seed": seed,
+        "trace_sample": trace_sample,
     })
     report["metrics"] = metrics
     report["workload"] = workload
+    report["trace"] = trace_summary
     return report
 
 
@@ -157,13 +168,17 @@ def main(argv=None):
     parser.add_argument("--disk-chars", type=int, default=4_000)
     parser.add_argument("--buffer-pages", type=int, default=32)
     parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--trace-sample", type=int, default=5,
+                        help="trace every Nth query in the "
+                             "instrumented pass (default 5)")
     args = parser.parse_args(argv)
     label = args.label or time.strftime("%Y%m%d-%H%M%S")
     report = collect_snapshot(scale=args.scale, queries=args.queries,
                               repeats=args.repeats,
                               disk_chars=args.disk_chars,
                               buffer_pages=args.buffer_pages,
-                              seed=args.seed, label=label)
+                              seed=args.seed, label=label,
+                              trace_sample=args.trace_sample)
     path = os.path.join(args.outdir, f"BENCH_{label}.json")
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)

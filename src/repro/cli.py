@@ -14,7 +14,14 @@ stats     structural statistics and the space model of a saved index
 verify    check a saved index's invariants
 profile   run an instrumented build/search/disk workload and emit a
           machine-readable metrics report (JSON)
+explain   step-by-step account of a pattern's traversal — which ribs
+          were attempted, every PT accept/reject decision, the extrib
+          chain followed (the paper's false-positive exclusion, made
+          visible per query)
 ========  =============================================================
+
+``search`` and ``profile`` additionally take ``--trace-out FILE`` to
+record sampled query spans (:mod:`repro.obs.trace`) as JSON lines.
 """
 
 from __future__ import annotations
@@ -78,30 +85,55 @@ def _cmd_build(args):
     return 0
 
 
+def _trace_session(args):
+    """Context manager enabling global tracing when ``--trace-out``
+    was given (a no-op context otherwise); exports on exit."""
+    import contextlib
+
+    trace_out = getattr(args, "trace_out", None)
+    if not trace_out:
+        return contextlib.nullcontext()
+
+    @contextlib.contextmanager
+    def session():
+        from repro.obs.trace import tracing_enabled
+
+        with tracing_enabled(sample_every=args.trace_sample) as tracer:
+            try:
+                yield tracer
+            finally:
+                count = tracer.export_jsonl(trace_out)
+                print(f"wrote {count} trace span(s) to {trace_out}",
+                      file=sys.stderr)
+
+    return session()
+
+
 def _cmd_search(args):
     from repro.core.serialize import load_generalized, load_index
     from repro.exceptions import StorageError
 
-    if args.generalized:
-        gindex = load_generalized(args.index)
-        hits = gindex.find_all(args.pattern)
-        print(f"{len(hits)} occurrence(s)")
-        for sid, local in hits:
-            print(f"{gindex.string_name(sid)}\t{local}")
-        return 0 if hits else 1
-    index = load_index(args.index)
-    if args.all:
-        starts = index.find_all(args.pattern)
-        print(f"{len(starts)} occurrence(s)")
-        for start in starts:
-            print(start)
-        return 0 if starts else 1
-    start = index.find_first(args.pattern)
-    if start is None:
-        print("not found")
-        return 1
-    print(start)
-    return 0
+    with _trace_session(args):
+        if args.generalized:
+            gindex = load_generalized(args.index)
+            hits = gindex.find_all(args.pattern)
+            print(f"{len(hits)} occurrence(s)")
+            for sid, local in hits:
+                print(f"{gindex.string_name(sid)}\t{local}")
+            return 0 if hits else 1
+        index = load_index(args.index)
+        if args.all:
+            starts = index.find_all(args.pattern)
+            print(f"{len(starts)} occurrence(s)")
+            for start in starts:
+                print(start)
+            return 0 if starts else 1
+        start = index.find_first(args.pattern)
+        if start is None:
+            print("not found")
+            return 1
+        print(start)
+        return 0
 
 
 def _cmd_match(args):
@@ -185,9 +217,24 @@ def _cmd_stats(args):
     return 0
 
 
+def _load_patterns_file(path):
+    """One pattern per line; blank lines and ``#`` comments skipped."""
+    patterns = []
+    with open(path) as handle:
+        for line in handle:
+            line = line.strip()
+            if line and not line.startswith("#"):
+                patterns.append(line)
+    if not patterns:
+        raise ReproError(f"{path}: no patterns")
+    return patterns
+
+
 def _cmd_profile(args):
     """Instrumented end-to-end run: build, persist, query, disk —
-    every layer reporting into one metrics registry (repro.obs)."""
+    every layer reporting into one metrics registry (repro.obs),
+    optionally with sampled query-path tracing (repro.obs.trace)."""
+    import itertools
     import json
     import os
     import random
@@ -208,11 +255,22 @@ def _cmd_profile(args):
         start = rng.randrange(0, max(1, len(text) - plen + 1))
         return text[start:start + plen]
 
-    with obs.metrics_enabled() as registry:
+    if args.patterns_file:
+        # A real query workload: cycle through the supplied patterns
+        # (they flow through the same trace sampling as synthetic ones).
+        workload = _load_patterns_file(args.patterns_file)
+        patterns = itertools.cycle(workload)
+        next_pattern = lambda: next(patterns)  # noqa: E731
+    else:
+        workload = None
+        next_pattern = sample_pattern
+
+    with _trace_session(args) as tracer, \
+            obs.metrics_enabled() as registry:
         index = SpineIndex(text)
         for _ in range(args.queries):
-            index.find_all(sample_pattern())
-            index.contains(sample_pattern())
+            index.find_all(next_pattern())
+            index.contains(next_pattern())
         query = "".join(sample_pattern()
                         for _ in range(max(1, args.queries // 10)))
         matching_statistics(index, query)
@@ -234,7 +292,7 @@ def _cmd_profile(args):
                               buffer_pages=args.buffer_pages)
         disk.extend(text[:disk_chars])
         for _ in range(args.queries):
-            pattern = sample_pattern()[:max(1, min(plen, disk_chars))]
+            pattern = next_pattern()[:max(1, min(plen, disk_chars))]
             disk.contains(pattern)
         disk.io_snapshot()
         disk.close()
@@ -244,10 +302,14 @@ def _cmd_profile(args):
             "chars": len(text),
             "queries": args.queries,
             "pattern_length": plen,
+            "patterns_file": args.patterns_file,
+            "workload_patterns": len(workload) if workload else 0,
             "disk_chars": disk_chars,
             "buffer_pages": args.buffer_pages,
             "seed": args.seed,
         })
+        if tracer is not None:
+            report["trace"] = tracer.summary()
     payload = json.dumps(report, indent=2, sort_keys=True)
     if args.output:
         with open(args.output, "w") as handle:
@@ -255,6 +317,30 @@ def _cmd_profile(args):
         print(f"wrote metrics report to {args.output}")
     else:
         print(payload)
+    return 0
+
+
+def _cmd_explain(args):
+    """Render the step-by-step traversal account of one pattern."""
+    import json
+
+    from repro.obs.explain import explain_pattern
+
+    if (args.index is None) == (args.text is None):
+        raise ReproError("explain needs exactly one of --index/--text")
+    if args.text is not None:
+        from repro.core.index import SpineIndex
+
+        index = SpineIndex(args.text)
+    else:
+        from repro.core.serialize import load_index
+
+        index = load_index(args.index)
+    explanation = explain_pattern(index, args.pattern)
+    if args.json:
+        print(json.dumps(explanation.to_dict(), indent=2))
+    else:
+        print(explanation.text)
     return 0
 
 
@@ -297,7 +383,23 @@ def build_parser():
                    help="report every occurrence")
     p.add_argument("--generalized", action="store_true",
                    help="the index is a multi-record collection")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write the query's trace span(s) as JSONL")
+    p.add_argument("--trace-sample", type=int, default=1,
+                   help="trace every Nth query (default: every)")
     p.set_defaults(func=_cmd_search)
+
+    p = sub.add_parser(
+        "explain",
+        help="step-by-step account of a pattern's traversal "
+             "(PT accept/reject decisions, extrib chains)")
+    p.add_argument("pattern")
+    p.add_argument("--index", help="saved index file")
+    p.add_argument("--text", metavar="STRING",
+                   help="index this literal string in memory instead")
+    p.add_argument("--json", action="store_true",
+                   help="emit the structured account as JSON")
+    p.set_defaults(func=_cmd_explain)
 
     p = sub.add_parser("match", help="maximal matches of a query FASTA")
     p.add_argument("index")
@@ -342,6 +444,14 @@ def build_parser():
     p.add_argument("--buffer-pages", type=int, default=32,
                    help="disk buffer pool capacity (default 32)")
     p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--patterns-file", metavar="FILE",
+                   help="profile these query patterns (one per line) "
+                        "instead of synthetic samples")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write sampled query spans as JSONL and add a "
+                        "trace summary to the report")
+    p.add_argument("--trace-sample", type=int, default=1,
+                   help="trace every Nth query (default: every)")
     p.set_defaults(func=_cmd_profile)
 
     p = sub.add_parser("verify", help="check index invariants")

@@ -16,6 +16,7 @@ from dataclasses import dataclass
 
 from repro.core.matching import MatchingResult, _extend_longest
 from repro.exceptions import SearchError
+from repro.obs.trace import get_tracer
 
 
 class SearchCursor:
@@ -40,6 +41,9 @@ class SearchCursor:
         self._node = 0
         self._length = 0
         self._alive = True
+        # Incremental feeds attach to whatever query span is active
+        # (wrap a feeding session in ``tracer.query(...)`` to trace it).
+        self._tracer = get_tracer()
 
     def feed(self, ch):
         """Consume one character; returns liveness."""
@@ -48,7 +52,11 @@ class SearchCursor:
         if not self._alive:
             return False
         code = self.index.alphabet.encode_char(ch)
-        nxt = self.index.step(self._node, self._length, code)
+        span = self._tracer.active
+        if span is not None:
+            nxt = self.index.step(self._node, self._length, code, span)
+        else:
+            nxt = self.index.step(self._node, self._length, code)
         if nxt is None:
             self._alive = False
             return False
@@ -133,6 +141,8 @@ class StreamMatcher:
         self._length = 0
         self._consumed = 0
         self._finished = False
+        # Like SearchCursor, stream feeds record into the active span.
+        self._tracer = get_tracer()
 
     def feed(self, ch):
         """Consume one character; returns a StreamEvent or ``None``."""
@@ -143,7 +153,8 @@ class StreamMatcher:
         code = self.index.alphabet.encode_char(ch)
         prev_node, prev_length = self._node, self._length
         hit = _extend_longest(self.index, self._node, self._length,
-                              code, self._result)
+                              code, self._result,
+                              self._tracer.active)
         event = None
         if hit is None:
             self._node, self._length = 0, 0

@@ -52,6 +52,7 @@ from array import array
 from repro.alphabet import alphabet_for, dna_alphabet
 from repro.exceptions import ConstructionError, SearchError
 from repro.obs import get_registry
+from repro.obs.trace import get_tracer
 
 
 class SpineIndex:
@@ -376,7 +377,7 @@ class SpineIndex:
     # traversal primitive
     # ------------------------------------------------------------------
 
-    def step(self, node, pathlength, code):
+    def step(self, node, pathlength, code, _span=None):
         """One forward move of a valid path: from ``node`` after having
         matched ``pathlength`` characters, consume ``code``.
 
@@ -384,17 +385,42 @@ class SpineIndex:
         exists (Section 4 traversal rules: vertebras are always
         traversable; a rib needs ``pathlength <= PT``; a failed rib falls
         through to the first extrib-chain element with matching PRT and
-        ``PT >= pathlength``).
+        ``PT >= pathlength``). ``_span`` is an active trace span
+        (:mod:`repro.obs.trace`); each edge decision is recorded on it.
         """
         if node < self._n and self._codes[node + 1] == code:
+            if _span is not None:
+                _span.vertebra(node)
             return node + 1
         key = node * self._asize + code
         rib = self._ribs.get(key)
         if rib is None:
+            if _span is not None:
+                _span.event("no-edge", node=node, code=code,
+                            pathlength=pathlength)
             return None
         d, pt = rib
+        if _span is not None:
+            _span.event("enter-rib", node=node, code=code, dest=d,
+                        pt=pt, pathlength=pathlength)
         if pathlength <= pt:
+            if _span is not None:
+                _span.event("pt-accept", node=node, pt=pt,
+                            pathlength=pathlength, dest=d)
             return d
+        if _span is not None:
+            _span.event("pt-reject", node=node, pt=pt,
+                        pathlength=pathlength)
+            for e_dest, e_pt in self._extchains.get(key, ()):
+                taken = e_pt >= pathlength
+                _span.event("extrib-fallthrough", node=node, pt=e_pt,
+                            pathlength=pathlength, dest=e_dest,
+                            taken=taken)
+                if taken:
+                    return e_dest
+            _span.event("no-edge", node=node, code=code,
+                        pathlength=pathlength, exhausted="extribs")
+            return None
         for e_dest, e_pt in self._extchains.get(key, ()):
             if e_pt >= pathlength:
                 return e_dest
@@ -411,17 +437,24 @@ class SpineIndex:
         if pattern == "":
             return True
         registry = get_registry()
+        tracer = get_tracer()
+        span = (tracer.begin("search.contains", pattern=pattern)
+                if tracer.enabled else None)
         if registry.enabled:
             started = time.perf_counter()
             found = find_first_end(self, self.alphabet.encode(pattern),
-                                   registry) is not None
+                                   registry, span) is not None
             registry.counter("search.queries").inc()
             if not found:
                 registry.counter("search.misses").inc()
             registry.timer("search.contains.seconds").observe(
                 time.perf_counter() - started)
-            return found
-        return find_first_end(self, self.alphabet.encode(pattern)) is not None
+        else:
+            found = find_first_end(self, self.alphabet.encode(pattern),
+                                   _span=span) is not None
+        if span is not None:
+            tracer.finish(span, status="hit" if found else "miss")
+        return found
 
     def find_first(self, pattern):
         """0-indexed start of the first occurrence, or ``None``."""

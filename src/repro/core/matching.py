@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from repro.core.search import OccurrenceScanner
 from repro.exceptions import SearchError
 from repro.obs import get_registry
+from repro.obs.trace import get_tracer
 
 
 @dataclass
@@ -75,13 +76,14 @@ class MaximalMatch:
         return self.query_start + self.length
 
 
-def _extend_longest(index, cur, length, code, result):
+def _extend_longest(index, cur, length, code, result, _span=None):
     """Extend the longest possible suffix of the current match by ``code``.
 
     Returns ``(node, new_length)`` or ``None`` when ``code`` extends not
     even the empty suffix (the character does not occur in the data
     string). ``cur`` must be the first-occurrence end node of the current
-    length-``length`` match.
+    length-``length`` match. ``_span`` is an active trace span
+    (:mod:`repro.obs.trace`); rib decisions and link hops land on it.
     """
     codes = index._codes
     ribs = index._ribs
@@ -93,6 +95,8 @@ def _extend_longest(index, cur, length, code, result):
     while True:
         result.checks += 1
         if cur < n and codes[cur + 1] == code:
+            if _span is not None:
+                _span.vertebra(cur)
             return cur + 1, length + 1
         cand_dest = -1
         cand_pt = -1
@@ -100,24 +104,47 @@ def _extend_longest(index, cur, length, code, result):
         rib = ribs.get(key)
         if rib is not None:
             d, pt = rib
+            if _span is not None:
+                _span.event("enter-rib", node=cur, code=code, dest=d,
+                            pt=pt, pathlength=length)
             if length <= pt:
+                if _span is not None:
+                    _span.event("pt-accept", node=cur, pt=pt,
+                                pathlength=length, dest=d)
                 return d, length + 1
+            if _span is not None:
+                _span.event("pt-reject", node=cur, pt=pt,
+                            pathlength=length)
             # Walk the extrib chain for a full-length extension; remember
             # the longest threshold seen as the shortened fallback
             # candidate.
             cand_dest, cand_pt = d, pt
             for e_dest, e_pt in extchains.get(key, ()):
-                if e_pt >= length:
+                taken = e_pt >= length
+                if _span is not None:
+                    _span.event("extrib-fallthrough", node=cur,
+                                pt=e_pt, pathlength=length,
+                                dest=e_dest, taken=taken)
+                if taken:
                     return e_dest, length + 1
                 cand_dest, cand_pt = e_dest, e_pt
         if cur == 0:
             # At the root the match length is zero; no edge means the
             # character is absent from the data string.
+            if _span is not None:
+                _span.event("no-edge", node=0, code=code, pathlength=0)
             return None
         lel = link_lel[cur]
         if cand_pt >= lel:
             # The longest extendable suffix is recorded at this node.
+            if _span is not None:
+                _span.event("pt-accept", node=cur, pt=cand_pt,
+                            pathlength=cand_pt, dest=cand_dest,
+                            shortened=True)
             return cand_dest, cand_pt + 1
+        if _span is not None:
+            _span.event("link-hop", src=cur, dest=link_dest[cur],
+                        lel=lel, pathlength=length)
         cur = link_dest[cur]
         length = lel
         result.link_hops += 1
@@ -131,6 +158,9 @@ def matching_statistics(index, query):
     """
     registry = get_registry()
     observing = registry.enabled
+    tracer = get_tracer()
+    span = (tracer.begin("matching.statistics", query_chars=len(query))
+            if tracer.enabled else None)
     if observing:
         started = time.perf_counter()
     codes = index.alphabet.encode(query)
@@ -140,13 +170,16 @@ def matching_statistics(index, query):
     cur = 0
     length = 0
     for code in codes:
-        hit = _extend_longest(index, cur, length, code, result)
+        hit = _extend_longest(index, cur, length, code, result, span)
         if hit is None:
             cur, length = 0, 0
         else:
             cur, length = hit
         lengths.append(length)
         end_nodes.append(cur)
+    if span is not None:
+        tracer.finish(span, status="done", checks=result.checks,
+                      link_hops=result.link_hops)
     if observing:
         # One bulk publish per streamed query — the per-hop accounting
         # already lives in the MatchingResult.

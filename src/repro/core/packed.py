@@ -196,12 +196,18 @@ class PackedSpineIndex:
     # traversal
     # ------------------------------------------------------------------
 
-    def step(self, node, pathlength, code):
-        """Identical contract to :meth:`SpineIndex.step`."""
+    def step(self, node, pathlength, code, _span=None):
+        """Identical contract to :meth:`SpineIndex.step` (``_span`` is
+        an active trace span collecting the edge decisions)."""
         if node < self._n and self._codes[node + 1] == code:
+            if _span is not None:
+                _span.vertebra(node)
             return node + 1
         ref = int(self._lt_ref[node])
         if ref >= 0:
+            if _span is not None:
+                _span.event("no-edge", node=node, code=int(code),
+                            pathlength=pathlength)
             return None
         fanout, row = self._decode_ptr(ref)
         table = self._tables[fanout]
@@ -211,26 +217,61 @@ class PackedSpineIndex:
                 continue
             dest = int(table.dests[row, slot])
             pt = int(table.pts[row, slot])
+            if _span is not None:
+                _span.event("enter-rib", node=node, code=int(code),
+                            dest=dest, pt=pt, pathlength=pathlength)
             if pathlength <= pt:
+                if _span is not None:
+                    _span.event("pt-accept", node=node, pt=pt,
+                                pathlength=pathlength, dest=dest)
                 return dest
-            span = self._chains.get((fanout, row, slot))
-            if span is None:
+            if _span is not None:
+                _span.event("pt-reject", node=node, pt=pt,
+                            pathlength=pathlength)
+            chain = self._chains.get((fanout, row, slot))
+            if chain is None:
+                if _span is not None:
+                    _span.event("no-edge", node=node, code=int(code),
+                                pathlength=pathlength,
+                                exhausted="extribs")
                 return None
-            offset, length = span
+            offset, length = chain
             ext_pt = self._ext_pt
             for k in range(offset, offset + length):
-                if ext_pt[k] >= pathlength:
-                    return int(self._ext_dest[k])
+                e_pt = int(ext_pt[k])
+                e_dest = int(self._ext_dest[k])
+                taken = e_pt >= pathlength
+                if _span is not None:
+                    _span.event("extrib-fallthrough", node=node,
+                                pt=e_pt, pathlength=pathlength,
+                                dest=e_dest, taken=taken)
+                if taken:
+                    return e_dest
+            if _span is not None:
+                _span.event("no-edge", node=node, code=int(code),
+                            pathlength=pathlength, exhausted="extribs")
             return None
+        if _span is not None:
+            _span.event("no-edge", node=node, code=int(code),
+                        pathlength=pathlength)
         return None
 
     def contains(self, pattern):
         """True iff ``pattern`` occurs in the indexed string."""
+        from repro.obs.trace import get_tracer
+
+        tracer = get_tracer()
+        span = (tracer.begin("packed.search.contains", pattern=pattern)
+                if tracer.enabled else None)
         node = 0
         for pathlength, code in enumerate(self.alphabet.encode(pattern)):
-            node = self.step(node, pathlength, code)
+            node = self.step(node, pathlength, code, span)
             if node is None:
+                if span is not None:
+                    tracer.finish(span, status="miss")
                 return False
+        if span is not None:
+            tracer.finish(span, status="hit")
         return True
 
     def find_first(self, pattern):

@@ -18,18 +18,31 @@ import time
 
 from repro.exceptions import SearchError
 from repro.obs import get_registry
+from repro.obs.trace import get_tracer
 
 
-def find_first_end(index, codes, _metrics=None):
+def find_first_end(index, codes, _metrics=None, _span=None):
     """End node of the first occurrence of ``codes``, or ``None``.
 
     ``codes`` is a sequence of alphabet codes; the empty sequence ends
     at the root (node 0). ``_metrics`` is an enabled registry used by
     the instrumented query wrappers below; step accounting is one bulk
-    counter update per call, never per character.
+    counter update per call, never per character. ``_span`` is an
+    active trace span; when given, every edge decision of the
+    traversal lands on it (:mod:`repro.obs.trace`).
     """
     node = 0
     step = index.step
+    if _span is not None:
+        for pathlength, code in enumerate(codes):
+            node = step(node, pathlength, code, _span)
+            if node is None:
+                if _metrics is not None:
+                    _metrics.counter("search.steps").inc(pathlength + 1)
+                return None
+        if _metrics is not None:
+            _metrics.counter("search.steps").inc(len(codes))
+        return node
     for pathlength, code in enumerate(codes):
         node = step(node, pathlength, code)
         if node is None:
@@ -49,16 +62,22 @@ def find_first(index, pattern):
     """
     registry = get_registry()
     metrics = registry if registry.enabled else None
+    tracer = get_tracer()
+    span = (tracer.begin("search.find_first", pattern=pattern)
+            if tracer.enabled else None)
     if metrics is not None:
         started = time.perf_counter()
     codes = index.alphabet.encode(pattern)
-    end = find_first_end(index, codes, metrics)
+    end = find_first_end(index, codes, metrics, span)
     if metrics is not None:
         metrics.counter("search.queries").inc()
         if end is None:
             metrics.counter("search.misses").inc()
         metrics.timer("search.find_first.seconds").observe(
             time.perf_counter() - started)
+    if span is not None:
+        tracer.finish(span, status="miss" if end is None else "hit",
+                      end_node=end)
     if end is None:
         return None
     return end - len(codes)
@@ -77,16 +96,21 @@ def find_all(index, pattern):
         raise SearchError("find_all of the empty pattern is ill-defined")
     registry = get_registry()
     metrics = registry if registry.enabled else None
+    tracer = get_tracer()
+    span = (tracer.begin("search.find_all", pattern=pattern)
+            if tracer.enabled else None)
     if metrics is not None:
         started = time.perf_counter()
     codes = index.alphabet.encode(pattern)
-    first_end = find_first_end(index, codes, metrics)
+    first_end = find_first_end(index, codes, metrics, span)
     if first_end is None:
         if metrics is not None:
             metrics.counter("search.queries").inc()
             metrics.counter("search.misses").inc()
             metrics.timer("search.find_all.seconds").observe(
                 time.perf_counter() - started)
+        if span is not None:
+            tracer.finish(span, status="miss")
         return []
     m = len(codes)
     ends = _scan_occurrences(index, first_end, m)
@@ -100,6 +124,10 @@ def find_all(index, pattern):
             index._n - first_end)
         metrics.timer("search.find_all.seconds").observe(
             time.perf_counter() - started)
+    if span is not None:
+        tracer.finish(span, status="hit", end_node=first_end,
+                      occurrences=len(ends),
+                      scan_nodes=index._n - first_end)
     return [end - m for end in ends]
 
 

@@ -42,6 +42,7 @@ from repro.alphabet import Alphabet, dna_alphabet
 from repro.core.matching import MatchingResult, MaximalMatch
 from repro.exceptions import ConstructionError, SearchError, StorageError
 from repro.obs import get_registry, record_io_snapshot
+from repro.obs.trace import get_tracer
 from repro.storage.buffer import (
     BufferPool, ClockPolicy, LRUPolicy, PinTopPolicy)
 from repro.storage.pager import PageFile
@@ -558,9 +559,16 @@ class DiskSpineIndex:
         dest, lel, _ = self._lt_read(i)
         return dest, lel
 
-    def step(self, node, pathlength, code):
-        """Same contract as :meth:`SpineIndex.step`, via the pool."""
+    def step(self, node, pathlength, code, _span=None):
+        """Same contract as :meth:`SpineIndex.step`, via the pool.
+
+        With an active trace span (``_span``), edge decisions are
+        recorded; the buffer pool independently attributes any page
+        faults these record reads cause to the same span.
+        """
         if node < self._n and self._cl.read(node + 1)[0] == code:
+            if _span is not None:
+                _span.vertebra(node)
             return node + 1
         if node <= self._n:
             ref = self._lt.read(node)[0]
@@ -569,36 +577,63 @@ class DiskSpineIndex:
             rt_ptr = -1
         hit = self._find_slot(rt_ptr, code)
         if hit is None:
+            if _span is not None:
+                _span.event("no-edge", node=node, code=code,
+                            pathlength=pathlength)
             return None
         _, _, _, d, pt, chead = hit
+        if _span is not None:
+            _span.event("enter-rib", node=node, code=code, dest=d,
+                        pt=pt, pathlength=pathlength)
         if pathlength <= pt:
+            if _span is not None:
+                _span.event("pt-accept", node=node, pt=pt,
+                            pathlength=pathlength, dest=d)
             return d
+        if _span is not None:
+            _span.event("pt-reject", node=node, pt=pt,
+                        pathlength=pathlength)
         eid = chead
         while eid != -1:
             e_dest, e_pt, e_next = self._ext.read(eid)
-            if e_pt >= pathlength:
+            taken = e_pt >= pathlength
+            if _span is not None:
+                _span.event("extrib-fallthrough", node=node, pt=e_pt,
+                            pathlength=pathlength, dest=e_dest,
+                            taken=taken)
+            if taken:
                 return e_dest
             eid = e_next
+        if _span is not None:
+            _span.event("no-edge", node=node, code=code,
+                        pathlength=pathlength, exhausted="extribs")
         return None
 
     def contains(self, pattern):
         """True iff ``pattern`` occurs in the indexed string."""
         registry = get_registry()
+        tracer = get_tracer()
+        span = (tracer.begin("disk.search.contains", pattern=pattern,
+                             policy=self.policy_name)
+                if tracer.enabled else None)
         if registry.enabled:
             started = time.perf_counter()
-            found = self._contains(pattern)
+            found = self._contains(pattern, span)
             registry.counter("disk.search.queries").inc()
             if not found:
                 registry.counter("disk.search.misses").inc()
             registry.timer("disk.search.contains.seconds").observe(
                 time.perf_counter() - started)
-            return found
-        return self._contains(pattern)
+        else:
+            found = self._contains(pattern, span)
+        if span is not None:
+            tracer.finish(span, status="hit" if found else "miss")
+        return found
 
-    def _contains(self, pattern):
+    def _contains(self, pattern, _span=None):
         node = 0
         for pathlength, code in enumerate(self.alphabet.encode(pattern)):
-            node = self.step(node, pathlength, code)
+            node = self.step(node, pathlength, code, _span)
             if node is None:
                 return False
         return True
@@ -610,23 +645,32 @@ class DiskSpineIndex:
             raise SearchError("find_all of the empty pattern is "
                               "ill-defined")
         registry = get_registry()
+        tracer = get_tracer()
+        span = (tracer.begin("disk.search.find_all", pattern=pattern,
+                             policy=self.policy_name)
+                if tracer.enabled else None)
         if registry.enabled:
             started = time.perf_counter()
-            starts = self._find_all(pattern)
+            starts = self._find_all(pattern, span)
             registry.counter("disk.search.queries").inc()
             registry.counter("disk.search.occurrences").inc(len(starts))
             if not starts:
                 registry.counter("disk.search.misses").inc()
             registry.timer("disk.search.find_all.seconds").observe(
                 time.perf_counter() - started)
-            return starts
-        return self._find_all(pattern)
+        else:
+            starts = self._find_all(pattern, span)
+        if span is not None:
+            tracer.finish(span,
+                          status="hit" if starts else "miss",
+                          occurrences=len(starts))
+        return starts
 
-    def _find_all(self, pattern):
+    def _find_all(self, pattern, _span=None):
         codes = self.alphabet.encode(pattern)
         node = 0
         for pathlength, code in enumerate(codes):
-            node = self.step(node, pathlength, code)
+            node = self.step(node, pathlength, code, _span)
             if node is None:
                 return []
         m = len(codes)
@@ -642,23 +686,33 @@ class DiskSpineIndex:
     def matching_statistics(self, query):
         """Disk-resident matching statistics (same semantics and check
         accounting as :func:`repro.core.matching.matching_statistics`)."""
+        tracer = get_tracer()
+        span = (tracer.begin("disk.matching.statistics",
+                             query_chars=len(query),
+                             policy=self.policy_name)
+                if tracer.enabled else None)
         result = MatchingResult()
         cur, length = 0, 0
         for code in self.alphabet.encode(query):
-            hit = self._extend_longest(cur, length, code, result)
+            hit = self._extend_longest(cur, length, code, result, span)
             if hit is None:
                 cur, length = 0, 0
             else:
                 cur, length = hit
             result.lengths.append(length)
             result.end_nodes.append(cur)
+        if span is not None:
+            tracer.finish(span, status="done", checks=result.checks,
+                          link_hops=result.link_hops)
         return result
 
-    def _extend_longest(self, cur, length, code, result):
+    def _extend_longest(self, cur, length, code, result, _span=None):
         n = self._n
         while True:
             result.checks += 1
             if cur < n and self._cl.read(cur + 1)[0] == code:
+                if _span is not None:
+                    _span.vertebra(cur)
                 return cur + 1, length + 1
             cand_dest = -1
             cand_pt = -1
@@ -666,20 +720,44 @@ class DiskSpineIndex:
             hit = self._find_slot(rt_ptr, code)
             if hit is not None:
                 _, _, _, d, pt, chead = hit
+                if _span is not None:
+                    _span.event("enter-rib", node=cur, code=code,
+                                dest=d, pt=pt, pathlength=length)
                 if length <= pt:
+                    if _span is not None:
+                        _span.event("pt-accept", node=cur, pt=pt,
+                                    pathlength=length, dest=d)
                     return d, length + 1
+                if _span is not None:
+                    _span.event("pt-reject", node=cur, pt=pt,
+                                pathlength=length)
                 cand_dest, cand_pt = d, pt
                 eid = chead
                 while eid != -1:
                     e_dest, e_pt, e_next = self._ext.read(eid)
-                    if e_pt >= length:
+                    taken = e_pt >= length
+                    if _span is not None:
+                        _span.event("extrib-fallthrough", node=cur,
+                                    pt=e_pt, pathlength=length,
+                                    dest=e_dest, taken=taken)
+                    if taken:
                         return e_dest, length + 1
                     cand_dest, cand_pt = e_dest, e_pt
                     eid = e_next
             if cur == 0:
+                if _span is not None:
+                    _span.event("no-edge", node=0, code=code,
+                                pathlength=0)
                 return None
             if cand_pt >= link_lel:
+                if _span is not None:
+                    _span.event("pt-accept", node=cur, pt=cand_pt,
+                                pathlength=cand_pt, dest=cand_dest,
+                                shortened=True)
                 return cand_dest, cand_pt + 1
+            if _span is not None:
+                _span.event("link-hop", src=cur, dest=link_dest,
+                            lel=link_lel, pathlength=length)
             cur = link_dest
             length = link_lel
             result.link_hops += 1

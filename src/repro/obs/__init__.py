@@ -24,6 +24,15 @@ or imperatively with ``obs.enable_metrics()`` / ``obs.disable_metrics()``.
 The ``repro profile`` CLI subcommand and
 ``benchmarks/bench_report.py`` build their JSON reports from exactly
 this surface.
+
+Aggregates are one half of the story; :mod:`repro.obs.trace` is the
+other: per-query **spans** recording the traversal itself (rib
+attempts, PT accept/reject decisions, extrib fallthroughs, link hops,
+buffer-pool page fetches), sampled every Nth query and exported as
+JSON lines. The ``repro explain`` subcommand
+(:mod:`repro.obs.explain`) renders a single pattern's span as a
+human-readable step-by-step account. Both follow the same off-by-
+default, one-attribute-check-when-disabled discipline.
 """
 
 from __future__ import annotations
@@ -38,20 +47,36 @@ from repro.obs.registry import (
     Timer,
 )
 from repro.obs.report import build_report, record_io_snapshot
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    get_tracer,
+    set_tracer,
+    summarize_spans,
+    tracing_enabled,
+)
 
 __all__ = [
     "Counter",
     "Histogram",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
-    "Timer",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
     "build_report",
     "disable_metrics",
     "enable_metrics",
     "get_registry",
+    "get_tracer",
     "metrics_enabled",
     "record_io_snapshot",
     "set_registry",
+    "set_tracer",
+    "summarize_spans",
+    "Timer",
+    "tracing_enabled",
 ]
 
 #: Process-global registry; disabled until someone opts in.

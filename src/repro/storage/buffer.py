@@ -14,6 +14,7 @@ from __future__ import annotations
 from collections import OrderedDict
 
 from repro.exceptions import StorageError
+from repro.obs.trace import get_tracer
 
 
 class LRUPolicy:
@@ -150,6 +151,12 @@ class BufferPool:
             self.policy.touch(page_id)
             return frame
         metrics.buffer_misses += 1
+        # Attribute the fault to the traced query that caused it (the
+        # active span of :mod:`repro.obs.trace`, if any). ``physical``
+        # distinguishes real page reads from fresh-allocation faults.
+        span = get_tracer().active
+        if span is not None:
+            span.event("page-fetch", page=page_id, physical=load)
         if len(self._frames) >= self.capacity:
             self._evict_one()
         if load:

@@ -10,11 +10,14 @@ class IOMetrics:
     """Counters of physical page traffic.
 
     ``sequential_reads``/``sequential_writes`` count operations whose
-    page id immediately follows the previous physical access (a modern
-    enough proxy for a disk-arm-friendly access); everything else is
-    random. Synchronous writes are counted separately because the
-    paper's experiments force them (``O_SYNC``) and they dominate the
-    Figure 7 times.
+    page id immediately follows the previous physical access *of the
+    same kind* (a modern enough proxy for a disk-arm-friendly access);
+    everything else is random. Reads and writes keep separate last-page
+    cursors — a read stream stays sequential even when interleaved with
+    writes elsewhere in the file, matching how an OS-level read-ahead
+    window or a log-structured write stream would behave. Synchronous
+    writes are counted separately because the paper's experiments force
+    them (``O_SYNC``) and they dominate the Figure 7 times.
     """
 
     reads: int = 0
@@ -27,27 +30,28 @@ class IOMetrics:
     buffer_hits: int = 0
     buffer_misses: int = 0
     evictions: int = 0
-    _last_page: int = -2
+    _last_read_page: int = -2
+    _last_write_page: int = -2
 
     def record_read(self, page_id):
         """Count one physical page read."""
         self.reads += 1
-        if page_id == self._last_page + 1:
+        if page_id == self._last_read_page + 1:
             self.sequential_reads += 1
         else:
             self.random_reads += 1
-        self._last_page = page_id
+        self._last_read_page = page_id
 
     def record_write(self, page_id, sync=False):
         """Count one physical page write (``sync`` = forced flush)."""
         self.writes += 1
         if sync:
             self.sync_writes += 1
-        if page_id == self._last_page + 1:
+        if page_id == self._last_write_page + 1:
             self.sequential_writes += 1
         else:
             self.random_writes += 1
-        self._last_page = page_id
+        self._last_write_page = page_id
 
     def reset(self):
         """Zero every counter."""

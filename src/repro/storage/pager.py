@@ -11,6 +11,7 @@ from __future__ import annotations
 import os
 
 from repro.exceptions import StorageError
+from repro.obs.trace import get_tracer
 from repro.storage.metrics import IOMetrics
 
 
@@ -83,6 +84,13 @@ class PageFile:
                 f"page write of {len(data)} bytes, expected "
                 f"{self.page_size}")
         self.metrics.record_write(page_id, sync=self.sync_writes)
+        # A physical write during a traced query is a dirty write-back
+        # that query forced (eviction under buffer pressure) — worth
+        # attributing. Reads are attributed at the buffer-miss level.
+        span = get_tracer().active
+        if span is not None:
+            span.event("page-write", page=page_id,
+                       sync=self.sync_writes)
         if self._fd is None:
             self._pages[page_id] = bytes(data)
         else:

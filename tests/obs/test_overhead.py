@@ -1,0 +1,97 @@
+"""Disabled-mode cost guard for the observability layers.
+
+The contract (ISSUE/PR discipline since the metrics registry landed):
+with metrics and tracing both disabled, a search allocates **zero**
+trace or instrument objects — call sites gate on one attribute check
+and fall through to the seed-era fast loops. The test enforces that
+two ways: sentinel identity (disabled registries/tracers hand back
+``NULL_INSTRUMENT``/``None``) and booby-trapped constructors (any
+``Span``/``Counter``/``Timer``/``Histogram`` allocation during the
+disabled run raises). A loose wall-clock bound keeps the disabled path
+within a factor of the bare traversal core it wraps.
+"""
+
+import time
+
+import pytest
+
+from repro import obs
+from repro.core.index import SpineIndex
+from repro.core.matching import matching_statistics
+from repro.core.search import find_first_end
+from repro.obs import registry as registry_mod
+from repro.obs import trace as trace_mod
+from repro.sequences import generate_dna
+
+SCALE = 100_000
+
+
+@pytest.fixture(scope="module")
+def big_index():
+    return SpineIndex(generate_dna(SCALE, seed=11))
+
+
+@pytest.fixture(scope="module")
+def patterns():
+    dna = generate_dna(SCALE, seed=11)
+    return [dna[start:start + 16] for start in range(0, 4000, 40)]
+
+
+def test_disabled_sentinels():
+    assert obs.get_registry().enabled is False
+    assert obs.get_tracer().enabled is False
+    assert obs.get_registry().counter("x") is registry_mod.NULL_INSTRUMENT
+    assert obs.get_registry().timer("x") is registry_mod.NULL_INSTRUMENT
+    assert obs.get_tracer().begin("x") is None
+
+
+def test_disabled_search_allocates_no_observability_objects(
+        big_index, patterns, monkeypatch):
+    def boom(self, *args, **kwargs):
+        raise AssertionError(
+            "observability object allocated on the disabled path")
+
+    monkeypatch.setattr(trace_mod.Span, "__init__", boom)
+    monkeypatch.setattr(registry_mod.Counter, "__init__", boom)
+    monkeypatch.setattr(registry_mod.Timer, "__init__", boom)
+    monkeypatch.setattr(registry_mod.Histogram, "__init__", boom)
+
+    assert not obs.get_registry().enabled
+    assert not obs.get_tracer().enabled
+    for pattern in patterns:
+        assert big_index.contains(pattern)
+    big_index.find_all(patterns[0])
+    matching_statistics(big_index, generate_dna(512, seed=12))
+
+
+def test_disabled_search_wall_clock_factor(big_index, patterns):
+    """Public (instrumented-but-disabled) search stays within a loose
+    factor of the bare traversal core — the seed-era loop that
+    ``find_first_end`` still runs when no span is attached."""
+    encode = big_index.alphabet.encode
+
+    def bare():
+        for pattern in patterns:
+            find_first_end(big_index, encode(pattern))
+
+    def public():
+        for pattern in patterns:
+            big_index.contains(pattern)
+
+    def best(fn, repeats=3):
+        times = []
+        for _ in range(repeats):
+            started = time.perf_counter()
+            fn()
+            times.append(time.perf_counter() - started)
+        return min(times)
+
+    bare()  # warm both paths before timing
+    public()
+    baseline = best(bare)
+    observed = best(public)
+    # Generous: gating is one attribute check per query, but tiny
+    # absolute times make the ratio noisy on loaded CI machines.
+    assert observed <= baseline * 5 + 0.05, (
+        f"disabled-path search took {observed:.4f}s vs bare traversal "
+        f"{baseline:.4f}s")

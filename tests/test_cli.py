@@ -135,6 +135,61 @@ class TestGeneralizedCli:
         assert main(["search", out, "GGGG", "--generalized"]) == 1
 
 
+class TestExplain:
+    def test_explain_paper_false_positive(self, capsys):
+        assert main(["explain", "accaa", "--text", "aaccacaaca"]) == 0
+        out = capsys.readouterr().out
+        assert "NOT a substring" in out
+        assert "REJECT" in out and "PT" in out
+
+    def test_explain_match_with_occurrences(self, capsys):
+        assert main(["explain", "caca", "--text", "aaccacaaca"]) == 0
+        out = capsys.readouterr().out
+        assert "IS a substring" in out
+        assert "first occurrence at position 3" in out
+
+    def test_explain_json(self, capsys):
+        import json
+
+        assert main(["explain", "acaa", "--text", "aaccacaaca",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["matched"] is True
+        assert doc["steps"][2]["outcome"] == "extrib"
+
+    def test_explain_saved_index(self, index_file, capsys):
+        assert main(["explain", "GGTTACG", "--index",
+                     index_file]) == 0
+        assert "IS a substring" in capsys.readouterr().out
+
+    def test_explain_needs_one_source(self, index_file, capsys):
+        assert main(["explain", "ac"]) == 2
+        assert main(["explain", "ac", "--index", index_file,
+                     "--text", "acac"]) == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestTraceOut:
+    def test_search_trace_out(self, index_file, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "q.jsonl"
+        assert main(["search", index_file, "GGTTACG",
+                     "--trace-out", str(trace)]) == 0
+        lines = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        assert lines, "at least the query span must be exported"
+        assert any(doc["op"].startswith("search.") for doc in lines)
+        assert all(doc["schema"] == 1 for doc in lines)
+
+    def test_search_leaves_tracer_disabled(self, index_file, tmp_path):
+        from repro import obs
+
+        assert main(["search", index_file, "GGTTACG",
+                     "--trace-out", str(tmp_path / "t.jsonl")]) == 0
+        assert obs.get_tracer().enabled is False
+
+
 class TestProfile:
     def test_profile_emits_json_report(self, fasta, tmp_path, capsys):
         import json
@@ -170,6 +225,34 @@ class TestProfile:
                      "--disk-chars", "60",
                      "-o", str(tmp_path / "r.json")]) == 0
         assert obs.get_registry().enabled is False
+
+    def test_profile_patterns_file(self, fasta, tmp_path, capsys):
+        import json
+
+        workload = tmp_path / "patterns.txt"
+        workload.write_text("# real workload\nACGTACG\n\nGGTTACG\n")
+        trace = tmp_path / "trace.jsonl"
+        assert main(["profile", fasta, "--queries", "6",
+                     "--disk-chars", "60",
+                     "--patterns-file", str(workload),
+                     "--trace-out", str(trace),
+                     "-o", str(tmp_path / "r.json")]) == 0
+        report = json.loads((tmp_path / "r.json").read_text())
+        assert report["context"]["workload_patterns"] == 2
+        assert report["context"]["patterns_file"] == str(workload)
+        # The workload cycles: 6 queries from 2 patterns.
+        assert report["metrics"]["counters"]["search.queries"] >= 6
+        # Tracing was live: a summary section plus exported spans.
+        assert report["trace"]["spans"] > 0
+        assert trace.read_text().strip()
+
+    def test_profile_empty_patterns_file(self, fasta, tmp_path,
+                                         capsys):
+        empty = tmp_path / "none.txt"
+        empty.write_text("# only comments\n")
+        assert main(["profile", fasta, "--queries", "2",
+                     "--patterns-file", str(empty)]) == 2
+        assert "no patterns" in capsys.readouterr().err
 
 
 class TestBenchReport:
