@@ -27,8 +27,10 @@ from repro.alphabet import (
     protein_alphabet,
 )
 from repro.core import (
+    BatchMatch,
     GeneralizedSpineIndex,
     SpineIndex,
+    batch_find_all,
     collect_statistics,
     load_index,
     longest_common_substring,
@@ -39,6 +41,7 @@ from repro.core import (
     verify_index,
 )
 from repro.core.packed import PackedSpineIndex
+from repro.serve import QueryService, SnapshotGuard
 from repro.exceptions import (
     AlphabetError,
     ConstructionError,
@@ -59,6 +62,10 @@ __all__ = [
     "SpineIndex",
     "GeneralizedSpineIndex",
     "PackedSpineIndex",
+    "BatchMatch",
+    "batch_find_all",
+    "QueryService",
+    "SnapshotGuard",
     "collect_statistics",
     "load_index",
     "longest_common_substring",

@@ -84,6 +84,25 @@ class Alphabet:
                 f"character {exc.args[0]!r} not in alphabet {self.name!r}"
             ) from None
 
+    def try_encode(self, text):
+        """Encode ``text``, or ``None`` when any character falls outside
+        the alphabet.
+
+        A pattern containing a foreign character cannot occur in any
+        string over this alphabet, so the search layers treat ``None``
+        as a clean miss instead of propagating :class:`AlphabetError`.
+        """
+        if self.case_insensitive:
+            text = text.upper()
+        get = self._char_to_code.get
+        codes = []
+        for ch in text:
+            code = get(ch)
+            if code is None:
+                return None
+            codes.append(code)
+        return codes
+
     def encode_char(self, ch):
         """Encode a single character."""
         if self.case_insensitive:

@@ -136,6 +136,37 @@ def _cmd_search(args):
         return 0
 
 
+def _cmd_batch(args):
+    """Answer a whole patterns file with one shared backbone scan."""
+    import json
+
+    from repro.core.batch import batch_find_all
+    from repro.core.serialize import load_index
+
+    patterns = _load_patterns_file(args.patterns_file)
+    index = load_index(args.index)
+    with _trace_session(args):
+        results = batch_find_all(index, patterns, threads=args.threads)
+    hits = sum(1 for r in results if r.found)
+    if args.json:
+        print(json.dumps({
+            "patterns": len(results),
+            "hits": hits,
+            "results": [{
+                "pattern": r.pattern,
+                "status": r.status,
+                "count": len(r.starts),
+                "starts": r.starts,
+            } for r in results],
+        }, indent=2))
+    else:
+        print(f"{hits}/{len(results)} pattern(s) found")
+        for r in results:
+            starts = ",".join(map(str, r.starts))
+            print(f"{r.pattern}\t{r.status}\t{len(r.starts)}\t{starts}")
+    return 0 if hits else 1
+
+
 def _cmd_match(args):
     from repro.core.matching import maximal_matches
     from repro.core.serialize import load_index
@@ -400,6 +431,22 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit the structured account as JSON")
     p.set_defaults(func=_cmd_explain)
+
+    p = sub.add_parser(
+        "batch",
+        help="answer a patterns file with one shared backbone scan")
+    p.add_argument("index")
+    p.add_argument("--patterns-file", required=True, metavar="FILE",
+                   help="query patterns, one per line (# comments ok)")
+    p.add_argument("--threads", type=int, default=1,
+                   help="traversal-phase worker threads (default 1)")
+    p.add_argument("--json", action="store_true",
+                   help="emit structured results as JSON")
+    p.add_argument("--trace-out", metavar="FILE",
+                   help="write the batch's trace span(s) as JSONL")
+    p.add_argument("--trace-sample", type=int, default=1,
+                   help="trace every Nth span (default: every)")
+    p.set_defaults(func=_cmd_batch)
 
     p = sub.add_parser("match", help="maximal matches of a query FASTA")
     p.add_argument("index")

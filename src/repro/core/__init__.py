@@ -20,6 +20,12 @@ Public surface:
 
 from repro.core.index import SpineIndex
 from repro.core.generalized import GeneralizedSpineIndex
+from repro.core.batch import (
+    BatchMatch,
+    batch_find_all,
+    contains_at,
+    find_all_at,
+)
 from repro.core.search import (
     OccurrenceScanner,
     find_all,
@@ -48,6 +54,10 @@ from repro.core.verify import verify_index
 __all__ = [
     "SpineIndex",
     "GeneralizedSpineIndex",
+    "BatchMatch",
+    "batch_find_all",
+    "contains_at",
+    "find_all_at",
     "OccurrenceScanner",
     "find_all",
     "find_first",

@@ -163,25 +163,33 @@ class SpineIndex:
         n = self._n
         codes.append(c)
         new = n + 1
-        self._n = new
+        # ``self._n`` is published only once the new node is complete
+        # (vertebra, ribs/extribs and its link all appended): a
+        # concurrent snapshot-bounded reader (repro.serve) that
+        # observes ``len(index) == new`` must find node ``new`` fully
+        # formed. Entries planted mid-append always reference ``new``
+        # and are invisible to readers bounded at ``n`` or below.
 
         if n == 0:
             # First character: link straight to the root (Section 3).
             link_dest.append(0)
             link_lel.append(0)
+            self._n = new
             return
 
         # Walk the link chain starting from the old tail's link.
         v = link_dest[n]
         lel = link_lel[n]
         if self._track_stats:
-            return self._append_tail_tracked(c, v, lel, new)
+            self._append_tail_tracked(c, v, lel, new)
+            self._n = new
+            return
         while True:
             if codes[v + 1] == c:
                 # CASE 1: vertebra with the new character exists at v.
                 link_dest.append(v + 1)
                 link_lel.append(lel + 1)
-                return
+                break
             key = v * asize + c
             rib = ribs.get(key)
             if rib is not None:
@@ -190,19 +198,20 @@ class SpineIndex:
                     # CASE 2: rib with sufficient threshold.
                     link_dest.append(d)
                     link_lel.append(lel + 1)
-                    return
+                    break
                 # CASE 4: rib fails the threshold test -> extrib chain.
                 self._handle_extribs(key, d, pt, lel, new)
-                return
+                break
             # CASE 3: no edge for c here; plant a rib to the new tail.
             ribs[v * asize + c] = (new, lel)
             if v == 0:
                 # Chain exhausted at the root: null-suffix link.
                 link_dest.append(0)
                 link_lel.append(0)
-                return
+                break
             lel = link_lel[v]
             v = link_dest[v]
+        self._n = new
 
     def _append_tail_tracked(self, c, v, lel, new):
         """Same walk as :meth:`append_code`, with effort counters."""
@@ -353,6 +362,23 @@ class SpineIndex:
         """Total number of extrib elements across all chains."""
         return sum(len(chain) for chain in self._extchains.values())
 
+    def iter_link_entries(self, lo=0, hi=None, min_lel=0):
+        """Yield ``(j, dest, LEL)`` for backbone nodes ``lo < j <= hi``
+        whose LEL is at least ``min_lel``.
+
+        The downstream-scan primitive shared by
+        :class:`~repro.core.search.OccurrenceScanner` and the batch
+        engine; nodes below the LEL floor can never end a registered
+        occurrence, so callers may skip them.
+        """
+        link_dest = self._link_dest
+        link_lel = self._link_lel
+        n = self._n if hi is None else min(hi, self._n)
+        for j in range(lo + 1, n + 1):
+            lel = link_lel[j]
+            if lel >= min_lel:
+                yield j, link_dest[j], lel
+
     def ribs_at(self, node):
         """Dict ``code -> (dest, PT)`` of all ribs at ``node``."""
         asize = self._asize
@@ -442,16 +468,19 @@ class SpineIndex:
                 if tracer.enabled else None)
         if registry.enabled:
             started = time.perf_counter()
-            found = find_first_end(self, self.alphabet.encode(pattern),
-                                   registry, span) is not None
+            codes = self.alphabet.try_encode(pattern)
+            # A foreign character cannot occur: clean miss, no raise.
+            found = codes is not None and find_first_end(
+                self, codes, registry, span) is not None
             registry.counter("search.queries").inc()
             if not found:
                 registry.counter("search.misses").inc()
             registry.timer("search.contains.seconds").observe(
                 time.perf_counter() - started)
         else:
-            found = find_first_end(self, self.alphabet.encode(pattern),
-                                   _span=span) is not None
+            codes = self.alphabet.try_encode(pattern)
+            found = codes is not None and find_first_end(
+                self, codes, _span=span) is not None
         if span is not None:
             tracer.finish(span, status="hit" if found else "miss")
         return found

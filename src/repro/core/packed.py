@@ -179,6 +179,35 @@ class PackedSpineIndex:
             lel = self._lel_overflow.get(i, lel)
         return dest, lel
 
+    def iter_link_entries(self, lo=0, hi=None, min_lel=0):
+        """Yield ``(j, dest, LEL)`` for nodes ``lo < j <= hi`` with
+        ``LEL >= min_lel`` (the shared downstream-scan primitive).
+
+        Candidate selection is vectorized over the stored LEL column —
+        entries at the overflow sentinel qualify for any floor and are
+        resolved through the overflow table before being yielded.
+        """
+        n = self._n if hi is None else min(hi, self._n)
+        threshold = min(min_lel, OVERFLOW_SENTINEL)
+        candidates = np.nonzero(self._lt_lel[:n + 1] >= threshold)[0]
+        candidates = candidates[candidates > lo]
+        lt_ref = self._lt_ref
+        lt_lel = self._lt_lel
+        for j in candidates:
+            j = int(j)
+            ref = int(lt_ref[j])
+            if ref >= 0:
+                dest = ref
+            else:
+                fanout, row = self._decode_ptr(ref)
+                dest = int(self._tables[fanout].ld[row])
+            lel = int(lt_lel[j])
+            if lel == OVERFLOW_SENTINEL:
+                lel = self._lel_overflow.get(j, lel)
+                if lel < min_lel:
+                    continue
+            yield j, dest, lel
+
     def ribs_at(self, node):
         """Dict ``code -> (dest, PT)`` at ``node`` (mirrors reference)."""
         ref = int(self._lt_ref[node]) if node <= self._n else 0
@@ -263,8 +292,14 @@ class PackedSpineIndex:
         tracer = get_tracer()
         span = (tracer.begin("packed.search.contains", pattern=pattern)
                 if tracer.enabled else None)
+        codes = self.alphabet.try_encode(pattern)
+        if codes is None:
+            # A foreign character cannot occur: clean miss, no raise.
+            if span is not None:
+                tracer.finish(span, status="miss", alphabet_miss=True)
+            return False
         node = 0
-        for pathlength, code in enumerate(self.alphabet.encode(pattern)):
+        for pathlength, code in enumerate(codes):
             node = self.step(node, pathlength, code, span)
             if node is None:
                 if span is not None:
@@ -276,7 +311,9 @@ class PackedSpineIndex:
 
     def find_first(self, pattern):
         """0-indexed start of the first occurrence, or ``None``."""
-        codes = self.alphabet.encode(pattern)
+        codes = self.alphabet.try_encode(pattern)
+        if codes is None:
+            return None
         node = 0
         for pathlength, code in enumerate(codes):
             node = self.step(node, pathlength, code)
@@ -295,7 +332,9 @@ class PackedSpineIndex:
         if pattern == "":
             raise SearchError("find_all of the empty pattern is "
                               "ill-defined")
-        codes = self.alphabet.encode(pattern)
+        codes = self.alphabet.try_encode(pattern)
+        if codes is None:
+            return []
         node = 0
         for pathlength, code in enumerate(codes):
             node = self.step(node, pathlength, code)

@@ -67,7 +67,17 @@ def find_first(index, pattern):
             if tracer.enabled else None)
     if metrics is not None:
         started = time.perf_counter()
-    codes = index.alphabet.encode(pattern)
+    codes = index.alphabet.try_encode(pattern)
+    if codes is None:
+        # A character outside the alphabet cannot occur: clean miss.
+        if metrics is not None:
+            metrics.counter("search.queries").inc()
+            metrics.counter("search.misses").inc()
+            metrics.timer("search.find_first.seconds").observe(
+                time.perf_counter() - started)
+        if span is not None:
+            tracer.finish(span, status="miss", alphabet_miss=True)
+        return None
     end = find_first_end(index, codes, metrics, span)
     if metrics is not None:
         metrics.counter("search.queries").inc()
@@ -101,7 +111,17 @@ def find_all(index, pattern):
             if tracer.enabled else None)
     if metrics is not None:
         started = time.perf_counter()
-    codes = index.alphabet.encode(pattern)
+    codes = index.alphabet.try_encode(pattern)
+    if codes is None:
+        # A character outside the alphabet cannot occur: clean miss.
+        if metrics is not None:
+            metrics.counter("search.queries").inc()
+            metrics.counter("search.misses").inc()
+            metrics.timer("search.find_all.seconds").observe(
+                time.perf_counter() - started)
+        if span is not None:
+            tracer.finish(span, status="miss", alphabet_miss=True)
+        return []
     first_end = find_first_end(index, codes, metrics, span)
     if first_end is None:
         if metrics is not None:
@@ -153,6 +173,12 @@ class OccurrenceScanner:
     call :meth:`resolve` once; the scan visits each backbone node a
     single time regardless of how many patterns were registered — the
     paper's "one single final sequential scan" (Section 4).
+
+    The scan consumes link entries through the index's
+    ``iter_link_entries`` hook, so one scanner serves all three
+    traversal layers: the reference :class:`~repro.core.index.
+    SpineIndex`, the packed layout, and the page-resident disk index —
+    where the shared pass is exactly one sequential Link-Table sweep.
     """
 
     def __init__(self, index):
@@ -160,6 +186,10 @@ class OccurrenceScanner:
         # pattern id -> (first_end, length)
         self._patterns = {}
         self._next_id = 0
+        #: Backbone nodes the most recent :meth:`resolve` walked over
+        #: (``n - min(first ends)``; 0 before any resolve or when no
+        #: pattern was registered).
+        self.last_scan_nodes = 0
 
     def add(self, first_end, length):
         """Register a found pattern; returns its id for :meth:`resolve`."""
@@ -167,31 +197,47 @@ class OccurrenceScanner:
             raise SearchError("pattern length must be positive")
         if not 1 <= first_end <= self.index._n:
             raise SearchError(f"end node {first_end} out of range")
+        if length > first_end:
+            # A pattern of length m ending at node e starts at e - m;
+            # m > e would place it before the string's first character.
+            raise SearchError(
+                f"pattern of length {length} cannot end at node "
+                f"{first_end}")
         pid = self._next_id
         self._next_id += 1
         self._patterns[pid] = (first_end, length)
         return pid
 
-    def resolve(self):
-        """Run the shared scan; returns ``{pid: [end nodes ascending]}``."""
+    def resolve(self, limit=None):
+        """Run the shared scan; returns ``{pid: [end nodes ascending]}``.
+
+        ``limit`` bounds the scan to backbone nodes ``<= limit`` — the
+        snapshot prefix of Section 2.7; defaults to the whole index.
+        """
         index = self.index
-        link_dest = index._link_dest
-        link_lel = index._link_lel
-        n = index._n
+        n = index._n if limit is None else min(limit, index._n)
         results = {pid: [first_end]
                    for pid, (first_end, _) in self._patterns.items()}
+        self.last_scan_nodes = 0
+        if not self._patterns:
+            return results
         # node -> list of (pid, length) target entries living there
         node_targets = {}
         min_start = n + 1
+        min_length = None
         for pid, (first_end, length) in self._patterns.items():
             node_targets.setdefault(first_end, []).append((pid, length))
             min_start = min(min_start, first_end)
-        for j in range(min_start + 1, n + 1):
-            dest = link_dest[j]
+            if min_length is None or length < min_length:
+                min_length = length
+        self.last_scan_nodes = max(0, n - min_start)
+        # Nodes with LEL below every registered length can never end an
+        # occurrence, so the layers may skip them while sweeping.
+        for j, dest, lel in index.iter_link_entries(
+                min_start, hi=n, min_lel=min_length):
             entries = node_targets.get(dest)
             if not entries:
                 continue
-            lel = link_lel[j]
             hits = [(pid, length) for pid, length in entries
                     if lel >= length]
             if not hits:
@@ -201,9 +247,9 @@ class OccurrenceScanner:
                 results[pid].append(j)
         return results
 
-    def resolve_starts(self):
+    def resolve_starts(self, limit=None):
         """Like :meth:`resolve` but mapping to 0-indexed start lists."""
-        ends = self.resolve()
+        ends = self.resolve(limit=limit)
         return {
             pid: [e - self._patterns[pid][1] for e in end_list]
             for pid, end_list in ends.items()
@@ -237,4 +283,7 @@ def is_valid_path(index, pattern):
     """
     if pattern == "":
         return True
-    return find_first_end(index, index.alphabet.encode(pattern)) is not None
+    codes = index.alphabet.try_encode(pattern)
+    if codes is None:
+        return False
+    return find_first_end(index, codes) is not None

@@ -69,6 +69,12 @@ class _Region:
         self.pool = pool
         self.record = record
         self.per_page = pagefile.page_size // record.size
+        if self.per_page < 1:
+            # Records never span pages; a zero capacity would send
+            # ensure() into an unbounded allocation loop.
+            raise StorageError(
+                f"page size {pagefile.page_size} cannot hold a "
+                f"{record.size}-byte record; use larger pages")
         self.pages = []
         self.count = 0
 
@@ -88,9 +94,18 @@ class _Region:
         return allocated
 
     def read(self, index):
-        """Unpack record ``index`` through the buffer pool."""
+        """Unpack record ``index`` through the buffer pool.
+
+        Under a thread-safe pool the frame is pinned for the duration
+        of the unpack, so a parallel reader's fault cannot evict it
+        mid-decode; the single-threaded path stays pin-free.
+        """
         page_id, offset = self._locate(index)
-        frame = self.pool.get(page_id)
+        pool = self.pool
+        if pool.thread_safe:
+            with pool.pinned(page_id) as frame:
+                return self.record.unpack_from(frame, offset)
+        frame = pool.get(page_id)
         return self.record.unpack_from(frame, offset)
 
     def write(self, index, *values):
@@ -212,6 +227,10 @@ class DiskSpineIndex:
         """Persist the in-memory directories so :meth:`open` can reload
         the index later. Writes the metadata to page 0 (continuation
         pages are allocated as needed) and flushes everything."""
+        with self.pool.rwlock.write_locked():
+            self._checkpoint()
+
+    def _checkpoint(self):
         blob = self._meta_blob()
         page_size = self.pagefile.page_size
         header = struct.Struct("<4sHq")
@@ -447,13 +466,22 @@ class DiskSpineIndex:
 
     def extend(self, text):
         """Append ``text`` (online); one bulk metrics publish per call
-        when the global registry is enabled."""
+        when the global registry is enabled.
+
+        Holds the pool's write lock for the whole call: concurrent
+        queries (which enter under the read side) wait and then observe
+        the extended index — the disk mutation path rewrites LT entries
+        and migrates RT rows in place, so unlike the in-memory layer it
+        cannot offer lock-free snapshot reads.
+        """
         registry = get_registry()
         observing = registry.enabled
         if observing:
             started = time.perf_counter()
-        for ch in text:
-            self.append_code(self.alphabet.encode_char(ch))
+        encode = self.alphabet.encode_char
+        with self.pool.rwlock.write_locked():
+            for ch in text:
+                self._append_code(encode(ch))
         if observing:
             registry.counter("disk.construction.chars").inc(len(text))
             registry.timer("disk.construction.extend.seconds").observe(
@@ -461,6 +489,10 @@ class DiskSpineIndex:
 
     def append_code(self, c):
         """Append one character code (the paper's APPEND, on disk)."""
+        with self.pool.rwlock.write_locked():
+            self._append_code(c)
+
+    def _append_code(self, c):
         if not 0 <= c < self._asize:
             raise ConstructionError(f"code {c} out of range")
         n = self._n
@@ -525,14 +557,16 @@ class DiskSpineIndex:
 
     def flush(self):
         """Write back all dirty pages."""
-        self.pool.flush()
+        with self.pool.rwlock.write_locked():
+            self.pool.flush()
 
     def close(self, checkpoint=False):
         """Flush (optionally checkpoint) and close the page file."""
-        if checkpoint:
-            self.checkpoint()
-        self.pool.flush()
-        self.pagefile.close()
+        with self.pool.rwlock.write_locked():
+            if checkpoint:
+                self._checkpoint()
+            self.pool.flush()
+            self.pagefile.close()
 
     def __enter__(self):
         return self
@@ -552,12 +586,41 @@ class DiskSpineIndex:
         """Number of ribs planted so far."""
         return self._rib_count
 
+    def enable_concurrent_reads(self):
+        """Make the read path safe for parallel query threads.
+
+        Switches the buffer pool to latched, pinning operation
+        (idempotent; never reverts — the single-thread fast path is
+        given up for this index). Queries already coordinate with
+        mutations through the pool's read-write lock; this adds frame-
+        level safety between concurrent readers.
+        """
+        self.pool.enable_thread_safety()
+        return self
+
+    def read_locked(self):
+        """Context manager entering the query (shared) side of the
+        pool's read-write lock — what the batch engine wraps its
+        traversal + scan phases in."""
+        return self.pool.rwlock.read_locked()
+
     def link(self, i):
         """``(dest, LEL)`` of node ``i``."""
         if not 1 <= i <= self._n:
             raise SearchError(f"node {i} out of range or is the root")
         dest, lel, _ = self._lt_read(i)
         return dest, lel
+
+    def iter_link_entries(self, lo=0, hi=None, min_lel=0):
+        """Yield ``(j, dest, LEL)`` for nodes ``lo < j <= hi`` with
+        ``LEL >= min_lel`` — one strictly sequential Link-Table sweep
+        through the buffer pool (the access pattern the paper's
+        Figure 8 buffering argument is built on)."""
+        n = self._n if hi is None else min(hi, self._n)
+        for j in range(lo + 1, n + 1):
+            dest, lel, _ = self._lt_read(j)
+            if lel >= min_lel:
+                yield j, dest, lel
 
     def step(self, node, pathlength, code, _span=None):
         """Same contract as :meth:`SpineIndex.step`, via the pool.
@@ -631,11 +694,16 @@ class DiskSpineIndex:
         return found
 
     def _contains(self, pattern, _span=None):
-        node = 0
-        for pathlength, code in enumerate(self.alphabet.encode(pattern)):
-            node = self.step(node, pathlength, code, _span)
-            if node is None:
-                return False
+        codes = self.alphabet.try_encode(pattern)
+        if codes is None:
+            # A foreign character cannot occur: clean miss, no raise.
+            return False
+        with self.pool.rwlock.read_locked():
+            node = 0
+            for pathlength, code in enumerate(codes):
+                node = self.step(node, pathlength, code, _span)
+                if node is None:
+                    return False
         return True
 
     def find_all(self, pattern):
@@ -654,7 +722,12 @@ class DiskSpineIndex:
             starts = self._find_all(pattern, span)
             registry.counter("disk.search.queries").inc()
             registry.counter("disk.search.occurrences").inc(len(starts))
-            if not starts:
+            if starts:
+                # The per-pattern LT sweep runs from the first match's
+                # end node to the tail (what batching amortizes away).
+                registry.counter("disk.search.scan_nodes").inc(
+                    self._n - (starts[0] + len(pattern)))
+            else:
                 registry.counter("disk.search.misses").inc()
             registry.timer("disk.search.find_all.seconds").observe(
                 time.perf_counter() - started)
@@ -667,25 +740,33 @@ class DiskSpineIndex:
         return starts
 
     def _find_all(self, pattern, _span=None):
-        codes = self.alphabet.encode(pattern)
-        node = 0
-        for pathlength, code in enumerate(codes):
-            node = self.step(node, pathlength, code, _span)
-            if node is None:
-                return []
-        m = len(codes)
-        targets = {node}
-        starts = [node - m]
-        for j in range(node + 1, self._n + 1):
-            dest, lel, _ = self._lt_read(j)
-            if lel >= m and dest in targets:
-                targets.add(j)
-                starts.append(j - m)
-        return starts
+        codes = self.alphabet.try_encode(pattern)
+        if codes is None:
+            # A foreign character cannot occur: clean miss, no raise.
+            return []
+        with self.pool.rwlock.read_locked():
+            node = 0
+            for pathlength, code in enumerate(codes):
+                node = self.step(node, pathlength, code, _span)
+                if node is None:
+                    return []
+            m = len(codes)
+            targets = {node}
+            starts = [node - m]
+            for j in range(node + 1, self._n + 1):
+                dest, lel, _ = self._lt_read(j)
+                if lel >= m and dest in targets:
+                    targets.add(j)
+                    starts.append(j - m)
+            return starts
 
     def matching_statistics(self, query):
         """Disk-resident matching statistics (same semantics and check
         accounting as :func:`repro.core.matching.matching_statistics`)."""
+        with self.pool.rwlock.read_locked():
+            return self._matching_statistics(query)
+
+    def _matching_statistics(self, query):
         tracer = get_tracer()
         span = (tracer.begin("disk.matching.statistics",
                              query_chars=len(query),
@@ -767,7 +848,11 @@ class DiskSpineIndex:
         one deferred LT scan (Section 4's batched strategy), on disk."""
         if min_length < 1:
             raise SearchError("min_length must be >= 1")
-        result = self.matching_statistics(query)
+        with self.pool.rwlock.read_locked():
+            return self._maximal_matches(query, min_length)
+
+    def _maximal_matches(self, query, min_length):
+        result = self._matching_statistics(query)
         lengths = result.lengths
         end_nodes = result.end_nodes
         m = len(lengths)

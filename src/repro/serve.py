@@ -1,0 +1,155 @@
+"""Concurrent query serving over a SPINE index.
+
+Two pieces:
+
+:class:`SnapshotGuard`
+    Captures ``len(index)`` and answers every query against that
+    prefix, exploiting the Section 2.7 prefix property: the index of a
+    prefix of the data string is an initial fragment of the full
+    index — edges planted after character ``k`` always point past
+    ``k``, and existing entries are never relabeled. Bounding a
+    traversal and the occurrence scan to the captured length therefore
+    reads a consistent index even while ``extend`` appends
+    concurrently — with **no locking at all** on the in-memory layers
+    (appends to the backing lists/arrays are atomic under CPython, and
+    readers simply refuse to follow edges across the boundary).
+
+:class:`QueryService`
+    A thread-pool query driver. Reads (``contains`` / ``find_all`` /
+    ``batch_find_all``) run against a snapshot taken at call entry;
+    writes (``extend``) are serialized through a mutex. On the disk
+    layer, where mutation rewrites Link-Table entries in place and
+    migrates Rib-Table rows (so no lock-free snapshot exists), the
+    index's own read-write lock — taken inside the index methods and
+    :func:`repro.core.batch.batch_find_all` — provides the
+    writer-excludes-readers guarantee; the service deliberately takes
+    no read locks itself to avoid nesting a non-reentrant lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+
+from repro.core.batch import (batch_find_all, contains_at, find_all_at)
+
+__all__ = ["QueryService", "SnapshotGuard"]
+
+
+class SnapshotGuard:
+    """A read view of ``index`` frozen at construction time.
+
+    All queries answer against the prefix of length :attr:`limit`
+    (the index length when the guard was taken). See the module
+    docstring for why this is consistent without locks on the
+    in-memory layers.
+    """
+
+    __slots__ = ("index", "limit")
+
+    def __init__(self, index, limit=None):
+        self.index = index
+        self.limit = len(index) if limit is None else min(limit,
+                                                          len(index))
+
+    def __len__(self):
+        return self.limit
+
+    def contains(self, pattern):
+        """``pattern in prefix`` (clean False on foreign characters)."""
+        return contains_at(self.index, pattern, self.limit)
+
+    def find_all(self, pattern):
+        """Sorted starts of all occurrences within the snapshot."""
+        return find_all_at(self.index, pattern, self.limit)
+
+    def batch_find_all(self, patterns, threads=1, executor=None):
+        """Batched multi-pattern query bounded to the snapshot."""
+        return batch_find_all(self.index, patterns, threads=threads,
+                              limit=self.limit, executor=executor)
+
+
+class QueryService:
+    """Thread-pool front end for serving queries over one index.
+
+    Parameters
+    ----------
+    index:
+        Any traversal layer. A disk index is switched into its latched
+        buffer-pool mode up front so worker threads can share frames
+        safely.
+    threads:
+        Size of the worker pool used for batch traversal phases.
+
+    Use as a context manager, or call :meth:`close` to release the
+    pool. The service may outlive many snapshots; each read-style call
+    takes a fresh one.
+    """
+
+    def __init__(self, index, threads=4):
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        self.index = index
+        self.threads = threads
+        self._write_mutex = threading.Lock()
+        enable = getattr(index, "enable_concurrent_reads", None)
+        if enable is not None:
+            enable()
+        self._executor = (ThreadPoolExecutor(
+            max_workers=threads,
+            thread_name_prefix="repro-serve")
+            if threads > 1 else None)
+        self._closed = False
+
+    # -- reads ---------------------------------------------------------
+
+    def snapshot(self):
+        """A :class:`SnapshotGuard` over the index as of now."""
+        return SnapshotGuard(self.index)
+
+    def contains(self, pattern):
+        return self.snapshot().contains(pattern)
+
+    def find_all(self, pattern):
+        return self.snapshot().find_all(pattern)
+
+    def batch_find_all(self, patterns):
+        """Batched query with the traversal phase on the worker pool."""
+        self._check_open()
+        return self.snapshot().batch_find_all(
+            patterns, threads=self.threads, executor=self._executor)
+
+    # -- writes --------------------------------------------------------
+
+    def extend(self, text):
+        """Append ``text`` to the indexed string.
+
+        Writers are serialized through the service mutex; on the disk
+        layer the index's write lock additionally excludes in-flight
+        readers, while in-memory readers keep running against their
+        snapshots untouched.
+        """
+        self._check_open()
+        with self._write_mutex:
+            self.index.extend(text)
+
+    # -- lifecycle -----------------------------------------------------
+
+    def _check_open(self):
+        if self._closed:
+            raise RuntimeError("QueryService is closed")
+
+    def close(self):
+        """Shut down the worker pool (idempotent; index stays open)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False

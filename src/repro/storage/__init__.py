@@ -18,7 +18,8 @@ building blocks:
 from repro.storage.disk import DiskModel
 from repro.storage.metrics import IOMetrics
 from repro.storage.pager import PageFile
-from repro.storage.buffer import BufferPool, LRUPolicy, ClockPolicy, PinTopPolicy
+from repro.storage.buffer import (
+    BufferPool, ClockPolicy, LRUPolicy, PinTopPolicy, ReadWriteLock)
 
 __all__ = [
     "DiskModel",
@@ -28,4 +29,5 @@ __all__ = [
     "LRUPolicy",
     "ClockPolicy",
     "PinTopPolicy",
+    "ReadWriteLock",
 ]

@@ -11,10 +11,92 @@ ablation.
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
+from contextlib import contextmanager
 
 from repro.exceptions import StorageError
 from repro.obs.trace import get_tracer
+
+
+class ReadWriteLock:
+    """A writer-preferring shared/exclusive lock.
+
+    Any number of readers may hold the lock together; a writer holds it
+    alone. Waiting writers block new readers so a steady query stream
+    cannot starve ``extend``. Neither side is reentrant — acquire once
+    per thread, at the public entry point.
+    """
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writer = False
+        self._writers_waiting = 0
+
+    def acquire_read(self):
+        """Block until no writer holds or awaits the lock, then enter
+        as one more reader."""
+        with self._cond:
+            while self._writer or self._writers_waiting:
+                self._cond.wait()
+            self._readers += 1
+
+    def release_read(self):
+        with self._cond:
+            self._readers -= 1
+            if not self._readers:
+                self._cond.notify_all()
+
+    def acquire_write(self):
+        """Block until the lock is completely free, then hold it
+        exclusively."""
+        with self._cond:
+            self._writers_waiting += 1
+            try:
+                while self._writer or self._readers:
+                    self._cond.wait()
+            finally:
+                self._writers_waiting -= 1
+            self._writer = True
+
+    def release_write(self):
+        with self._cond:
+            self._writer = False
+            self._cond.notify_all()
+
+    @contextmanager
+    def read_locked(self):
+        """``with lock.read_locked():`` — shared access."""
+        self.acquire_read()
+        try:
+            yield self
+        finally:
+            self.release_read()
+
+    @contextmanager
+    def write_locked(self):
+        """``with lock.write_locked():`` — exclusive access."""
+        self.acquire_write()
+        try:
+            yield self
+        finally:
+            self.release_write()
+
+
+class _NullLatch:
+    """Shared no-op stand-in for the pool latch when single-threaded."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        return False
+
+
+_NULL_LATCH = _NullLatch()
 
 
 class LRUPolicy:
@@ -103,8 +185,14 @@ class PinTopPolicy:
             self._lru[page_id] = True
 
     def evict(self):
-        if self._lru:
+        # A page touched *before* its id entered the (mutable)
+        # protected set still sits in the plain LRU dict; reclassify
+        # such late-protected pages instead of evicting them.
+        while self._lru:
             page_id, _ = self._lru.popitem(last=False)
+            if page_id in self.protected_pages:
+                self._protected[page_id] = True
+                continue
             return page_id
         if self._protected:
             page_id, _ = self._protected.popitem()  # newest protected
@@ -124,9 +212,22 @@ class BufferPool:
     ``mark_dirty`` after mutating it. ``flush`` writes back all dirty
     pages. All physical traffic lands in ``pagefile.metrics``; hit/miss
     counters land there too.
+
+    Concurrency. The pool starts single-threaded (zero locking on the
+    hot path, preserving the cost discipline of the experiments). A
+    caller that wants parallel readers calls
+    :meth:`enable_thread_safety`, after which every structural
+    operation runs under an internal latch. Independently of the latch,
+    :attr:`rwlock` is the advisory shared/exclusive lock query and
+    mutation *paths* coordinate through (readers: queries; writer:
+    ``extend`` / checkpoint — see :class:`ReadWriteLock`), and
+    :meth:`pin` / :meth:`pinned` keep a frame resident while a reader
+    still unpacks records from it, so parallel queries cannot evict
+    each other's in-flight frames.
     """
 
-    def __init__(self, pagefile, capacity, policy=None):
+    def __init__(self, pagefile, capacity, policy=None,
+                 thread_safe=False):
         if capacity <= 0:
             raise StorageError("buffer capacity must be positive")
         self.pagefile = pagefile
@@ -134,6 +235,33 @@ class BufferPool:
         self.policy = policy if policy is not None else LRUPolicy()
         self._frames = {}  # page_id -> bytearray
         self._dirty = set()
+        self._pins = {}    # page_id -> pin count
+        #: Advisory query-path/mutation-path lock (see class docstring).
+        self.rwlock = ReadWriteLock()
+        self._latch = _NULL_LATCH
+        if thread_safe:
+            self.enable_thread_safety()
+
+    @property
+    def thread_safe(self):
+        """True once :meth:`enable_thread_safety` has been called."""
+        return self._latch is not _NULL_LATCH
+
+    def enable_thread_safety(self):
+        """Switch the internal latch on (idempotent; never reverts).
+
+        The latch is reentrant, so :meth:`pinned` can compose atomically
+        with :meth:`get`. The swap runs under the pool's write lock so
+        no in-flight reader can straddle the transition — consequently
+        this must not be called by a thread already holding
+        :attr:`rwlock` (it is non-reentrant).
+        """
+        if self._latch is not _NULL_LATCH:
+            return self
+        with self.rwlock.write_locked():
+            if self._latch is _NULL_LATCH:
+                self._latch = threading.RLock()
+        return self
 
     def __len__(self):
         return len(self._frames)
@@ -144,37 +272,104 @@ class BufferPool:
         ``load=False`` skips the physical read for pages known to be
         fresh allocations (their content starts zeroed).
         """
-        metrics = self.pagefile.metrics
-        frame = self._frames.get(page_id)
-        if frame is not None:
-            metrics.buffer_hits += 1
+        with self._latch:
+            metrics = self.pagefile.metrics
+            frame = self._frames.get(page_id)
+            if frame is not None:
+                metrics.buffer_hits += 1
+                self.policy.touch(page_id)
+                return frame
+            metrics.buffer_misses += 1
+            # Attribute the fault to the traced query that caused it
+            # (the active span of :mod:`repro.obs.trace`, if any).
+            # ``physical`` distinguishes real page reads from
+            # fresh-allocation faults.
+            span = get_tracer().active
+            if span is not None:
+                span.event("page-fetch", page=page_id, physical=load)
+            if len(self._frames) >= self.capacity:
+                self._evict_one()
+            if load:
+                frame = self.pagefile.read_page(page_id)
+            else:
+                frame = bytearray(self.pagefile.page_size)
+            self._frames[page_id] = frame
             self.policy.touch(page_id)
             return frame
-        metrics.buffer_misses += 1
-        # Attribute the fault to the traced query that caused it (the
-        # active span of :mod:`repro.obs.trace`, if any). ``physical``
-        # distinguishes real page reads from fresh-allocation faults.
-        span = get_tracer().active
-        if span is not None:
-            span.event("page-fetch", page=page_id, physical=load)
-        if len(self._frames) >= self.capacity:
-            self._evict_one()
-        if load:
-            frame = self.pagefile.read_page(page_id)
-        else:
-            frame = bytearray(self.pagefile.page_size)
-        self._frames[page_id] = frame
-        self.policy.touch(page_id)
-        return frame
+
+    # -- pinning -------------------------------------------------------
+
+    def pin(self, page_id):
+        """Exempt a resident page from eviction (counted; nestable)."""
+        with self._latch:
+            if page_id not in self._frames:
+                raise StorageError(f"page {page_id} not resident")
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+
+    def unpin(self, page_id):
+        """Drop one pin; the page becomes evictable at zero pins."""
+        with self._latch:
+            count = self._pins.get(page_id, 0)
+            if count <= 0:
+                raise StorageError(f"page {page_id} is not pinned")
+            if count == 1:
+                del self._pins[page_id]
+            else:
+                self._pins[page_id] = count - 1
+
+    def pin_count(self, page_id):
+        """Current pin count of ``page_id`` (0 when unpinned)."""
+        return self._pins.get(page_id, 0)
+
+    @contextmanager
+    def pinned(self, page_id, load=True):
+        """Fault the page in, pin it, yield the frame, unpin on exit.
+
+        The get-and-pin pair runs under one latch acquisition, so a
+        concurrent reader's eviction cannot slip between them.
+        """
+        with self._latch:
+            frame = self.get(page_id, load=load)
+            self._pins[page_id] = self._pins.get(page_id, 0) + 1
+        try:
+            yield frame
+        finally:
+            self.unpin(page_id)
+
+    # -- mutation ------------------------------------------------------
 
     def mark_dirty(self, page_id):
         """Record that the resident page was mutated."""
-        if page_id not in self._frames:
-            raise StorageError(f"page {page_id} not resident")
-        self._dirty.add(page_id)
+        with self._latch:
+            if page_id not in self._frames:
+                raise StorageError(f"page {page_id} not resident")
+            self._dirty.add(page_id)
 
     def _evict_one(self):
-        victim = self.policy.evict()
+        # Pinned pages are not eviction candidates: set them aside,
+        # take the policy's next victim, then restore the recency of
+        # everything skipped.
+        skipped = []
+        victim = None
+        try:
+            while True:
+                candidate = self.policy.evict()
+                if self._pins.get(candidate, 0):
+                    skipped.append(candidate)
+                    continue
+                victim = candidate
+                break
+        except StorageError:
+            # The policy ran dry before yielding an unpinned victim.
+            for page_id in skipped:
+                self.policy.touch(page_id)
+            if skipped:
+                raise StorageError(
+                    "cannot evict: every resident page is pinned"
+                ) from None
+            raise
+        for page_id in skipped:
+            self.policy.touch(page_id)
         frame = self._frames.pop(victim)
         self.pagefile.metrics.evictions += 1
         if victim in self._dirty:
@@ -183,13 +378,23 @@ class BufferPool:
 
     def flush(self):
         """Write back every dirty page (ascending id: one arm sweep)."""
-        for page_id in sorted(self._dirty):
-            self.pagefile.write_page(page_id, self._frames[page_id])
-        self._dirty.clear()
+        with self._latch:
+            for page_id in sorted(self._dirty):
+                self.pagefile.write_page(page_id, self._frames[page_id])
+            self._dirty.clear()
 
     def clear(self):
-        """Flush and drop every frame (cold-cache reset)."""
-        self.flush()
-        for page_id in list(self._frames):
-            self.policy.forget(page_id)
-        self._frames.clear()
+        """Flush and drop every frame (cold-cache reset).
+
+        Pinned frames are a caller bug at this point and are reported
+        rather than silently dropped.
+        """
+        with self._latch:
+            if self._pins:
+                raise StorageError(
+                    f"cannot clear: {len(self._pins)} page(s) still "
+                    "pinned")
+            self.flush()
+            for page_id in list(self._frames):
+                self.policy.forget(page_id)
+            self._frames.clear()

@@ -77,6 +77,15 @@ class TestOccurrenceScanner:
         with pytest.raises(SearchError):
             scanner.add(len(index) + 1, 1)
 
+    def test_add_rejects_impossible_registration(self, index):
+        # A pattern of length m ending at node e starts at e - m; any
+        # m > e is geometrically impossible and used to be accepted
+        # silently, yielding negative start positions at resolve time.
+        scanner = OccurrenceScanner(index)
+        with pytest.raises(SearchError, match="cannot end"):
+            scanner.add(3, 4)
+        scanner.add(3, 3)  # boundary: start 0 is fine
+
     def test_empty_scanner_resolves_empty(self, index):
         assert OccurrenceScanner(index).resolve() == {}
 

@@ -1,0 +1,115 @@
+"""QueryService and SnapshotGuard (repro.serve)."""
+
+import random
+import threading
+
+import pytest
+
+from repro import QueryService, SnapshotGuard, SpineIndex
+from repro.core import find_all
+
+from tests.conftest import brute_occurrences
+
+
+class TestSnapshotGuard:
+    def test_guard_freezes_length(self):
+        index = SpineIndex("abab")
+        guard = SnapshotGuard(index)
+        index.extend("ab")
+        assert len(guard) == 4
+        assert guard.find_all("ab") == [0, 2]
+        assert guard.contains("babab") is False
+        # A fresh guard sees the grown index.
+        assert SnapshotGuard(index).find_all("ab") == [0, 2, 4]
+
+    def test_guard_clamps_limit(self):
+        index = SpineIndex("abab")
+        assert SnapshotGuard(index, limit=100).limit == 4
+        assert SnapshotGuard(index, limit=2).find_all("ab") == [0]
+
+    def test_guard_batch(self):
+        index = SpineIndex("aaccacaaca")
+        guard = SnapshotGuard(index, limit=6)
+        results = guard.batch_find_all(["ac", "ca", "zz"])
+        assert [m.starts for m in results] == [[1, 4], [3], []]
+
+
+class TestQueryService:
+    def test_basic_serving(self):
+        index = SpineIndex("aaccacaaca")
+        with QueryService(index, threads=2) as svc:
+            assert svc.contains("acca")
+            assert svc.find_all("ac") == [1, 4, 7]
+            results = svc.batch_find_all(["ac", "aacc", "zz"])
+            assert [m.status for m in results] == \
+                ["hit", "hit", "alphabet-miss"]
+
+    def test_single_thread_service(self):
+        index = SpineIndex("abab")
+        with QueryService(index, threads=1) as svc:
+            assert svc.find_all("ab") == [0, 2]
+
+    def test_extend_serialized_and_visible(self):
+        index = SpineIndex("ab")
+        with QueryService(index, threads=2) as svc:
+            svc.extend("ab")
+            assert svc.find_all("ab") == [0, 2]
+
+    def test_closed_service_rejects_work(self):
+        svc = QueryService(SpineIndex("ab"))
+        svc.close()
+        svc.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            svc.batch_find_all(["a"])
+        with pytest.raises(RuntimeError):
+            svc.extend("a")
+
+    def test_invalid_threads(self):
+        with pytest.raises(ValueError):
+            QueryService(SpineIndex("ab"), threads=0)
+
+
+class TestConcurrentExtend:
+    """Snapshot reads during in-memory growth: every answer must be
+    exactly correct for SOME prefix the writer had fully appended."""
+
+    def test_queries_during_extend_see_consistent_prefixes(self):
+        rng = random.Random(0xBEEF)
+        text = "".join(rng.choice("ab") for _ in range(3000))
+        seed = 64
+        index = SpineIndex(text[:seed])
+        patterns = ["ab", "ba", "aab", "abba", "babab"]
+        oracle = {
+            p: [brute_occurrences(text[:k], p)
+                for k in range(len(text) + 1)]
+            for p in patterns
+        }
+        errors = []
+        stop = threading.Event()
+
+        def reader():
+            local = random.Random(threading.get_ident())
+            try:
+                while not stop.is_set():
+                    guard = SnapshotGuard(index)
+                    k = guard.limit
+                    pattern = local.choice(patterns)
+                    got = guard.find_all(pattern)
+                    if got != oracle[pattern][k]:
+                        errors.append((pattern, k, got))
+                        return
+            except Exception as exc:  # pragma: no cover
+                errors.append(exc)
+
+        threads = [threading.Thread(target=reader) for _ in range(3)]
+        for t in threads:
+            t.start()
+        try:
+            for pos in range(seed, len(text), 7):
+                index.extend(text[pos:pos + 7])
+        finally:
+            stop.set()
+            for t in threads:
+                t.join(timeout=30)
+        assert not errors
+        assert find_all(index, "ab") == brute_occurrences(text, "ab")

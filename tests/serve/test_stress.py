@@ -1,0 +1,86 @@
+"""Concurrency stress: threaded batch queries against the disk layer
+under a deliberately tiny buffer pool.
+
+Run directly in CI as a smoke step:
+
+    PYTHONPATH=src python -m pytest tests/serve/test_stress.py -q
+
+Readers hammer ``batch_find_all`` (multi-threaded traversal phases,
+pinned page access, shared LT sweeps) while a writer keeps extending
+the index; the read-write lock must serialize them such that every
+batch answer is exactly correct for the index length it observed — no
+lost occurrences, no duplicates, no torn reads.
+"""
+
+import random
+import threading
+
+import pytest
+
+from repro.alphabet import dna_alphabet
+from repro.core import batch_find_all
+from repro.disk.spine_disk import DiskSpineIndex
+
+from tests.conftest import brute_occurrences
+
+
+@pytest.mark.parametrize("policy", ["lru", "pintop"])
+def test_threaded_batches_during_growth(policy):
+    rng = random.Random(0x5EED)
+    text = "".join(rng.choice("ACGT") for _ in range(1500))
+    seed = 300
+    disk = DiskSpineIndex(alphabet=dna_alphabet(), buffer_pages=4,
+                          page_size=512, policy=policy)
+    disk.extend(text[:seed])
+    disk.enable_concurrent_reads()
+
+    patterns = ["ACG", "GT", "TTA", "ACGT", "CCC", "AXQ"]
+    # Exact oracle for every reachable prefix length.
+    prefix_lengths = list(range(seed, len(text) + 1, 50))
+    oracle = {
+        k: {p: brute_occurrences(text[:k], p) for p in patterns}
+        for k in prefix_lengths
+    }
+
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        local = random.Random(threading.get_ident())
+        try:
+            while not stop.is_set():
+                # Pin the snapshot to a known prefix length (the index
+                # only grows, so any k <= len(disk) stays valid) and
+                # demand the exact answer for that prefix.
+                reachable = [k for k in prefix_lengths
+                             if k <= len(disk)]
+                k = local.choice(reachable)
+                results = batch_find_all(disk, patterns, threads=3,
+                                         limit=k)
+                got = [m.starts for m in results]
+                want = [oracle[k][p] for p in patterns]
+                if got != want:
+                    errors.append((k, got, want))
+                    return
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    try:
+        for pos in range(seed, len(text), 50):
+            disk.extend(text[pos:pos + 50])
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=60)
+    try:
+        assert not any(t.is_alive() for t in threads)
+        assert not errors, errors[:1]
+        # Final state sanity after all the concurrent traffic.
+        final = batch_find_all(disk, patterns, threads=3)
+        for match in final:
+            assert match.starts == brute_occurrences(text, match.pattern)
+    finally:
+        disk.close()

@@ -282,3 +282,65 @@ class TestBenchReport:
         counters = snapshot["metrics"]["counters"]
         assert counters["construction.chars"] == 1500
         assert "disk.buffer_hits" in counters
+
+
+class TestBatch:
+    @pytest.fixture
+    def patterns_file(self, tmp_path):
+        path = tmp_path / "patterns.txt"
+        path.write_text("# workload\nACGT\nGGTTACG\nTTTTT\nAC!Z\n")
+        return str(path)
+
+    def test_batch_tabular(self, index_file, patterns_file, capsys):
+        assert main(["batch", index_file,
+                     "--patterns-file", patterns_file]) == 0
+        out = capsys.readouterr().out
+        lines = out.strip().splitlines()
+        assert lines[0] == "2/4 pattern(s) found"
+        rows = {line.split("\t")[0]: line.split("\t")
+                for line in lines[1:]}
+        assert rows["ACGT"][1] == "hit"
+        assert rows["TTTTT"][1] == "miss"
+        assert rows["AC!Z"][1] == "alphabet-miss"
+        assert rows["AC!Z"][2] == "0"
+
+    def test_batch_json_matches_search(self, index_file, patterns_file,
+                                       capsys):
+        import json
+
+        assert main(["batch", index_file, "--patterns-file",
+                     patterns_file, "--json", "--threads", "2"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["patterns"] == 4
+        by_pattern = {r["pattern"]: r for r in payload["results"]}
+        assert main(["search", index_file, "GGTTACG", "--all"]) == 0
+        out = capsys.readouterr().out.splitlines()
+        search_starts = [int(line) for line in out[1:]]
+        assert by_pattern["GGTTACG"]["starts"] == search_starts
+
+    def test_batch_all_misses_exits_nonzero(self, index_file, tmp_path,
+                                            capsys):
+        path = tmp_path / "none.txt"
+        path.write_text("TTTTT\nQQ\n")
+        assert main(["batch", index_file,
+                     "--patterns-file", str(path)]) == 1
+
+    def test_batch_empty_patterns_file_errors(self, index_file,
+                                              tmp_path, capsys):
+        path = tmp_path / "empty.txt"
+        path.write_text("# nothing\n")
+        assert main(["batch", index_file,
+                     "--patterns-file", str(path)]) == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_batch_trace_out(self, index_file, patterns_file, tmp_path,
+                             capsys):
+        trace = tmp_path / "trace.jsonl"
+        assert main(["batch", index_file, "--patterns-file",
+                     patterns_file, "--trace-out", str(trace)]) == 0
+        assert trace.exists()
+        import json
+
+        spans = [json.loads(line)
+                 for line in trace.read_text().splitlines()]
+        assert any(s["op"] == "batch.find_all" for s in spans)

@@ -76,10 +76,19 @@ class TestUnicodeAlphabets:
 
 
 class TestErrorPaths:
-    def test_alphabet_mismatch_message(self):
+    def test_alphabet_mismatch_is_clean_query_miss(self):
+        # Query-side leniency: a pattern containing characters outside
+        # the index alphabet cannot occur, so it reports a miss instead
+        # of raising. Construction stays strict (next test).
+        index = SpineIndex("ACGT")
+        assert index.contains("Z") is False
+        assert index.find_all("ZT") == []
+        assert index.find_first("AZ") is None
+
+    def test_alphabet_mismatch_on_extend_still_raises(self):
         index = SpineIndex("ACGT")
         with pytest.raises(AlphabetError, match="not in alphabet"):
-            index.contains("Z")
+            index.extend("Z")
 
     def test_construction_rejects_separator_injection(self):
         alpha = alphabet_for("ab").with_separator()
@@ -110,12 +119,11 @@ class TestLongPatternQueries:
         assert not index.contains("abcd")
         assert index.find_all("abcd") == []
 
-    def test_unknown_character_is_an_error_by_design(self):
-        # Alphabet strictness: querying with characters outside the
-        # index alphabet raises rather than silently returning empty.
+    def test_unknown_character_is_a_clean_miss(self):
+        # A pattern with a character outside the index alphabet cannot
+        # be a substring; queries report the miss without raising.
         index = SpineIndex("abc")
-        with pytest.raises(AlphabetError):
-            index.contains("abz")
+        assert index.contains("abz") is False
 
     def test_full_text_plus_repeat(self):
         text = "xyxyxy"
