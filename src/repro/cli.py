@@ -27,6 +27,7 @@ record sampled query spans (:mod:`repro.obs.trace`) as JSON lines.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 import time
 
@@ -385,6 +386,33 @@ def _cmd_verify(args):
     return 0
 
 
+def _cmd_fsck(args):
+    from repro.storage.fsck import fsck
+
+    report = fsck(args.index, page_size=args.page_size)
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        status = "clean" if report["ok"] else "CORRUPT"
+        print(f"{args.index}: {status} "
+              f"(format v{report['format']}, "
+              f"generation {report['active_generation']}, "
+              f"{report['pages_checked']} page(s) checked)")
+        for entry in report["slots"]:
+            detail = (f"generation {entry['generation']}"
+                      if entry["status"] == "valid"
+                      else entry.get("error", "?"))
+            print(f"  slot {entry['slot']}: {entry['status']} ({detail})")
+        for bad in report["corrupt_pages"]:
+            print(f"  corrupt page {bad['page']}: {bad['error']}")
+        for err in report["errors"]:
+            print(f"  error: {err}")
+        for warning in report["warnings"]:
+            print(f"  warning: {warning}")
+    return 0 if report["ok"] else 1
+
+
 def build_parser():
     """Construct the argparse parser for the `repro` CLI."""
     parser = argparse.ArgumentParser(
@@ -506,6 +534,18 @@ def build_parser():
     p.add_argument("--deep", action="store_true",
                    help="exhaustive oracle checks (small indexes)")
     p.set_defaults(func=_cmd_verify)
+
+    p = sub.add_parser(
+        "fsck",
+        help="offline integrity scan of a disk index file "
+             "(metadata slots, generation chain, page checksums)")
+    p.add_argument("index", help="disk index file (DiskSpineIndex)")
+    p.add_argument("--page-size", type=int, default=4096,
+                   help="page size the file was created with "
+                        "(default 4096)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the full machine-readable report")
+    p.set_defaults(func=_cmd_fsck)
     return parser
 
 

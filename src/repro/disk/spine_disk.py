@@ -35,8 +35,10 @@ interesting output is page traffic.
 
 from __future__ import annotations
 
+import os
 import struct
 import time
+import zlib
 
 from repro.alphabet import Alphabet, dna_alphabet
 from repro.core.matching import MatchingResult, MaximalMatch
@@ -55,25 +57,92 @@ _SLOT_INTS = 4  # code, dest, pt, chain_head
 #: Flag bit of the version-2 metadata: alphabet folds case.
 _META_CASE_INSENSITIVE = 1
 
+#: Version-1/2 metadata header: magic, version, blob length.
+_META_LEGACY = struct.Struct("<4sHq")
+#: Version-3 checkpoint header: magic, version, flags (reserved), blob
+#: length, generation, CRC32 of the whole metadata blob.
+_META_V3 = struct.Struct("<4sHHqqI")
+
 _PTR_CLASS_SHIFT = 26
 _PTR_ROW_MASK = (1 << _PTR_CLASS_SHIFT) - 1
+
+
+class _PageLedger:
+    """Copy-on-write page bookkeeping behind crash-safe checkpoints.
+
+    Pages referenced by the last durable checkpoint (``committed``) are
+    never overwritten in place: the first mutation after a checkpoint
+    *shadows* the page — the record lands on a fresh page id and the
+    old page is queued on ``pending_free``, reclaimable once the *next*
+    checkpoint commits.  Whatever the crash point, the page images the
+    last durable generation's metadata references are therefore still
+    byte-identical on disk, and recovery-on-open succeeds.
+
+    Before the first checkpoint ``committed`` is empty, so the
+    experiment workloads (build, query, never persist) pay nothing.
+    """
+
+    __slots__ = ("pagefile", "pool", "committed", "free_pages",
+                 "pending_free")
+
+    def __init__(self, pagefile, pool):
+        self.pagefile = pagefile
+        self.pool = pool
+        self.committed = set()
+        self.free_pages = []
+        self.pending_free = []
+
+    def alloc(self):
+        """A writable data page: reuse a reclaimed one or append."""
+        if self.free_pages:
+            return self.free_pages.pop()
+        return self.pagefile.allocate_page()
+
+    def shadow(self, page_id):
+        """Copy a committed page to a fresh id; returns the new id.
+
+        The old page's frame is dropped from the pool (its bytes were
+        copied) so a later reuse of that id cannot observe the stale
+        frame, and the id itself is queued for reclamation at the next
+        commit.
+        """
+        new_id = self.alloc()
+        old_frame = self.pool.get(page_id)
+        new_frame = self.pool.get(new_id, load=False)
+        new_frame[:] = old_frame
+        self.pool.mark_dirty(new_id)
+        self.pool.discard(page_id)
+        self.committed.discard(page_id)
+        self.pending_free.append(page_id)
+        return new_id
+
+    def commit(self, live_pages):
+        """The checkpoint that referenced ``live_pages`` is durable:
+        protect them, release everything shadowed out this epoch."""
+        self.committed = set(live_pages)
+        self.free_pages.extend(self.pending_free)
+        self.pending_free = []
 
 
 class _Region:
     """One record region spread over pages of the shared file."""
 
-    __slots__ = ("pagefile", "pool", "record", "per_page", "pages", "count")
+    __slots__ = ("pagefile", "pool", "record", "per_page", "pages",
+                 "count", "ledger")
 
-    def __init__(self, pagefile, pool, record):
+    def __init__(self, pagefile, pool, record, ledger=None):
         self.pagefile = pagefile
         self.pool = pool
         self.record = record
-        self.per_page = pagefile.page_size // record.size
+        self.ledger = ledger
+        # Records pack into the page's caller-usable payload (the pager
+        # reserves a checksum trailer in v3 files).
+        self.per_page = pagefile.payload_size // record.size
         if self.per_page < 1:
             # Records never span pages; a zero capacity would send
             # ensure() into an unbounded allocation loop.
             raise StorageError(
-                f"page size {pagefile.page_size} cannot hold a "
+                f"page payload {pagefile.payload_size} cannot hold a "
                 f"{record.size}-byte record; use larger pages")
         self.pages = []
         self.count = 0
@@ -82,12 +151,17 @@ class _Region:
         page_no, slot = divmod(index, self.per_page)
         return self.pages[page_no], slot * self.record.size
 
+    def _alloc_page(self):
+        if self.ledger is not None:
+            return self.ledger.alloc()
+        return self.pagefile.allocate_page()
+
     def ensure(self, index):
         """Allocate pages so record ``index`` exists; returns True when a
         fresh page was allocated for it."""
         allocated = False
         while index >= len(self.pages) * self.per_page:
-            self.pages.append(self.pagefile.allocate_page())
+            self.pages.append(self._alloc_page())
             allocated = True
         if index >= self.count:
             self.count = index + 1
@@ -109,12 +183,25 @@ class _Region:
         return self.record.unpack_from(frame, offset)
 
     def write(self, index, *values):
-        """Pack ``values`` into record ``index`` (allocating pages)."""
+        """Pack ``values`` into record ``index`` (allocating pages).
+
+        A page referenced by the last durable checkpoint is shadowed —
+        copied to a fresh page id — before the mutation, so a crash can
+        always roll back to that checkpoint (see :class:`_PageLedger`).
+        """
         fresh = self.ensure(index)
-        page_id, offset = self._locate(index)
-        # A freshly allocated page has no on-disk contents to load.
-        frame = self.pool.get(page_id, load=not fresh)
-        self.record.pack_into(frame, offset, *values)
+        page_no, slot = divmod(index, self.per_page)
+        page_id = self.pages[page_no]
+        ledger = self.ledger
+        if (not fresh and ledger is not None
+                and page_id in ledger.committed):
+            page_id = ledger.shadow(page_id)
+            self.pages[page_no] = page_id
+            frame = self.pool.get(page_id)
+        else:
+            # A freshly allocated page has no on-disk contents to load.
+            frame = self.pool.get(page_id, load=not fresh)
+        self.record.pack_into(frame, slot * self.record.size, *values)
         self.pool.mark_dirty(page_id)
 
 
@@ -144,21 +231,29 @@ class DiskSpineIndex:
     #: Magic bytes of the metadata page (page 0) of a persisted index.
     META_MAGIC = b"SPDK"
     #: Version 2 added the alphabet identity (name, case folding) to
-    #: the checkpoint metadata; version-1 files still open (their
-    #: alphabets load with the historical generic defaults).
-    META_VERSION = 2
+    #: the checkpoint metadata. Version 3 is the crash-safe format:
+    #: generational A/B metadata slots on pages 0 and 1, a CRC over the
+    #: whole metadata blob, per-page checksum trailers, and
+    #: copy-on-write protection of checkpointed pages. Version-1 and
+    #: version-2 files still open (and keep checkpointing in their own
+    #: layout — the page geometry of a file never changes after
+    #: creation).
+    META_VERSION = 3
 
     def __init__(self, alphabet=None, path=None, page_size=4096,
                  buffer_pages=64, policy="lru", sync_writes=False,
-                 pintop_fraction=0.5, _defer_init=False):
+                 pintop_fraction=0.5, _defer_init=False, _format=None):
         if alphabet is None:
             # Canonical case-insensitive factory, matching SpineIndex's
             # default so both accept lowercase input out of the box.
             alphabet = dna_alphabet()
         self.alphabet = alphabet
         self._asize = alphabet.total_size
+        fmt = _format if _format is not None else type(self).META_VERSION
+        self._meta_format = fmt
         self.pagefile = PageFile(path=path, page_size=page_size,
-                                 sync_writes=sync_writes)
+                                 sync_writes=sync_writes,
+                                 checksums=(fmt >= 3))
         self._protected = set()
         if policy == "lru":
             pol = LRUPolicy()
@@ -171,22 +266,36 @@ class DiskSpineIndex:
         self.policy_name = policy
         self.pool = BufferPool(self.pagefile, buffer_pages, pol)
         self._pintop_pages = max(1, int(buffer_pages * pintop_fraction))
-        self._cl = _Region(self.pagefile, self.pool, _CL)
-        self._lt = _Region(self.pagefile, self.pool, _LT)
+        ledger = _PageLedger(self.pagefile, self.pool) if fmt >= 3 else None
+        self._ledger = ledger
+        self._cl = _Region(self.pagefile, self.pool, _CL, ledger)
+        self._lt = _Region(self.pagefile, self.pool, _LT, ledger)
         max_fanout = max(1, self._asize - 1)
         self._rt = {
             k: _Region(self.pagefile, self.pool,
-                       struct.Struct(f"<{1 + _SLOT_INTS * k}i"))
+                       struct.Struct(f"<{1 + _SLOT_INTS * k}i"), ledger)
             for k in range(1, max_fanout + 1)
         }
         self._rt_free = {k: [] for k in self._rt}
-        self._ext = _Region(self.pagefile, self.pool, _EXT)
+        self._ext = _Region(self.pagefile, self.pool, _EXT, ledger)
         self._n = 0
         self._rib_count = 0
+        #: Last durable checkpoint generation (0 = never checkpointed).
+        self._generation = 0
+        #: Continuation pages of each metadata slot (v3; grown on
+        #: demand, reused checkpoint after checkpoint).
+        self._meta_chains = {0: [], 1: []}
         if _defer_init:
             return
-        # Page 0 is reserved for the checkpoint metadata.
-        self._meta_page = self.pagefile.allocate_page()
+        if fmt >= 3:
+            # Pages 0 and 1 are the two generational metadata slots:
+            # generation g commits to slot g % 2, so a torn commit can
+            # only damage the slot being written, never the fallback.
+            self._meta_page = self.pagefile.allocate_page()
+            self.pagefile.allocate_page()
+        else:
+            # Page 0 is reserved for the checkpoint metadata.
+            self._meta_page = self.pagefile.allocate_page()
         # The root's entries: sentinel code, no link, no ribs.
         self._cl.write(0, 255)
         self._lt_write(0, 0, 0)
@@ -225,17 +334,91 @@ class DiskSpineIndex:
 
     def checkpoint(self):
         """Persist the in-memory directories so :meth:`open` can reload
-        the index later. Writes the metadata to page 0 (continuation
-        pages are allocated as needed) and flushes everything."""
+        the index later.
+
+        On a version-3 file this is the atomic generational protocol
+        (see ``docs/durability.md``): flush the data pages, ``fsync``,
+        write the metadata chain and last the metadata head — stamped
+        with the next generation and a CRC over the whole blob — to the
+        alternating A/B slot, ``fsync`` again. A crash at any byte
+        boundary leaves the previous generation intact and discoverable.
+        Legacy (v1/v2) files keep their historical in-place layout.
+        """
         with self.pool.rwlock.write_locked():
             self._checkpoint()
 
+    @property
+    def generation(self):
+        """Last durable checkpoint generation (0 before the first)."""
+        return self._generation
+
+    def abort(self):
+        """Release the file *without* flushing — the simulated-crash
+        path (and the cleanup path for a failed :meth:`open`)."""
+        self.pagefile.close(sync=False)
+
+    def _live_pages(self):
+        live = set()
+        for _, region in self._regions():
+            live.update(region.pages)
+        return live
+
     def _checkpoint(self):
+        if self._meta_format < 3:
+            return self._checkpoint_legacy()
+        gen = self._generation + 1
+        self.pagefile.generation = gen
+        self.pool.flush()
+        self.pagefile.fsync()          # barrier 1: data pages durable
+        blob = self._meta_blob()
+        blob_crc = zlib.crc32(blob)
+        payload = self.pagefile.payload_size
+        per_page = payload - 4         # 4-byte next-page pointer
+        first_payload = per_page - _META_V3.size
+        chunks = [blob[:first_payload]]
+        rest = blob[first_payload:]
+        while rest:
+            chunks.append(rest[:per_page])
+            rest = rest[per_page:]
+        slot = gen % 2
+        chain = self._meta_chains[slot]
+        while len(chain) < len(chunks) - 1:
+            # Chain pages are append-allocated, never taken from the
+            # reclaimed-page pool: a reclaimed page may still be
+            # referenced by the previous (fallback) generation, and
+            # overwriting it here would destroy the very checkpoint a
+            # crash mid-commit must recover to.
+            chain.append(self.pagefile.allocate_page())
+        page_ids = [slot] + chain[:len(chunks) - 1]
+        frames = []
+        for i, chunk in enumerate(chunks):
+            frame = bytearray(self.pagefile.page_size)
+            offset = 0
+            if i == 0:
+                _META_V3.pack_into(frame, 0, self.META_MAGIC, 3, 0,
+                                   len(blob), gen, blob_crc)
+                offset = _META_V3.size
+            frame[offset:offset + len(chunk)] = chunk
+            nxt = page_ids[i + 1] if i + 1 < len(chunks) else -1
+            struct.pack_into("<i", frame, payload - 4, nxt)
+            frames.append(frame)
+        # Continuation pages first, the head slot last: the head is the
+        # commit record — until it is durable, recovery resolves to the
+        # previous generation (whose pages copy-on-write preserved).
+        for i in range(len(frames) - 1, -1, -1):
+            self.pagefile.write_page(page_ids[i], frames[i])
+        self.pagefile.fsync()          # barrier 2: the commit point
+        self._generation = gen
+        if self._ledger is not None:
+            self._ledger.commit(self._live_pages())
+
+    def _checkpoint_legacy(self):
+        """The version-1/2 in-place layout (page 0 overwritten, not
+        crash-atomic) — kept so pre-v3 files remain writable."""
         blob = self._meta_blob()
         page_size = self.pagefile.page_size
-        header = struct.Struct("<4sHq")
         payload_per_page = page_size - 4  # 4-byte next-page pointer
-        first_payload = payload_per_page - header.size
+        first_payload = payload_per_page - _META_LEGACY.size
         chunks = [blob[:first_payload]]
         rest = blob[first_payload:]
         while rest:
@@ -248,14 +431,16 @@ class DiskSpineIndex:
             frame = bytearray(page_size)
             offset = 0
             if i == 0:
-                header.pack_into(frame, 0, self.META_MAGIC,
-                                 self.META_VERSION, len(blob))
-                offset = header.size
+                _META_LEGACY.pack_into(frame, 0, self.META_MAGIC,
+                                       min(self._meta_format, 2),
+                                       len(blob))
+                offset = _META_LEGACY.size
             frame[offset:offset + len(chunk)] = chunk
             nxt = page_ids[i + 1] if i + 1 < len(chunks) else -1
             struct.pack_into("<i", frame, page_size - 4, nxt)
             self.pagefile.write_page(page_ids[i], frame)
         self.pool.flush()
+        self.pagefile.fsync()
 
     @classmethod
     def open(cls, path, alphabet=None, page_size=4096, buffer_pages=64,
@@ -268,36 +453,182 @@ class DiskSpineIndex:
         the check covers more than the symbol string, so e.g. a
         case-sensitive stand-in for a case-insensitive index is
         rejected instead of silently changing query semantics.
-        """
-        import os
 
+        Version-3 files *recover*: the newest metadata slot whose
+        generation head, chain and blob CRC all verify wins, so a crash
+        during :meth:`checkpoint` (torn page, missed fsync,
+        half-written chain) falls back to the previous durable
+        generation instead of loading garbage. A file with no intact
+        generation raises a descriptive
+        :class:`~repro.exceptions.StorageError`.
+        """
         if not os.path.exists(path):
             raise StorageError(f"{path}: no such index file")
         size = os.path.getsize(path)
+        if size == 0:
+            raise StorageError(
+                f"{path}: empty file — no checkpoint was ever written")
         if size < page_size:
-            raise StorageError(f"{path}: too small to hold an index")
-        probe_alphabet = alphabet if alphabet is not None             else dna_alphabet()
+            raise StorageError(
+                f"{path}: file is {size} bytes, shorter than one "
+                f"{page_size}-byte page (truncated, or not an index)")
+        with open(path, "rb") as handle:
+            head0 = handle.read(page_size)
+            head1 = handle.read(page_size)
+        version = cls._probe_version(head0, head1, path)
+        common = dict(page_size=page_size, buffer_pages=buffer_pages,
+                      policy=policy, sync_writes=sync_writes,
+                      pintop_fraction=pintop_fraction)
+        if version >= 3:
+            return cls._open_v3(path, size, alphabet, **common)
+        return cls._open_legacy(version, path, size, alphabet, **common)
+
+    @classmethod
+    def _probe_version(cls, head0, head1, path):
+        """Decide the file's format family from the raw slot pages.
+
+        A v3 file whose slot-0 head was torn mid-commit still
+        identifies via slot 1; a file matching neither slot is not an
+        index at all.
+        """
+        for head in (head0, head1):
+            if len(head) < _META_LEGACY.size or head[:4] != cls.META_MAGIC:
+                continue
+            (version,) = struct.unpack_from("<H", head, 4)
+            if version > cls.META_VERSION:
+                raise StorageError(
+                    f"{path}: unsupported disk format {version}")
+            if head is head0 and version in (1, 2):
+                return version
+            if version == 3:
+                return 3
+        raise StorageError(
+            f"{path}: not a disk SPINE index (no valid metadata slot)")
+
+    @classmethod
+    def _open_v3(cls, path, size, alphabet, **common):
+        probe_alphabet = (alphabet if alphabet is not None
+                          else dna_alphabet())
         index = cls(alphabet=probe_alphabet, path=path,
-                    page_size=page_size, buffer_pages=buffer_pages,
-                    policy=policy, sync_writes=sync_writes,
-                    pintop_fraction=pintop_fraction, _defer_init=True)
+                    _defer_init=True, _format=3, **common)
+        pagefile = index.pagefile
+        pagefile._page_count = size // pagefile.page_size
+        index._meta_page = 0
+        candidates = []
+        failures = []
+        for slot in (0, 1):
+            if slot >= pagefile.page_count:
+                failures.append(f"slot {slot}: past end of file")
+                continue
+            try:
+                gen, blob, chain = cls._read_meta_slot(pagefile, slot)
+                candidates.append((gen, slot, blob, chain))
+            except (StorageError, struct.error) as exc:
+                failures.append(f"slot {slot}: {exc}")
+        if not candidates:
+            index.abort()
+            raise StorageError(
+                f"{path}: no intact checkpoint generation "
+                f"({'; '.join(failures)})")
+        gen, slot, blob, chain = max(candidates)
+        for c_gen, c_slot, _c_blob, c_chain in candidates:
+            index._meta_chains[c_slot] = c_chain
+        try:
+            cls._parse_meta_blob(index, blob, 3, alphabet)
+        except StorageError:
+            index.abort()
+            raise
+        index._generation = gen
+        pagefile.generation = gen
+        # Rebuild the ledger: the recovered generation's pages are
+        # copy-on-write protected; every allocated page referenced by
+        # neither that generation nor a metadata slot/chain (pages of
+        # stale fallback generations, pages shadowed or orphaned by a
+        # crashed epoch) is reclaimed for reuse.
+        live = index._live_pages()
+        keep = set(live)
+        keep.update((0, 1))
+        for chain_pages in index._meta_chains.values():
+            keep.update(chain_pages)
+        ledger = index._ledger
+        ledger.committed = live
+        ledger.free_pages = sorted(
+            set(range(pagefile.page_count)) - keep, reverse=True)
+        ledger.pending_free = []
+        index._refresh_pintop_protection()
+        return index
+
+    @classmethod
+    def _read_meta_slot(cls, pagefile, slot):
+        """``(generation, blob, chain_pages)`` of one v3 metadata slot;
+        raises :class:`StorageError` when any byte fails validation."""
+        frame = pagefile.read_page(slot)
+        magic, version, _flags, blob_len, gen, blob_crc = \
+            _META_V3.unpack_from(frame)
+        if magic != cls.META_MAGIC:
+            raise StorageError("bad magic")
+        if version != 3:
+            raise StorageError(f"slot holds format version {version}")
+        payload = pagefile.payload_size
+        per_page = payload - 4
+        if not 0 <= blob_len <= pagefile.page_count * per_page:
+            raise StorageError(f"implausible metadata length {blob_len}")
+        chunks = [bytes(frame[_META_V3.size:per_page])]
+        (nxt,) = struct.unpack_from("<i", frame, payload - 4)
+        chain = []
+        seen = {slot}
+        while nxt != -1:
+            if nxt in seen or not 0 <= nxt < pagefile.page_count:
+                raise StorageError(
+                    f"metadata chain broken at page {nxt}")
+            seen.add(nxt)
+            chain.append(nxt)
+            frame = pagefile.read_page(nxt)
+            chunks.append(bytes(frame[:per_page]))
+            (nxt,) = struct.unpack_from("<i", frame, payload - 4)
+        blob = b"".join(chunks)
+        if len(blob) < blob_len:
+            raise StorageError("metadata chain shorter than blob length")
+        blob = blob[:blob_len]
+        if zlib.crc32(blob) != blob_crc:
+            raise StorageError("metadata blob CRC mismatch")
+        return gen, blob, chain
+
+    @classmethod
+    def _open_legacy(cls, version, path, size, alphabet, **common):
+        probe_alphabet = (alphabet if alphabet is not None
+                          else dna_alphabet())
+        index = cls(alphabet=probe_alphabet, path=path,
+                    _defer_init=True, _format=2, **common)
+        page_size = index.pagefile.page_size
         index.pagefile._page_count = size // page_size
         index._meta_page = 0
-        header = struct.Struct("<4sHq")
         frame = index.pagefile.read_page(0)
-        magic, version, blob_len = header.unpack_from(frame)
-        if magic != cls.META_MAGIC:
-            raise StorageError(f"{path}: not a disk SPINE index")
-        if version not in (1, cls.META_VERSION):
-            raise StorageError(f"unsupported disk format {version}")
+        _magic, _version, blob_len = _META_LEGACY.unpack_from(frame)
         payload_per_page = page_size - 4
-        chunks = [bytes(frame[header.size:payload_per_page])]
+        chunks = [bytes(frame[_META_LEGACY.size:payload_per_page])]
         (nxt,) = struct.unpack_from("<i", frame, page_size - 4)
         while nxt != -1:
+            if not 0 <= nxt < index.pagefile.page_count:
+                index.abort()
+                raise StorageError(
+                    f"{path}: metadata chain broken at page {nxt}")
             frame = index.pagefile.read_page(nxt)
             chunks.append(bytes(frame[:payload_per_page]))
             (nxt,) = struct.unpack_from("<i", frame, page_size - 4)
         blob = b"".join(chunks)[:blob_len]
+        try:
+            cls._parse_meta_blob(index, blob, version, alphabet)
+        except StorageError:
+            index.abort()
+            raise
+        index._refresh_pintop_protection()
+        return index
+
+    @classmethod
+    def _parse_meta_blob(cls, index, blob, version, alphabet):
+        """Restore alphabet identity, counters, region directories and
+        RT free lists from a metadata blob (shared by all formats)."""
         offset = 0
         n, rib_count, sep, sym_len = struct.unpack_from("<qqhH", blob,
                                                         offset)
@@ -341,7 +672,8 @@ class DiskSpineIndex:
             max_fanout = max(1, index._asize - 1)
             index._rt = {
                 k: _Region(index.pagefile, index.pool,
-                           struct.Struct(f"<{1 + _SLOT_INTS * k}i"))
+                           struct.Struct(f"<{1 + _SLOT_INTS * k}i"),
+                           index._ledger)
                 for k in range(1, max_fanout + 1)
             }
             index._rt_free = {k: [] for k in index._rt}
@@ -360,12 +692,14 @@ class DiskSpineIndex:
             index._rt_free[k] = list(
                 struct.unpack_from(f"<{nfree}i", blob, offset))
             offset += 4 * nfree
-        if index.policy_name == "pintop":
-            for page_id in index._cl.pages:
-                index._protected.add(page_id)
-            for page_id in index._lt.pages[:index._pintop_pages]:
-                index._protected.add(page_id)
-        return index
+
+    def _refresh_pintop_protection(self):
+        if self.policy_name != "pintop":
+            return
+        for page_id in self._cl.pages:
+            self._protected.add(page_id)
+        for page_id in self._lt.pages[:self._pintop_pages]:
+            self._protected.add(page_id)
 
     # ------------------------------------------------------------------
     # low-level record access

@@ -26,6 +26,33 @@ class StorageError(ReproError):
     """The disk substrate failed (bad page id, buffer misuse, closed store)."""
 
 
+class IntegrityError(StorageError):
+    """On-disk data failed an integrity check (checksums, torn metadata).
+
+    The distinguishing property of this family is that the *bytes on
+    disk* are wrong — not the request.  Callers that want to route
+    corruption to a recovery path (fsck, restore from the previous
+    checkpoint generation) can catch :class:`IntegrityError` while still
+    treating plain :class:`StorageError` as a programming error.
+    """
+
+
+class CorruptPageError(IntegrityError):
+    """A page's stored CRC did not match its contents.
+
+    Carries enough structure for operational tooling: the failing
+    ``page_id``, the checkpoint ``generation`` stamped on the page when
+    it was last written (``None`` when the trailer itself is
+    unreadable), and the backing ``path``.
+    """
+
+    def __init__(self, message, page_id=None, generation=None, path=None):
+        super().__init__(message)
+        self.page_id = page_id
+        self.generation = generation
+        self.path = path
+
+
 class CorpusError(ReproError):
     """A named corpus sequence could not be produced."""
 

@@ -12,10 +12,19 @@ building blocks:
 * :class:`repro.storage.disk.DiskModel` — seek/transfer cost model that
   turns counted I/Os into modeled seconds, distinguishing sequential
   runs from random accesses and charging synchronous writes a forced
-  seek.
+  seek;
+* :mod:`repro.storage.failpoints` — deterministic fault injection
+  (torn/short/transient/crash) wired into the pager and buffer pool,
+  so the crash-safety of the layers above is provable by test;
+* :mod:`repro.storage.fsck` — offline integrity scan of a persisted
+  disk index (metadata slots, generation chain, per-page CRCs, region
+  page-list sanity) behind the ``repro fsck`` CLI.
 """
 
 from repro.storage.disk import DiskModel
+from repro.storage.failpoints import (
+    CrashInjected, clear_failpoints, fail_at, failpoints_armed,
+    get_failpoints)
 from repro.storage.metrics import IOMetrics
 from repro.storage.pager import PageFile
 from repro.storage.buffer import (
@@ -30,4 +39,9 @@ __all__ = [
     "ClockPolicy",
     "PinTopPolicy",
     "ReadWriteLock",
+    "CrashInjected",
+    "clear_failpoints",
+    "fail_at",
+    "failpoints_armed",
+    "get_failpoints",
 ]

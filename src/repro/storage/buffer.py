@@ -17,6 +17,9 @@ from contextlib import contextmanager
 
 from repro.exceptions import StorageError
 from repro.obs.trace import get_tracer
+from repro.storage.failpoints import get_failpoints
+
+_FAILPOINTS = get_failpoints()
 
 
 class ReadWriteLock:
@@ -345,6 +348,19 @@ class BufferPool:
                 raise StorageError(f"page {page_id} not resident")
             self._dirty.add(page_id)
 
+    def discard(self, page_id):
+        """Drop a clean, unpinned resident frame without writing it
+        back (used when a page's identity is retired, e.g. after a
+        copy-on-write shadow). A no-op for non-resident pages."""
+        with self._latch:
+            if page_id not in self._frames:
+                return
+            if self._pins.get(page_id, 0) or page_id in self._dirty:
+                raise StorageError(
+                    f"cannot discard page {page_id}: pinned or dirty")
+            del self._frames[page_id]
+            self.policy.forget(page_id)
+
     def _evict_one(self):
         # Pinned pages are not eviction candidates: set them aside,
         # take the policy's next victim, then restore the recency of
@@ -370,6 +386,15 @@ class BufferPool:
             raise
         for page_id in skipped:
             self.policy.touch(page_id)
+        if _FAILPOINTS.active:
+            # Fires *before* the frame is dropped; an injected fault
+            # leaves the pool consistent (the victim stays resident and
+            # is restored in the policy).
+            try:
+                _FAILPOINTS.fire("buffer.evict", page=victim)
+            except BaseException:
+                self.policy.touch(victim)
+                raise
         frame = self._frames.pop(victim)
         self.pagefile.metrics.evictions += 1
         if victim in self._dirty:

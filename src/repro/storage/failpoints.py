@@ -1,0 +1,176 @@
+"""Deterministic fault injection for the storage substrate.
+
+Durability claims are only as good as the faults they were tested
+against.  This module gives the storage layer named *failpoints* —
+instrumented sites in :class:`~repro.storage.pager.PageFile` and
+:class:`~repro.storage.buffer.BufferPool` — that a test (or a chaos
+harness) arms with :func:`fail_at`::
+
+    from repro.storage import failpoints
+
+    with failpoints.failpoints_armed("pager.write", nth=3, mode="torn"):
+        index.checkpoint()          # the 3rd physical write tears
+
+Sites and the modes they honour:
+
+==============  ==========================================================
+site            fires in
+==============  ==========================================================
+pager.read      ``PageFile.read_page`` before the physical read
+                (``oserror`` exercises the bounded retry path; ``crash``)
+pager.write     ``PageFile.write_page`` before the physical write
+                (``torn``: half the page lands then the process "dies";
+                ``short``: the first ``pwrite`` is truncated — the write
+                loop must recover transparently; ``oserror``; ``crash``)
+pager.fsync     ``PageFile.fsync`` before the flush — the checkpoint
+                protocol's ordering boundaries (``oserror``, ``crash``)
+buffer.evict    ``BufferPool._evict_one`` before the victim write-back
+                (``oserror``, ``crash``)
+==============  ==========================================================
+
+Counting is deterministic: the ``nth`` call to a site fires the fault
+(1-based), and ``count`` consecutive calls after it keep firing —
+``fail_at("pager.read", nth=1, mode="oserror", count=2)`` makes exactly
+the first two reads fail, so a 3-attempt retry loop succeeds.
+
+Disabled cost is one module-level boolean check (``_REGISTRY.active``)
+per instrumented site, following the same discipline as
+:mod:`repro.obs`.
+"""
+
+from __future__ import annotations
+
+import errno
+import threading
+from contextlib import contextmanager
+
+__all__ = [
+    "CrashInjected",
+    "FailpointRegistry",
+    "MODES",
+    "clear_failpoints",
+    "fail_at",
+    "failpoints_armed",
+    "get_failpoints",
+]
+
+#: Recognised failure modes.
+MODES = ("torn", "short", "oserror", "crash")
+
+
+class CrashInjected(BaseException):
+    """A simulated ``kill -9`` raised from an armed failpoint.
+
+    Deliberately a :class:`BaseException`: a real crash cannot be
+    caught and cleaned up after, so no ``except Exception`` recovery
+    path in the library may swallow it.  Only the test harness catches
+    it (and then *reopens* the file, as a restarted process would).
+    """
+
+
+class _Failpoint:
+    __slots__ = ("site", "mode", "nth", "count", "hits", "fired")
+
+    def __init__(self, site, mode, nth, count):
+        if mode not in MODES:
+            raise ValueError(f"unknown failpoint mode {mode!r}; "
+                             f"expected one of {MODES}")
+        if nth < 1 or count < 1:
+            raise ValueError("nth and count must be >= 1")
+        self.site = site
+        self.mode = mode
+        self.nth = nth
+        self.count = count
+        self.hits = 0    # calls seen at this site
+        self.fired = 0   # faults actually injected
+
+    def check(self):
+        """Count one call; return the mode when this call must fail."""
+        self.hits += 1
+        if self.nth <= self.hits < self.nth + self.count:
+            self.fired += 1
+            return self.mode
+        return None
+
+
+class FailpointRegistry:
+    """Armed failpoints, keyed by site name.
+
+    ``active`` is the cheap gate instrumented sites read before doing
+    anything else; it is true iff at least one failpoint is armed.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self._points = {}
+        self.active = False
+
+    def arm(self, site, mode="oserror", nth=1, count=1):
+        """Arm ``site`` to fail on its ``nth`` call (then ``count - 1``
+        more); returns the failpoint for hit inspection."""
+        point = _Failpoint(site, mode, nth, count)
+        with self._lock:
+            self._points[site] = point
+            self.active = True
+        return point
+
+    def clear(self, site=None):
+        """Disarm one site (or every site)."""
+        with self._lock:
+            if site is None:
+                self._points.clear()
+            else:
+                self._points.pop(site, None)
+            self.active = bool(self._points)
+
+    def fire(self, site, **context):
+        """Called by an instrumented site on every operation.
+
+        Raises for ``crash`` / ``oserror`` modes; returns ``"torn"`` or
+        ``"short"`` for the data-mangling modes the site itself must
+        implement; returns ``None`` when the site proceeds normally.
+        """
+        with self._lock:
+            point = self._points.get(site)
+            mode = point.check() if point is not None else None
+        if mode is None:
+            return None
+        if mode == "crash":
+            raise CrashInjected(f"simulated crash at {site} "
+                                f"(call #{point.hits}, {context})")
+        if mode == "oserror":
+            raise OSError(errno.EIO,
+                          f"injected I/O error at {site} "
+                          f"(call #{point.hits})")
+        return mode  # "torn" / "short": handled at the site
+
+
+#: Process-global registry the storage layer is wired to.
+_REGISTRY = FailpointRegistry()
+
+
+def get_failpoints():
+    """The process-global :class:`FailpointRegistry`."""
+    return _REGISTRY
+
+
+def fail_at(site, mode="oserror", nth=1, count=1):
+    """Arm the global registry (see :meth:`FailpointRegistry.arm`)."""
+    return _REGISTRY.arm(site, mode=mode, nth=nth, count=count)
+
+
+def clear_failpoints(site=None):
+    """Disarm the global registry."""
+    _REGISTRY.clear(site)
+
+
+@contextmanager
+def failpoints_armed(site, mode="oserror", nth=1, count=1):
+    """Arm one failpoint for a ``with`` block; always disarms on exit
+    (including after an injected crash). Yields the failpoint so tests
+    can assert it actually fired."""
+    point = fail_at(site, mode=mode, nth=nth, count=count)
+    try:
+        yield point
+    finally:
+        clear_failpoints(site)

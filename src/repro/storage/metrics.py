@@ -30,6 +30,8 @@ class IOMetrics:
     buffer_hits: int = 0
     buffer_misses: int = 0
     evictions: int = 0
+    read_retries: int = 0
+    checksum_failures: int = 0
     _last_read_page: int = -2
     _last_write_page: int = -2
 
@@ -70,4 +72,6 @@ class IOMetrics:
             "buffer_hits": self.buffer_hits,
             "buffer_misses": self.buffer_misses,
             "evictions": self.evictions,
+            "read_retries": self.read_retries,
+            "checksum_failures": self.checksum_failures,
         }

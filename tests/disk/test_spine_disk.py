@@ -405,3 +405,158 @@ class TestAlphabetFidelity:
             assert reopened.link(i) == mem.link(i)
         self._assert_same_alphabet(reopened.alphabet, mem.alphabet)
         reopened.close()
+
+
+class TestFormatCompatibility:
+    """v1 AND v2 metadata files must keep opening after the v3
+    (crash-safe) format became the default for new files."""
+
+    def test_version2_checkpoint_still_opens(self, tmp_path):
+        path = str(tmp_path / "v2.spine")
+        text = generate_dna(900, seed=43)
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8, _format=2) as dsk:
+            dsk.extend(text)
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert reopened._meta_format == 2
+        assert reopened.alphabet.case_insensitive is True
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        probe = text[200:215]
+        assert reopened.find_all(probe) == mem.find_all(probe)
+        # a legacy file keeps checkpointing in its own layout
+        reopened.extend(text[:100])
+        reopened.checkpoint()
+        reopened.close()
+        again = DiskSpineIndex.open(path, buffer_pages=8)
+        assert again._meta_format == 2
+        assert len(again) == len(text) + 100
+        again.close()
+
+    def test_new_files_are_version3(self, tmp_path):
+        import struct as struct_mod
+
+        path = str(tmp_path / "v3.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path) as dsk:
+            dsk.extend("ACGTACGT")
+            dsk.checkpoint()
+        # generation 1 commits to slot 1 (page 1): gen % 2 alternation
+        with open(path, "rb") as handle:
+            head0 = handle.read(4096)
+            head1 = handle.read(4096)
+        assert head1[:4] == b"SPDK"
+        (version,) = struct_mod.unpack_from("<H", head1, 4)
+        assert version == 3
+        assert head0[:4] == b"\x00" * 4  # slot 0 untouched until gen 2
+
+    def test_generation_survives_reopen(self, tmp_path):
+        path = str(tmp_path / "gen.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path) as dsk:
+            dsk.extend("ACGTACGT")
+            dsk.checkpoint()
+            dsk.extend("TTGGCCAA")
+            dsk.checkpoint()
+            assert dsk.generation == 2
+        reopened = DiskSpineIndex.open(path)
+        assert reopened.generation == 2
+        reopened.close()
+
+
+class TestOpenDiagnostics:
+    def test_empty_file_is_descriptive(self, tmp_path):
+        from repro.exceptions import StorageError
+
+        path = tmp_path / "empty.spine"
+        path.write_bytes(b"")
+        with pytest.raises(StorageError, match="empty file"):
+            DiskSpineIndex.open(str(path))
+
+    def test_truncated_file_is_descriptive(self, tmp_path):
+        from repro.exceptions import StorageError
+
+        path = tmp_path / "trunc.spine"
+        path.write_bytes(b"SPDK" + b"\x00" * 100)
+        with pytest.raises(StorageError, match="shorter than one"):
+            DiskSpineIndex.open(str(path))
+
+    def test_future_format_rejected(self, tmp_path):
+        import struct as struct_mod
+
+        from repro.exceptions import StorageError
+
+        path = tmp_path / "future.spine"
+        frame = bytearray(8192)
+        frame[:4] = b"SPDK"
+        struct_mod.pack_into("<H", frame, 4, 9)
+        path.write_bytes(bytes(frame))
+        with pytest.raises(StorageError, match="unsupported disk format"):
+            DiskSpineIndex.open(str(path))
+
+
+class TestCheckpointDifferential:
+    def test_reopened_concurrent_index_matches_memory(self, tmp_path):
+        """Checkpoint → reopen → enable_concurrent_reads must answer
+        exactly like the in-memory index, including under parallel
+        query threads."""
+        import threading
+
+        path = str(tmp_path / "diff.spine")
+        text = generate_dna(3000, seed=44)
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8) as dsk:
+            dsk.extend(text)
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        reopened.enable_concurrent_reads()
+
+        rng = random.Random(45)
+        patterns = []
+        for _ in range(60):
+            start = rng.randrange(0, len(text) - 16)
+            patterns.append(text[start:start + rng.randrange(4, 16)])
+        expected = {p: mem.find_all(p) for p in patterns}
+
+        failures = []
+
+        def worker(chunk):
+            for pattern in chunk:
+                got = reopened.find_all(pattern)
+                if got != expected[pattern]:
+                    failures.append((pattern, got))
+
+        threads = [threading.Thread(target=worker,
+                                    args=(patterns[i::4],))
+                   for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not failures
+        reopened.close()
+
+    def test_checkpoint_after_further_growth_matches_memory(self,
+                                                            tmp_path):
+        """Copy-on-write shadowing must not corrupt query results
+        across grow → checkpoint → grow → checkpoint cycles."""
+        path = str(tmp_path / "cow.spine")
+        text = generate_dna(2400, seed=46)
+        third = len(text) // 3
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8) as dsk:
+            dsk.extend(text[:third])
+            dsk.checkpoint()
+            dsk.extend(text[third:2 * third])
+            dsk.checkpoint()
+            dsk.extend(text[2 * third:])
+            dsk.checkpoint()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        mem = SpineIndex(text, alphabet=dna_alphabet())
+        rng = random.Random(47)
+        for _ in range(40):
+            start = rng.randrange(0, len(text) - 12)
+            pattern = text[start:start + rng.randrange(3, 12)]
+            assert reopened.find_all(pattern) == mem.find_all(pattern)
+        for i in range(1, len(text) + 1, 53):
+            assert reopened.link(i) == mem.link(i)
+        reopened.close()

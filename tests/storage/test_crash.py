@@ -1,0 +1,276 @@
+"""Crash-safety chaos suite.
+
+Every failpoint mode, injected at every interesting write ordinal of a
+checkpoint, must leave the index in one of exactly two states: reopen
+recovers a previous durable generation (and answers queries
+identically to it), or reopen raises a structured storage error. Wrong
+query results are never acceptable.
+"""
+
+import os
+
+import pytest
+
+from repro.alphabet import dna_alphabet
+from repro.disk import DiskSpineIndex
+from repro.exceptions import CorruptPageError, StorageError
+from repro.storage import (
+    CrashInjected, PageFile, clear_failpoints, fail_at, failpoints_armed,
+    get_failpoints)
+
+TEXT_A = "ACGTACGTACGTAAGGTTAC" * 6
+TEXT_B = "TTTTACGTCCAGGA" * 4
+
+
+@pytest.fixture(autouse=True)
+def _clean_failpoints():
+    clear_failpoints()
+    yield
+    clear_failpoints()
+
+
+def _build_two_generations(path):
+    """An index with one durable generation, plus staged-but-not-yet-
+    checkpointed extra text; returns the gen-1 answer key."""
+    ix = DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                        buffer_pages=8)
+    ix.extend(TEXT_A)
+    ix.checkpoint()
+    answers = {p: sorted(ix.find_all(p)) for p in ("ACGT", "AGG", "TTAC")}
+    ix.extend(TEXT_B)
+    return ix, answers
+
+
+class TestFailpointRegistry:
+    def test_nth_and_count(self):
+        reg = get_failpoints()
+        fail_at("pager.fsync", mode="oserror", nth=2, count=2)
+        assert reg.fire("pager.fsync") is None  # hit 1: before nth
+        with pytest.raises(OSError):
+            reg.fire("pager.fsync")             # hit 2 fires
+        with pytest.raises(OSError):
+            reg.fire("pager.fsync")             # hit 3 fires
+        assert reg.fire("pager.fsync") is None  # hit 4: spent
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(ValueError):
+            fail_at("pager.write", mode="lightning")
+
+    def test_context_manager_disarms(self):
+        with failpoints_armed("pager.read", mode="oserror", nth=1):
+            assert get_failpoints().active
+        pf = PageFile(page_size=64)
+        pf.allocate_page()
+        pf.read_page(0)                 # disarmed: no injection
+
+    def test_clear_single_site(self):
+        fail_at("pager.read", mode="oserror", nth=99)
+        fail_at("pager.write", mode="oserror", nth=99)
+        clear_failpoints("pager.read")
+        reg = get_failpoints()
+        assert reg.active               # pager.write still armed
+        clear_failpoints()
+        assert not reg.active
+
+
+class TestReadRetry:
+    def test_transient_read_errors_are_retried(self, tmp_path):
+        path = str(tmp_path / "retry.bin")
+        pf = PageFile(path=path, page_size=128)
+        pf.allocate_page()
+        pf.write_page(0, bytearray(b"\x05" * 128))
+        fail_at("pager.read", mode="oserror", nth=1, count=2)
+        buf = pf.read_page(0)
+        assert buf == bytearray(b"\x05" * 128)
+        assert pf.metrics.read_retries == 2
+        pf.close()
+
+    def test_persistent_read_errors_surface(self, tmp_path):
+        path = str(tmp_path / "dead.bin")
+        pf = PageFile(path=path, page_size=128)
+        pf.allocate_page()
+        pf.write_page(0, bytearray(128))
+        fail_at("pager.read", mode="oserror", nth=1, count=100)
+        with pytest.raises(StorageError, match="read failed after"):
+            pf.read_page(0)
+        pf.close()
+
+
+class TestCheckpointCrashRecovery:
+    """The core chaos matrix: inject each mode at each write ordinal
+    during the *second* checkpoint; the file must always reopen to
+    either generation 2 (commit landed) or generation 1 (rolled back)
+    with the exactly matching answers."""
+
+    @pytest.mark.parametrize("mode", ["torn", "crash", "oserror"])
+    @pytest.mark.parametrize("nth", list(range(1, 9)))
+    def test_recovery_matrix(self, tmp_path, mode, nth):
+        path = str(tmp_path / f"{mode}-{nth}.spine")
+        ix, gen1_answers = _build_two_generations(path)
+        gen2_answers = {p: sorted(ix.find_all(p)) for p in gen1_answers}
+        fail_at("pager.write", mode=mode, nth=nth)
+        crashed = False
+        try:
+            ix.checkpoint()
+        except (CrashInjected, StorageError):
+            crashed = True
+        finally:
+            clear_failpoints()
+        ix.abort()
+
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert reopened.generation in (1, 2)
+        if not crashed:
+            assert reopened.generation == 2
+        expected = (gen1_answers if reopened.generation == 1
+                    else gen2_answers)
+        for pattern, occurrences in expected.items():
+            assert sorted(reopened.find_all(pattern)) == occurrences
+        reopened.close()
+
+    def test_crash_during_fsync(self, tmp_path):
+        path = str(tmp_path / "fsync.spine")
+        ix, gen1_answers = _build_two_generations(path)
+        fail_at("pager.fsync", mode="crash", nth=1)
+        with pytest.raises(CrashInjected):
+            ix.checkpoint()
+        clear_failpoints()
+        ix.abort()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert reopened.generation == 1
+        for pattern, occurrences in gen1_answers.items():
+            assert sorted(reopened.find_all(pattern)) == occurrences
+        reopened.close()
+
+    def test_short_writes_are_transparent(self, tmp_path):
+        # "short" is not a crash: the pwrite loop must finish the page
+        # and the checkpoint must commit normally.
+        path = str(tmp_path / "short.spine")
+        ix, _ = _build_two_generations(path)
+        expected = sorted(ix.find_all("ACGT"))
+        fail_at("pager.write", mode="short", nth=1, count=50)
+        ix.checkpoint()
+        clear_failpoints()
+        ix.close()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert reopened.generation == 2
+        assert sorted(reopened.find_all("ACGT")) == expected
+        reopened.close()
+
+    def test_crash_before_first_checkpoint_is_descriptive(self,
+                                                          tmp_path):
+        path = str(tmp_path / "never.spine")
+        ix = DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8)
+        ix.extend(TEXT_A)
+        fail_at("pager.write", mode="torn", nth=1)
+        with pytest.raises(CrashInjected):
+            ix.checkpoint()
+        clear_failpoints()
+        ix.abort()
+        with pytest.raises(
+                StorageError,
+                match="no intact checkpoint|not a disk SPINE index"):
+            DiskSpineIndex.open(path)
+
+    def test_many_generations_alternate_slots(self, tmp_path):
+        path = str(tmp_path / "gens.spine")
+        ix = DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8)
+        chunk = "ACGTTGCA"
+        for round_no in range(5):
+            ix.extend(chunk)
+            ix.checkpoint()
+            assert ix.generation == round_no + 1
+        expected = sorted(ix.find_all("GT"))
+        ix.close()
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert reopened.generation == 5
+        assert sorted(reopened.find_all("GT")) == expected
+        reopened.close()
+
+
+class TestCorruptionSurfacing:
+    def _live_pages(self, path):
+        from repro.storage.fsck import _read_slot, _walk_blob
+        pf = PageFile(path=path, page_size=4096, checksums=True)
+        pf._page_count = os.path.getsize(path) // 4096
+        slots = []
+        for slot in (0, 1):
+            try:
+                slots.append(_read_slot(pf, slot))
+            except StorageError:
+                pass
+        pf.close(sync=False)
+        _gen, blob, _chain = max(slots)
+        meta = _walk_blob(blob, 3)
+        return [p for r in meta["regions"] for p in r["pages"]]
+
+    def test_query_on_corrupt_page_is_structured(self, tmp_path):
+        path = str(tmp_path / "bad.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8) as ix:
+            ix.extend(TEXT_A)
+            ix.checkpoint()
+        victim = self._live_pages(path)[0]
+        with open(path, "r+b") as handle:
+            handle.seek(victim * 4096 + 64)
+            byte = handle.read(1)
+            handle.seek(victim * 4096 + 64)
+            handle.write(bytes([byte[0] ^ 0xFF]))
+        reopened = DiskSpineIndex.open(path, buffer_pages=2)
+        with pytest.raises(CorruptPageError) as excinfo:
+            # A tiny pool guarantees the poisoned page is faulted from
+            # disk at some point of the scan.
+            for pattern in ("ACGT", "AGG", "TTAC", "CGTA", "GGT"):
+                reopened.find_all(pattern)
+        assert excinfo.value.page_id == victim
+        assert excinfo.value.generation == 1
+        assert reopened.pagefile.metrics.checksum_failures >= 1
+        reopened.close()
+
+    def test_corruption_metric_counted(self, tmp_path):
+        from repro.obs import get_registry
+
+        path = str(tmp_path / "metric.spine")
+        with DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8) as ix:
+            ix.extend(TEXT_A)
+            ix.checkpoint()
+        victim = self._live_pages(path)[0]
+        with open(path, "r+b") as handle:
+            handle.seek(victim * 4096)
+            handle.write(b"\xde\xad\xbe\xef")
+        registry = get_registry()
+        registry.enable()
+        try:
+            before = registry.counter("storage.corruption.pages").value
+            pf = PageFile(path=path, page_size=4096, checksums=True)
+            pf._page_count = os.path.getsize(path) // 4096
+            with pytest.raises(CorruptPageError):
+                pf.read_page(victim)
+            assert registry.counter(
+                "storage.corruption.pages").value == before + 1
+            pf.close(sync=False)
+        finally:
+            registry.disable()
+
+
+class TestBufferEvictionFaults:
+    def test_eviction_failpoint_leaves_pool_consistent(self):
+        from repro.storage import BufferPool
+
+        pf = PageFile(page_size=64)
+        pool = BufferPool(pf, capacity=2)
+        for _ in range(3):
+            pf.allocate_page()
+        pool.get(0, load=False)
+        pool.get(1, load=False)
+        fail_at("buffer.evict", mode="oserror", nth=1)
+        with pytest.raises(OSError):
+            pool.get(2, load=False)     # needs an eviction, which faults
+        clear_failpoints()
+        # the victim stayed resident and evictable; retry succeeds
+        assert len(pool) == 2
+        pool.get(2, load=False)
+        assert len(pool) == 2
