@@ -42,12 +42,14 @@ from repro.core import (
 )
 from repro.core.packed import PackedSpineIndex
 from repro.serve import QueryService, SnapshotGuard
+from repro.shard import ShardedSpineIndex
 from repro.exceptions import (
     AlphabetError,
     ConstructionError,
     CorpusError,
     ReproError,
     SearchError,
+    ServiceClosedError,
     StorageError,
     VerificationError,
 )
@@ -65,6 +67,8 @@ __all__ = [
     "BatchMatch",
     "batch_find_all",
     "QueryService",
+    "ServiceClosedError",
+    "ShardedSpineIndex",
     "SnapshotGuard",
     "collect_statistics",
     "load_index",

@@ -352,6 +352,72 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_shard_build(args):
+    from repro.shard import ShardedSpineIndex
+
+    header, text = _load_first_record(args.fasta)
+    started = time.perf_counter()
+    index = ShardedSpineIndex.build(
+        text, shards=args.shards, workers=args.workers,
+        max_pattern_len=args.max_pattern_len, layer=args.layer,
+        path=args.output, split_threshold=args.split_threshold)
+    elapsed = time.perf_counter() - started
+    try:
+        print(f"indexed {header!r}: {len(index)} chars into "
+              f"{index.shard_count} {args.layer} shard(s) with "
+              f"{args.workers} worker(s) in {elapsed:.2f}s "
+              f"-> {args.output}")
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_shard_query(args):
+    from repro.shard import ShardedSpineIndex
+
+    index = ShardedSpineIndex.load(args.index, layer=args.layer)
+    try:
+        if len(args.patterns) > 1:
+            for match in index.batch_find_all(args.patterns):
+                starts = " ".join(map(str, match.starts))
+                print(f"{match.pattern}\t{match.status}\t"
+                      f"{len(match.starts)}\t{starts}")
+        else:
+            pattern = args.patterns[0]
+            starts = index.find_all(pattern)
+            if args.count:
+                print(len(starts))
+            else:
+                print(f"{len(starts)} occurrence(s)")
+                for start in starts:
+                    print(start)
+    finally:
+        index.close()
+    return 0
+
+
+def _cmd_shard_stats(args):
+    from repro.shard import ShardedSpineIndex
+
+    index = ShardedSpineIndex.load(args.index)
+    try:
+        stats = index.stats()
+    finally:
+        index.close()
+    if args.json:
+        print(json.dumps(stats, indent=1, sort_keys=True))
+        return 0
+    print(f"layer={stats['layer']} length={stats['length']} "
+          f"max_pattern_len={stats['max_pattern_len']} "
+          f"overlap={stats['overlap']} "
+          f"shards={len(stats['shards'])}")
+    for shard in stats["shards"]:
+        print(f"  shard {shard['id']}: start={shard['start']} "
+              f"owned={shard['owned_len']} local={shard['local_len']} "
+              f"pending_overlap={shard['pending_overlap']}")
+    return 0
+
+
 def _cmd_explain(args):
     """Render the step-by-step traversal account of one pattern."""
     import json
@@ -528,6 +594,45 @@ def build_parser():
     p.add_argument("--trace-sample", type=int, default=1,
                    help="trace every Nth query (default: every)")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "shard",
+        help="sharded index operations (build/query/stats)")
+    shard_sub = p.add_subparsers(dest="shard_command", required=True)
+
+    sp = shard_sub.add_parser(
+        "build", help="partition a FASTA file into parallel shards")
+    sp.add_argument("fasta")
+    sp.add_argument("output", help="output directory")
+    sp.add_argument("--shards", type=int, default=4)
+    sp.add_argument("--workers", type=int, default=1,
+                    help="construction worker processes")
+    sp.add_argument("--max-pattern-len", type=int, default=64,
+                    help="longest answerable pattern (fixes the "
+                         "inter-shard overlap)")
+    sp.add_argument("--layer", choices=("memory", "disk"),
+                    default="memory")
+    sp.add_argument("--split-threshold", type=int, default=None,
+                    help="seal the tail shard when its owned span "
+                         "reaches this many characters")
+    sp.set_defaults(func=_cmd_shard_build)
+
+    sp = shard_sub.add_parser(
+        "query", help="query a saved sharded index")
+    sp.add_argument("index", help="sharded index directory")
+    sp.add_argument("patterns", nargs="+")
+    sp.add_argument("--count", action="store_true",
+                    help="print only the occurrence count")
+    sp.add_argument("--layer", default=None,
+                    help="override the traversal layer (e.g. load a "
+                         "memory layout as 'packed')")
+    sp.set_defaults(func=_cmd_shard_query)
+
+    sp = shard_sub.add_parser(
+        "stats", help="describe a saved sharded index")
+    sp.add_argument("index", help="sharded index directory")
+    sp.add_argument("--json", action="store_true")
+    sp.set_defaults(func=_cmd_shard_stats)
 
     p = sub.add_parser("verify", help="check index invariants")
     p.add_argument("index")

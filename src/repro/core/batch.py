@@ -153,23 +153,29 @@ def batch_find_all(index, patterns, threads=1, limit=None,
         are rejected (:class:`SearchError`), exactly like ``find_all``.
     threads:
         Worker threads for the traversal phase (the resolution phase is
-        inherently one sequential pass). On a disk index, more than one
-        thread switches the buffer pool into its latched, pinning mode
-        first.
+        inherently one sequential pass). Must be ``>= 1``. Only sizes
+        the temporary pool created when no ``executor`` is passed. On a
+        disk index, a concurrent traversal phase switches the buffer
+        pool into its latched, pinning mode first.
     limit:
         Snapshot bound: answer against the prefix of this length
         (defaults to ``len(index)`` at entry — which *is* the snapshot
         guard when a writer extends the in-memory index concurrently).
     executor:
         An existing ``ThreadPoolExecutor`` to run traversals on (the
-        serving layer passes its long-lived pool); when ``None`` and
-        ``threads > 1`` a temporary pool is created.
+        serving layer passes its long-lived pool). When given it is
+        authoritative: traversals run on it with *its* sizing whenever
+        there is more than one unique pattern, and ``threads`` is
+        ignored. When ``None``, ``threads > 1`` creates a temporary
+        pool of exactly that size.
 
     Returns
     -------
     list[BatchMatch]
         Aligned with ``patterns`` order.
     """
+    if threads < 1:
+        raise ValueError("threads must be >= 1")
     patterns = list(patterns)
     registry = get_registry()
     metrics = registry if registry.enabled else None
@@ -204,7 +210,8 @@ def batch_find_all(index, patterns, threads=1, limit=None,
             uid_codes.append(codes)
         order.append(uid)
 
-    multithreaded = threads > 1 and len(uid_codes) > 1
+    multithreaded = ((executor is not None or threads > 1)
+                     and len(uid_codes) > 1)
     if multithreaded:
         # Must happen before we hold the read lock: the transition
         # briefly takes the pool's write lock.

@@ -361,6 +361,15 @@ class PackedSpineIndex:
                 starts.append(j - m)
         return starts
 
+    def count(self, pattern):
+        """Number of (overlapping) occurrences of ``pattern``.
+
+        Shares :meth:`find_all`'s semantics exactly — including the
+        :class:`~repro.exceptions.SearchError` on the empty pattern and
+        the clean 0 for unencodable patterns.
+        """
+        return len(self.find_all(pattern))
+
     def link_scan_candidates(self, min_lel):
         """Node ids whose stored LEL is at least ``min_lel``
         (vectorized; overflow entries qualify for any threshold)."""

@@ -1094,6 +1094,36 @@ class DiskSpineIndex:
                     starts.append(j - m)
             return starts
 
+    def find_first(self, pattern):
+        """Start of the first occurrence, or ``None`` (paper Section 4.1:
+        the traversal endpoint *is* the first occurrence's end node).
+
+        Same cross-layer contract as the in-memory and packed layers:
+        the empty pattern occurs at 0, a pattern with out-of-alphabet
+        characters is a clean miss.
+        """
+        if pattern == "":
+            return 0
+        codes = self.alphabet.try_encode(pattern)
+        if codes is None:
+            return None
+        with self.pool.rwlock.read_locked():
+            node = 0
+            for pathlength, code in enumerate(codes):
+                node = self.step(node, pathlength, code)
+                if node is None:
+                    return None
+        return node - len(codes)
+
+    def count(self, pattern):
+        """Number of (overlapping) occurrences of ``pattern``.
+
+        Shares :meth:`find_all`'s semantics exactly — including the
+        :class:`~repro.exceptions.SearchError` on the empty pattern and
+        the clean 0 for unencodable patterns.
+        """
+        return len(self.find_all(pattern))
+
     def matching_statistics(self, query):
         """Disk-resident matching statistics (same semantics and check
         accounting as :func:`repro.core.matching.matching_statistics`)."""

@@ -22,6 +22,19 @@ class SearchError(ReproError):
     """A search request was malformed (e.g. empty pattern where disallowed)."""
 
 
+class ServiceClosedError(ReproError, RuntimeError):
+    """An operation was submitted to a closed serving front end.
+
+    Raised by :class:`repro.serve.QueryService` both for calls made
+    after :meth:`~repro.serve.QueryService.close` and for in-flight
+    batches that lose their worker pool to a concurrent ``close()`` —
+    the executor's raw ``RuntimeError: cannot schedule new futures
+    after shutdown`` is translated to this structured error.  Derives
+    from ``RuntimeError`` as well, so callers that predate the class
+    keep working.
+    """
+
+
 class StorageError(ReproError):
     """The disk substrate failed (bad page id, buffer misuse, closed store)."""
 

@@ -32,6 +32,7 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.batch import (batch_find_all, contains_at, find_all_at)
+from repro.exceptions import ServiceClosedError
 
 __all__ = ["QueryService", "SnapshotGuard"]
 
@@ -43,6 +44,13 @@ class SnapshotGuard:
     (the index length when the guard was taken). See the module
     docstring for why this is consistent without locks on the
     in-memory layers.
+
+    Composite indexes (:class:`repro.shard.ShardedSpineIndex`) expose
+    their own bounded query methods (``contains_at`` / ``find_all_at``
+    / a ``limit``-aware ``batch_find_all``); the guard delegates to
+    those when present so per-shard routing stays inside the index,
+    and falls back to the flat single-index implementations in
+    :mod:`repro.core.batch` otherwise.
     """
 
     __slots__ = ("index", "limit")
@@ -57,14 +65,32 @@ class SnapshotGuard:
 
     def contains(self, pattern):
         """``pattern in prefix`` (clean False on foreign characters)."""
+        bound = getattr(self.index, "contains_at", None)
+        if bound is not None:
+            return bound(pattern, self.limit)
         return contains_at(self.index, pattern, self.limit)
 
     def find_all(self, pattern):
         """Sorted starts of all occurrences within the snapshot."""
+        bound = getattr(self.index, "find_all_at", None)
+        if bound is not None:
+            return bound(pattern, self.limit)
         return find_all_at(self.index, pattern, self.limit)
 
     def batch_find_all(self, patterns, threads=1, executor=None):
-        """Batched multi-pattern query bounded to the snapshot."""
+        """Batched multi-pattern query bounded to the snapshot.
+
+        ``executor``, when given, is authoritative: the traversal phase
+        runs on it with its own sizing and ``threads`` is ignored.
+        ``threads`` only sizes a temporary pool when no executor is
+        passed. ``threads < 1`` is rejected either way.
+        """
+        if threads < 1:
+            raise ValueError("threads must be >= 1")
+        bound = getattr(self.index, "batch_find_all", None)
+        if bound is not None:
+            return bound(patterns, threads=threads, limit=self.limit,
+                         executor=executor)
         return batch_find_all(self.index, patterns, threads=threads,
                               limit=self.limit, executor=executor)
 
@@ -114,10 +140,26 @@ class QueryService:
         return self.snapshot().find_all(pattern)
 
     def batch_find_all(self, patterns):
-        """Batched query with the traversal phase on the worker pool."""
+        """Batched query with the traversal phase on the worker pool.
+
+        A ``close()`` racing an in-flight call can tear the worker pool
+        out from under the traversal phase; the executor's raw
+        ``RuntimeError`` ("cannot schedule new futures after shutdown")
+        is translated to :class:`~repro.exceptions.ServiceClosedError`
+        so callers see the same structured error as a call made after
+        the close completed.
+        """
         self._check_open()
-        return self.snapshot().batch_find_all(
-            patterns, threads=self.threads, executor=self._executor)
+        try:
+            return self.snapshot().batch_find_all(
+                patterns, threads=self.threads, executor=self._executor)
+        except ServiceClosedError:
+            raise
+        except RuntimeError as exc:
+            if self._closed and "shutdown" in str(exc):
+                raise ServiceClosedError(
+                    "QueryService closed during batch_find_all") from exc
+            raise
 
     # -- writes --------------------------------------------------------
 
@@ -137,7 +179,7 @@ class QueryService:
 
     def _check_open(self):
         if self._closed:
-            raise RuntimeError("QueryService is closed")
+            raise ServiceClosedError("QueryService is closed")
 
     def close(self):
         """Shut down the worker pool (idempotent; index stays open)."""

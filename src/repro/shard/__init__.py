@@ -1,0 +1,11 @@
+"""Sharded SPINE indexing: partitioned construction and querying.
+
+See :mod:`repro.shard.index` for the partitioning/overlap invariants
+and :mod:`repro.shard.parallel` for the multi-process build.
+"""
+
+from repro.shard.index import ShardedSpineIndex
+from repro.shard.parallel import ShardBuildSpec, build_shard_indexes
+
+__all__ = ["ShardedSpineIndex", "ShardBuildSpec",
+           "build_shard_indexes"]

@@ -1,0 +1,119 @@
+"""Differential lock-in of the cross-layer pattern-edge-case contract.
+
+Every query entry point — in-memory, packed, disk, batch, serve, and
+sharded — must agree on the two degenerate pattern classes:
+
+``""`` (empty pattern)
+    ``contains`` is ``True`` (the empty string occurs everywhere),
+    ``find_first`` is ``0``, and ``find_all`` / ``count`` raise
+    :class:`SearchError` (the occurrence list would be every position —
+    ill-defined as an answer set).
+
+unencodable (out-of-alphabet characters)
+    A clean miss everywhere: ``contains`` ``False``, ``find_all``
+    ``[]``, ``count`` ``0``, ``find_first`` ``None``, batch status
+    ``"alphabet-miss"``. Never an exception — a pattern that cannot be
+    encoded cannot occur, which is an answer, not an error.
+"""
+
+import pytest
+
+from repro import (QueryService, ShardedSpineIndex, SnapshotGuard,
+                   SpineIndex)
+from repro.core.batch import batch_find_all
+from repro.core.packed import PackedSpineIndex
+from repro.disk.spine_disk import DiskSpineIndex
+from repro.exceptions import SearchError
+
+from tests.conftest import PAPER_STRING
+
+FOREIGN = "axz!"
+
+
+def _layers(tmp_path):
+    memory = SpineIndex(PAPER_STRING)
+    packed = PackedSpineIndex.from_index(memory)
+    disk = DiskSpineIndex(alphabet=memory.alphabet,
+                          path=str(tmp_path / "sem.pages"))
+    disk.extend(PAPER_STRING)
+    sharded = ShardedSpineIndex.build(PAPER_STRING, shards=3,
+                                      max_pattern_len=8)
+    return {"memory": memory, "packed": packed, "disk": disk,
+            "sharded": sharded}
+
+
+def test_all_layers_agree_on_degenerate_patterns(tmp_path):
+    layers = _layers(tmp_path)
+    try:
+        for name, index in layers.items():
+            # Empty pattern.
+            assert index.contains("") is True, name
+            assert index.find_first("") == 0, name
+            with pytest.raises(SearchError):
+                index.find_all("")
+            with pytest.raises(SearchError):
+                index.count("")
+            # Unencodable pattern: clean miss, never a raise.
+            assert index.contains(FOREIGN) is False, name
+            assert index.find_all(FOREIGN) == [], name
+            assert index.count(FOREIGN) == 0, name
+            assert index.find_first(FOREIGN) is None, name
+    finally:
+        layers["disk"].close()
+        layers["sharded"].close()
+
+
+def test_all_layers_agree_on_regular_patterns(tmp_path):
+    """Sanity differential: same answers for ordinary patterns too."""
+    layers = _layers(tmp_path)
+    reference = layers["memory"]
+    try:
+        for pattern in ("ac", "ca", "aacc", "accaa", "a", "caaca"):
+            expected = reference.find_all(pattern)
+            for name, index in layers.items():
+                assert index.find_all(pattern) == expected, \
+                    (name, pattern)
+                assert index.count(pattern) == len(expected), name
+                assert index.contains(pattern) == bool(expected), name
+                assert index.find_first(pattern) == \
+                    (expected[0] if expected else None), name
+    finally:
+        layers["disk"].close()
+        layers["sharded"].close()
+
+
+def test_batch_path_agrees(tmp_path):
+    layers = _layers(tmp_path)
+    try:
+        for name in ("memory", "packed", "disk"):
+            with pytest.raises(SearchError):
+                batch_find_all(layers[name], ["ac", ""])
+            (match,) = batch_find_all(layers[name], [FOREIGN])
+            assert match.status == "alphabet-miss", name
+            assert match.starts == [], name
+        with pytest.raises(SearchError):
+            layers["sharded"].batch_find_all(["ac", ""])
+        (match,) = layers["sharded"].batch_find_all([FOREIGN])
+        assert match.status == "alphabet-miss"
+    finally:
+        layers["disk"].close()
+        layers["sharded"].close()
+
+
+def test_serve_path_agrees():
+    index = SpineIndex(PAPER_STRING)
+    guard = SnapshotGuard(index)
+    assert guard.contains("") is True
+    with pytest.raises(SearchError):
+        guard.find_all("")
+    assert guard.contains(FOREIGN) is False
+    assert guard.find_all(FOREIGN) == []
+    with QueryService(index, threads=2) as svc:
+        assert svc.contains("") is True
+        with pytest.raises(SearchError):
+            svc.find_all("")
+        assert svc.find_all(FOREIGN) == []
+        (match,) = svc.batch_find_all([FOREIGN])
+        assert match.status == "alphabet-miss"
+        with pytest.raises(SearchError):
+            svc.batch_find_all([""])

@@ -5,7 +5,8 @@ import threading
 
 import pytest
 
-from repro import QueryService, SnapshotGuard, SpineIndex
+from repro import (QueryService, ServiceClosedError, SnapshotGuard,
+                   SpineIndex)
 from repro.core import find_all
 
 from tests.conftest import brute_occurrences
@@ -67,6 +68,84 @@ class TestQueryService:
     def test_invalid_threads(self):
         with pytest.raises(ValueError):
             QueryService(SpineIndex("ab"), threads=0)
+
+    def test_closed_service_raises_structured_error(self):
+        svc = QueryService(SpineIndex("ab"))
+        svc.close()
+        with pytest.raises(ServiceClosedError):
+            svc.batch_find_all(["a"])
+        with pytest.raises(ServiceClosedError):
+            svc.extend("a")
+
+    def test_close_racing_batches_is_structured(self):
+        """close() under load must never surface the executor's raw
+        'cannot schedule new futures after shutdown' RuntimeError."""
+        index = SpineIndex("aaccacaaca" * 50)
+        patterns = ["ac", "ca", "aacc", "caaca", "accac", "aac"]
+        svc = QueryService(index, threads=4)
+        errors = []
+        stop = threading.Event()
+
+        def hammer():
+            try:
+                while not stop.is_set():
+                    svc.batch_find_all(patterns)
+            except ServiceClosedError:
+                pass  # the structured error is the contract
+            except Exception as exc:
+                errors.append(exc)
+
+        workers = [threading.Thread(target=hammer) for _ in range(4)]
+        for t in workers:
+            t.start()
+        svc.close()
+        stop.set()
+        for t in workers:
+            t.join(timeout=30)
+        assert not errors
+
+
+class TestGuardExecutorPrecedence:
+    def test_guard_rejects_invalid_threads(self):
+        guard = SnapshotGuard(SpineIndex("abab"))
+        with pytest.raises(ValueError):
+            guard.batch_find_all(["ab"], threads=0)
+        with pytest.raises(ValueError):
+            guard.batch_find_all(["ab"], threads=-3)
+
+    def test_executor_wins_over_threads(self):
+        """A passed executor is authoritative: its workers run the
+        traversal phase even when threads=1 would otherwise mean
+        'serial', and threads never resizes it."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        index = SpineIndex("aaccacaaca")
+        guard = SnapshotGuard(index)
+        seen = set()
+
+        class SpyExecutor(ThreadPoolExecutor):
+            def map(self, fn, *iterables, **kwargs):
+                seen.add("mapped")
+                return super().map(fn, *iterables, **kwargs)
+
+        with SpyExecutor(max_workers=2) as pool:
+            results = guard.batch_find_all(["ac", "ca"], threads=1,
+                                           executor=pool)
+        assert seen == {"mapped"}
+        assert [m.starts for m in results] == [[1, 4, 7], [3, 5, 8]]
+
+    def test_no_executor_threads_one_stays_serial(self):
+        from repro.core.batch import batch_find_all
+
+        index = SpineIndex("aaccacaaca")
+        results = batch_find_all(index, ["ac", "ca"], threads=1)
+        assert [m.starts for m in results] == [[1, 4, 7], [3, 5, 8]]
+
+    def test_core_batch_rejects_invalid_threads(self):
+        from repro.core.batch import batch_find_all
+
+        with pytest.raises(ValueError):
+            batch_find_all(SpineIndex("ab"), ["a"], threads=0)
 
 
 class TestConcurrentExtend:

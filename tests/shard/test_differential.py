@@ -1,0 +1,151 @@
+"""Randomized differential suite: sharded vs. unsharded, all layers.
+
+The acceptance bar for :mod:`repro.shard` — ``find_all`` / ``count`` /
+``contains`` byte-identical to the flat index over Markov-generated
+texts, with repeats planted to straddle shard boundaries (the only
+place sharding could go wrong), on all three traversal layers.
+"""
+
+import random
+
+import pytest
+
+from repro import ShardedSpineIndex, SpineIndex
+from repro.sequences import generate_dna
+
+from tests.conftest import brute_occurrences
+
+MAXLEN = 16
+
+
+def _plant_straddling_repeats(text, shards, rng):
+    """Copy a motif onto every shard boundary so occurrences straddle
+    them (and recur elsewhere, exercising dedup + rebasing)."""
+    n = len(text)
+    base = n // shards
+    motif = "".join(rng.choice("acgt") for _ in range(MAXLEN - 1))
+    chars = list(text)
+    for i in range(1, shards):
+        boundary = base * i
+        start = boundary - len(motif) // 2
+        if 0 <= start and start + len(motif) <= n:
+            chars[start:start + len(motif)] = motif
+    # And a few more copies away from boundaries.
+    for _ in range(3):
+        start = rng.randrange(0, n - len(motif))
+        chars[start:start + len(motif)] = motif
+    return "".join(chars), motif
+
+
+def _workload(text, motif, rng, count=60):
+    patterns = [motif, motif[: MAXLEN // 2], motif[2:10]]
+    for _ in range(count):
+        m = rng.randrange(1, MAXLEN + 1)
+        start = rng.randrange(0, len(text) - m)
+        patterns.append(text[start:start + m])
+    patterns.append("acgt" * (MAXLEN // 4))
+    patterns.append("zzzz")  # alphabet miss
+    return patterns
+
+
+def _build(text, layer, shards, tmp_path):
+    if layer == "disk":
+        return ShardedSpineIndex.build(
+            text, shards=shards, max_pattern_len=MAXLEN, layer="disk",
+            path=str(tmp_path / f"diff-{shards}"))
+    return ShardedSpineIndex.build(text, shards=shards,
+                                   max_pattern_len=MAXLEN, layer=layer)
+
+
+@pytest.mark.parametrize("layer", ["memory", "packed", "disk"])
+@pytest.mark.parametrize("seed", [11, 23])
+def test_sharded_matches_unsharded(layer, seed, tmp_path):
+    rng = random.Random(seed)
+    scale = 3_000 if layer == "disk" else 9_000
+    text = generate_dna(scale, seed=seed)
+    shards = rng.choice([2, 3, 5])
+    text, motif = _plant_straddling_repeats(text, shards, rng)
+    flat = SpineIndex(text)
+    sharded = _build(text, layer, shards, tmp_path)
+    try:
+        for pattern in _workload(text, motif, rng):
+            if pattern == "zzzz":
+                assert sharded.find_all(pattern) == []
+                assert sharded.contains(pattern) is False
+                continue
+            expected = flat.find_all(pattern)
+            assert sharded.find_all(pattern) == expected, pattern
+            assert sharded.count(pattern) == len(expected)
+            assert sharded.contains(pattern) == bool(expected)
+            assert sharded.find_first(pattern) == \
+                (expected[0] if expected else None)
+    finally:
+        sharded.close()
+
+
+@pytest.mark.parametrize("layer", ["memory", "packed"])
+def test_sharded_batch_matches_flat_batch(layer, tmp_path):
+    from repro.core.batch import batch_find_all
+
+    rng = random.Random(77)
+    text = generate_dna(6_000, seed=5)
+    text, motif = _plant_straddling_repeats(text, 4, rng)
+    flat = SpineIndex(text)
+    sharded = _build(text, layer, 4, tmp_path)
+    patterns = _workload(text, motif, rng, count=30)
+    expected = batch_find_all(flat, patterns)
+    for threads in (1, 3):
+        got = sharded.batch_find_all(patterns, threads=threads)
+        assert [(m.pattern, m.status, m.starts) for m in got] == \
+            [(m.pattern, m.status, m.starts) for m in expected]
+
+
+def test_boundary_straddle_is_found_exactly_once():
+    """An occurrence crossing a boundary appears once in the merge —
+    owned by the left shard, deduplicated out of nothing else."""
+    rng = random.Random(3)
+    text = generate_dna(2_000, seed=9)
+    text, motif = _plant_straddling_repeats(text, 2, rng)
+    sharded = ShardedSpineIndex.build(text, shards=2,
+                                      max_pattern_len=MAXLEN)
+    assert sharded.find_all(motif) == brute_occurrences(text, motif)
+
+
+def test_overlap_dedup_property():
+    """Property: for random texts/shardings, every pattern in the
+    overlap region is reported once per true occurrence (no dupes, no
+    losses) and the merged list is sorted."""
+    rng = random.Random(13)
+    for _ in range(8):
+        n = rng.randrange(50, 400)
+        text = "".join(rng.choice("ab") for _ in range(n))
+        shards = rng.randrange(2, 6)
+        maxlen = rng.randrange(2, 10)
+        sharded = ShardedSpineIndex.build(text, shards=shards,
+                                          max_pattern_len=maxlen)
+        for _ in range(20):
+            m = rng.randrange(1, maxlen + 1)
+            start = rng.randrange(0, n - m + 1)
+            pattern = text[start:start + m]
+            got = sharded.find_all(pattern)
+            assert got == sorted(set(got))
+            assert got == brute_occurrences(text, pattern), \
+                (text, shards, maxlen, pattern)
+
+
+def test_offset_rebasing_property():
+    """Property: global starts returned by the sharded index always
+    index a true occurrence in the original text (rebasing can never
+    point at a shard-local coordinate)."""
+    rng = random.Random(29)
+    for _ in range(6):
+        n = rng.randrange(100, 600)
+        text = "".join(rng.choice("acg") for _ in range(n))
+        sharded = ShardedSpineIndex.build(
+            text, shards=rng.randrange(2, 5), max_pattern_len=8)
+        for _ in range(15):
+            m = rng.randrange(1, 9)
+            start = rng.randrange(0, n - m + 1)
+            pattern = text[start:start + m]
+            for got in sharded.find_all(pattern):
+                assert text[got:got + m] == pattern

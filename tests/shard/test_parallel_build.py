@@ -1,0 +1,79 @@
+"""Multi-process construction (repro.shard.parallel)."""
+
+import pytest
+
+from repro import ShardedSpineIndex, SpineIndex
+from repro.exceptions import ConstructionError
+from repro.sequences import generate_dna
+from repro.shard.parallel import ShardBuildSpec, build_shard_indexes
+
+from tests.conftest import brute_occurrences
+
+
+def test_parallel_build_equals_serial_build():
+    text = generate_dna(8_000, seed=21)
+    serial = ShardedSpineIndex.build(text, shards=4,
+                                     max_pattern_len=12, workers=1)
+    parallel = ShardedSpineIndex.build(text, shards=4,
+                                       max_pattern_len=12, workers=2)
+    flat = SpineIndex(text)
+    for pattern in ("acgt", "tt", "cgcg", text[4000:4010]):
+        expected = flat.find_all(pattern)
+        assert serial.find_all(pattern) == expected
+        assert parallel.find_all(pattern) == expected
+
+
+def test_parallel_shards_are_structurally_equal_to_serial():
+    text = generate_dna(3_000, seed=4)
+    serial = ShardedSpineIndex.build(text, shards=3,
+                                     max_pattern_len=8, workers=1)
+    parallel = ShardedSpineIndex.build(text, shards=3,
+                                       max_pattern_len=8, workers=3)
+    for a, b in zip(serial._shards, parallel._shards):
+        assert a.start == b.start
+        assert a.owned_len == b.owned_len
+        assert a.index.structurally_equal(b.index)
+
+
+def test_parallel_disk_build(tmp_path):
+    text = generate_dna(2_000, seed=8)
+    sh = ShardedSpineIndex.build(text, shards=2, max_pattern_len=8,
+                                 layer="disk", workers=2,
+                                 path=str(tmp_path / "pd"))
+    try:
+        for pattern in ("acg", "tta", text[990:998]):
+            assert sh.find_all(pattern) == \
+                brute_occurrences(text, pattern)
+    finally:
+        sh.close()
+
+
+def test_parallel_disk_build_without_path_rejected():
+    with pytest.raises(ConstructionError):
+        ShardedSpineIndex.build("acgt" * 100, shards=2, workers=2,
+                                layer="disk")
+
+
+def test_worker_uses_global_alphabet():
+    # Shard 1's segment is all-"a": per-shard inference would produce a
+    # one-symbol alphabet and wrong codes. The build must ship the
+    # global alphabet to every worker.
+    text = "a" * 500 + "b" * 500
+    sh = ShardedSpineIndex.build(text, shards=2, max_pattern_len=4,
+                                 workers=2)
+    assert sh.find_all("ab") == [499]
+    assert sh.contains("ba") is False
+
+
+def test_build_spec_round_trip_via_worker(tmp_path):
+    from repro.alphabet import dna_alphabet
+
+    spec = ShardBuildSpec(0, "acgtacgt", dna_alphabet(), "memory",
+                          str(tmp_path / "s.spne"))
+    (index,) = build_shard_indexes([spec], workers=1)
+    assert index.find_all("cgt") == [1, 5]
+
+
+def test_invalid_workers():
+    with pytest.raises(ConstructionError):
+        build_shard_indexes([], workers=0)

@@ -1,0 +1,87 @@
+"""ShardedSpineIndex behind the serving layer (repro.serve)."""
+
+import random
+import threading
+
+from repro import (QueryService, ShardedSpineIndex, SnapshotGuard,
+                   SpineIndex)
+from repro.core.batch import batch_find_all
+
+from tests.conftest import brute_occurrences
+
+
+def test_service_fans_batches_across_shards():
+    text = "aaccacaaca" * 30
+    sharded = ShardedSpineIndex.build(text, shards=4,
+                                      max_pattern_len=8)
+    flat = SpineIndex(text)
+    patterns = ["ac", "ca", "aacc", "caaca", "zz", "ac"]
+    with QueryService(sharded, threads=3) as svc:
+        got = svc.batch_find_all(patterns)
+    expected = batch_find_all(flat, patterns)
+    assert [(m.status, m.starts) for m in got] == \
+        [(m.status, m.starts) for m in expected]
+
+
+def test_snapshot_reads_during_sharded_extend():
+    """The concurrent-extend oracle test, sharded: every snapshot
+    answer must be exactly right for the prefix the guard captured,
+    even while extends split the tail shard underneath."""
+    rng = random.Random(0xFACE)
+    text = "".join(rng.choice("ab") for _ in range(2000))
+    seed_len = 64
+    sharded = ShardedSpineIndex.build(text[:seed_len], shards=1,
+                                      max_pattern_len=6,
+                                      split_threshold=256)
+    patterns = ["ab", "ba", "aab", "abba"]
+    oracle = {
+        p: [brute_occurrences(text[:k], p)
+            for k in range(len(text) + 1)]
+        for p in patterns
+    }
+    errors = []
+    stop = threading.Event()
+
+    def reader():
+        local = random.Random(threading.get_ident())
+        try:
+            while not stop.is_set():
+                guard = SnapshotGuard(sharded)
+                k = guard.limit
+                pattern = local.choice(patterns)
+                got = guard.find_all(pattern)
+                if got != oracle[pattern][k]:
+                    errors.append((pattern, k, got))
+                    return
+        except Exception as exc:  # pragma: no cover
+            errors.append(exc)
+
+    threads = [threading.Thread(target=reader) for _ in range(3)]
+    for t in threads:
+        t.start()
+    try:
+        for pos in range(seed_len, len(text), 13):
+            sharded.extend(text[pos:pos + 13])
+    finally:
+        stop.set()
+        for t in threads:
+            t.join(timeout=30)
+    assert not errors
+    assert sharded.shard_count > 1  # splits actually happened
+    assert sharded.find_all("ab") == brute_occurrences(text, "ab")
+
+
+def test_disk_sharded_service(tmp_path):
+    text = "aaccacaaca" * 20
+    sharded = ShardedSpineIndex.build(text, shards=2,
+                                      max_pattern_len=8, layer="disk",
+                                      path=str(tmp_path / "svc"))
+    try:
+        with QueryService(sharded, threads=2) as svc:
+            assert svc.find_all("acca") == \
+                brute_occurrences(text, "acca")
+            got = svc.batch_find_all(["ac", "ca"])
+            assert got[0].starts == brute_occurrences(text, "ac")
+            assert got[1].starts == brute_occurrences(text, "ca")
+    finally:
+        sharded.close()

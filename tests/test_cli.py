@@ -344,3 +344,58 @@ class TestBatch:
         spans = [json.loads(line)
                  for line in trace.read_text().splitlines()]
         assert any(s["op"] == "batch.find_all" for s in spans)
+
+
+class TestShard:
+    def test_shard_build_query_stats(self, fasta, tmp_path, capsys):
+        out = str(tmp_path / "shidx")
+        assert main(["shard", "build", fasta, out, "--shards", "3",
+                     "--max-pattern-len", "12"]) == 0
+        assert "3 memory shard(s)" in capsys.readouterr().out
+
+        assert main(["shard", "query", out, "GGTTACG"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0] == "10 occurrence(s)"
+        starts = [int(x) for x in lines[1:]]
+        assert starts[0] == 6 and len(starts) == 10
+
+        assert main(["shard", "query", out, "GGTTACG", "--count"]) == 0
+        assert capsys.readouterr().out.strip() == "10"
+
+        assert main(["shard", "stats", out, "--json"]) == 0
+        import json
+
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["layer"] == "memory"
+        assert len(payload["shards"]) == 3
+
+    def test_shard_query_multiple_patterns_is_batch(self, fasta,
+                                                    tmp_path, capsys):
+        out = str(tmp_path / "shidx")
+        assert main(["shard", "build", fasta, out, "--shards", "2"]) == 0
+        capsys.readouterr()
+        assert main(["shard", "query", out, "ACGT", "zz"]) == 0
+        lines = capsys.readouterr().out.splitlines()
+        assert lines[0].startswith("ACGT\thit\t")
+        assert lines[1].startswith("zz\talphabet-miss\t0")
+
+    def test_shard_query_packed_layer_override(self, fasta, tmp_path,
+                                               capsys):
+        out = str(tmp_path / "shidx")
+        assert main(["shard", "build", fasta, out]) == 0
+        capsys.readouterr()
+        assert main(["shard", "query", out, "GGTTACG", "--count",
+                     "--layer", "packed"]) == 0
+        assert capsys.readouterr().out.strip() == "10"
+
+    def test_shard_disk_build_and_stats(self, fasta, tmp_path, capsys):
+        out = str(tmp_path / "shdisk")
+        assert main(["shard", "build", fasta, out, "--shards", "2",
+                     "--layer", "disk"]) == 0
+        capsys.readouterr()
+        assert main(["shard", "stats", out]) == 0
+        assert "layer=disk" in capsys.readouterr().out
+
+    def test_shard_stats_garbage_dir_errors(self, tmp_path, capsys):
+        assert main(["shard", "stats", str(tmp_path)]) == 2
+        assert "error:" in capsys.readouterr().err
