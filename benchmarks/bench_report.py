@@ -154,6 +154,72 @@ def collect_snapshot(scale=20_000, queries=100, repeats=3,
     return report
 
 
+#: Throughput figures compared across snapshots: (json path, label).
+_COMPARE_KEYS = (
+    (("construction", "chars_per_second"), "construction chars/s"),
+    (("find_all", "queries_per_second"), "find_all queries/s"),
+    (("matching_statistics", "chars_per_second"),
+     "matching_statistics chars/s"),
+)
+
+
+def compare_reports(current, previous, tolerance=0.25):
+    """Regression check of ``current`` against ``previous``.
+
+    Compares the workload throughput figures; a figure is a
+    **regression** when it dropped by more than ``tolerance``
+    (fractional — the default 0.25 tolerates the noise floor of
+    best-of-N timings on shared CI runners). Returns a JSON-ready
+    document; ``doc["regressions"]`` is empty when the snapshot is
+    clean.
+    """
+    doc = {
+        "previous_label": previous.get("label"),
+        "tolerance": tolerance,
+        "figures": [],
+        "regressions": [],
+    }
+    cur_load = current.get("workload") or {}
+    prev_load = previous.get("workload") or {}
+    for path, label in _COMPARE_KEYS:
+        section, key = path
+        cur = (cur_load.get(section) or {}).get(key)
+        prev = (prev_load.get(section) or {}).get(key)
+        if not cur or not prev:
+            continue
+        ratio = cur / prev
+        figure = {
+            "figure": label,
+            "current": cur,
+            "previous": prev,
+            "ratio": ratio,
+        }
+        doc["figures"].append(figure)
+        if ratio < 1.0 - tolerance:
+            doc["regressions"].append(figure)
+    return doc
+
+
+def _find_previous_snapshot(path):
+    """Resolve ``--compare``: a snapshot file, or the newest
+    ``BENCH_*.json`` with a workload section inside a directory."""
+    if os.path.isfile(path):
+        with open(path) as handle:
+            return json.load(handle)
+    if os.path.isdir(path):
+        candidates = sorted(
+            (name for name in os.listdir(path)
+             if name.startswith("BENCH_") and name.endswith(".json")),
+            key=lambda name: os.path.getmtime(os.path.join(path, name)),
+            reverse=True)
+        for name in candidates:
+            with open(os.path.join(path, name)) as handle:
+                doc = json.load(handle)
+            if doc.get("workload"):
+                return doc
+    return None
+
+
 def main(argv=None):
     parser = argparse.ArgumentParser(
         description="write a BENCH_<label>.json performance snapshot")
@@ -171,6 +237,16 @@ def main(argv=None):
     parser.add_argument("--trace-sample", type=int, default=5,
                         help="trace every Nth query in the "
                              "instrumented pass (default 5)")
+    parser.add_argument("--compare", metavar="PATH",
+                        help="previous BENCH_*.json (or a directory "
+                             "holding them): report throughput "
+                             "regressions against it")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="fractional throughput drop tolerated "
+                             "before flagging (default 0.25)")
+    parser.add_argument("--fail-on-regression", action="store_true",
+                        help="exit 1 when a regression is flagged "
+                             "(default: warn only)")
     args = parser.parse_args(argv)
     label = args.label or time.strftime("%Y%m%d-%H%M%S")
     report = collect_snapshot(scale=args.scale, queries=args.queries,
@@ -179,12 +255,32 @@ def main(argv=None):
                               buffer_pages=args.buffer_pages,
                               seed=args.seed, label=label,
                               trace_sample=args.trace_sample)
+    regressions = []
+    if args.compare:
+        previous = _find_previous_snapshot(args.compare)
+        if previous is None:
+            print(f"compare: no usable snapshot under {args.compare}; "
+                  "skipping")
+        else:
+            comparison = compare_reports(report, previous,
+                                         tolerance=args.tolerance)
+            report["comparison"] = comparison
+            regressions = comparison["regressions"]
+            for figure in comparison["figures"]:
+                marker = ("REGRESSION" if figure in regressions
+                          else "ok")
+                print(f"compare: {figure['figure']}: "
+                      f"{figure['current']:,.0f} vs "
+                      f"{figure['previous']:,.0f} "
+                      f"({figure['ratio']:.2f}x) {marker}")
     path = os.path.join(args.outdir, f"BENCH_{label}.json")
     with open(path, "w") as handle:
         json.dump(report, handle, indent=2, sort_keys=True)
         handle.write("\n")
     throughput = report["workload"]["construction"]["chars_per_second"]
     print(f"wrote {path} (construction {throughput:,.0f} chars/s)")
+    if regressions and args.fail_on_regression:
+        return 1
     return 0
 
 

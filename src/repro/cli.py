@@ -352,6 +352,86 @@ def _cmd_profile(args):
     return 0
 
 
+def _cmd_serve(args):
+    """Serve a saved index with live telemetry: the stats endpoint
+    (``/metrics`` + ``/healthz`` + ``/stats``), streaming latency
+    quantiles, the slow-query log, and an optional JSONL metrics
+    flusher — plus a self-generated query load so the endpoint has
+    something to show (and CI has something to scrape)."""
+    import itertools
+    import random
+
+    from repro import obs
+    from repro.core.serialize import load_index
+    from repro.obs.export import MetricsFlusher
+    from repro.obs.slowlog import get_slow_log
+    from repro.serve import QueryService
+
+    index = load_index(args.index)
+    obs.enable_metrics(reset=True)
+    slow_log = get_slow_log()
+    if args.slow_threshold_ms is not None:
+        slow_log.enable(threshold=args.slow_threshold_ms / 1000.0)
+
+    rng = random.Random(args.seed)
+    text = index.text
+    plen = max(1, min(args.pattern_length, len(text)))
+    if args.patterns_file:
+        workload = itertools.cycle(_load_patterns_file(
+            args.patterns_file))
+        next_pattern = lambda: next(workload)  # noqa: E731
+    else:
+        def next_pattern():
+            start = rng.randrange(0, max(1, len(text) - plen + 1))
+            return text[start:start + plen]
+
+    flusher = None
+    if args.metrics_out:
+        flusher = MetricsFlusher(
+            obs.get_registry(), args.metrics_out,
+            interval=args.flush_interval,
+            context={"index": args.index, "command": "serve"})
+        flusher.start()
+
+    service = QueryService(index, threads=args.threads,
+                           stats_port=args.stats_port,
+                           stats_host=args.host)
+    server = service.stats_server
+    print(f"serving {args.index} ({len(index)} chars)")
+    print(f"stats endpoint: {server.url('/metrics')}  "
+          f"{server.url('/healthz')}  {server.url('/stats')}")
+    sys.stdout.flush()
+
+    deadline = (time.monotonic() + args.duration
+                if args.duration is not None else None)
+    queries = 0
+    try:
+        while deadline is None or time.monotonic() < deadline:
+            if args.load > 0:
+                batch = [next_pattern()
+                         for _ in range(min(args.load, 64))]
+                service.batch_find_all(batch)
+                service.find_all(next_pattern())
+                queries += len(batch) + 1
+            else:
+                time.sleep(0.2)
+    except KeyboardInterrupt:
+        pass
+    finally:
+        if flusher is not None:
+            flusher.stop()
+        service.close()
+        slow_recorded = (len(slow_log) if slow_log.enabled else None)
+        slow_log.disable()
+        obs.disable_metrics()
+    if slow_recorded is not None:
+        print(f"served {queries} queries; {slow_recorded} slow "
+              f"(threshold {slow_log.threshold * 1000:.1f} ms)")
+    else:
+        print(f"served {queries} queries")
+    return 0
+
+
 def _cmd_shard_build(args):
     from repro.shard import ShardedSpineIndex
 
@@ -594,6 +674,36 @@ def build_parser():
     p.add_argument("--trace-sample", type=int, default=1,
                    help="trace every Nth query (default: every)")
     p.set_defaults(func=_cmd_profile)
+
+    p = sub.add_parser(
+        "serve",
+        help="serve a saved index with the live stats endpoint "
+             "(/metrics, /healthz, /stats)")
+    p.add_argument("index", help="saved index file")
+    p.add_argument("--stats-port", type=int, default=0,
+                   help="stats endpoint port (default 0 = ephemeral; "
+                        "the bound port is printed)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--threads", type=int, default=4,
+                   help="query service worker threads (default 4)")
+    p.add_argument("--load", type=int, default=0, metavar="N",
+                   help="self-generate query load, N patterns per "
+                        "batch (default 0 = idle serving)")
+    p.add_argument("--patterns-file", metavar="FILE",
+                   help="cycle these patterns as the load instead of "
+                        "random substrings")
+    p.add_argument("--pattern-length", type=int, default=12)
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--slow-threshold-ms", type=float, metavar="MS",
+                   help="enable the slow-query log at this threshold")
+    p.add_argument("--metrics-out", metavar="FILE",
+                   help="flush registry snapshots here as JSONL")
+    p.add_argument("--flush-interval", type=float, default=5.0,
+                   help="seconds between metrics flushes (default 5)")
+    p.add_argument("--duration", type=float, metavar="SECONDS",
+                   help="exit after this long (default: run until "
+                        "interrupted)")
+    p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
         "shard",

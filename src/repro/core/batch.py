@@ -269,8 +269,7 @@ def batch_find_all(index, patterns, threads=1, limit=None,
         metrics.counter("batch.occurrences").inc(occurrences)
         metrics.counter("batch.scan_nodes").inc(scanner.last_scan_nodes)
         metrics.histogram("batch.size").observe(len(patterns))
-        metrics.timer("batch.seconds").observe(
-            time.perf_counter() - started)
+        metrics.observe_latency("batch", time.perf_counter() - started)
     if span is not None:
         tracer.finish(span, status="done", hits=hits, misses=misses,
                       occurrences=occurrences,

@@ -73,8 +73,8 @@ def find_first(index, pattern):
         if metrics is not None:
             metrics.counter("search.queries").inc()
             metrics.counter("search.misses").inc()
-            metrics.timer("search.find_first.seconds").observe(
-                time.perf_counter() - started)
+            metrics.observe_latency("search.find_first",
+                                    time.perf_counter() - started)
         if span is not None:
             tracer.finish(span, status="miss", alphabet_miss=True)
         return None
@@ -83,8 +83,8 @@ def find_first(index, pattern):
         metrics.counter("search.queries").inc()
         if end is None:
             metrics.counter("search.misses").inc()
-        metrics.timer("search.find_first.seconds").observe(
-            time.perf_counter() - started)
+        metrics.observe_latency("search.find_first",
+                                time.perf_counter() - started)
     if span is not None:
         tracer.finish(span, status="miss" if end is None else "hit",
                       end_node=end)
@@ -117,8 +117,8 @@ def find_all(index, pattern):
         if metrics is not None:
             metrics.counter("search.queries").inc()
             metrics.counter("search.misses").inc()
-            metrics.timer("search.find_all.seconds").observe(
-                time.perf_counter() - started)
+            metrics.observe_latency("search.find_all",
+                                    time.perf_counter() - started)
         if span is not None:
             tracer.finish(span, status="miss", alphabet_miss=True)
         return []
@@ -127,8 +127,8 @@ def find_all(index, pattern):
         if metrics is not None:
             metrics.counter("search.queries").inc()
             metrics.counter("search.misses").inc()
-            metrics.timer("search.find_all.seconds").observe(
-                time.perf_counter() - started)
+            metrics.observe_latency("search.find_all",
+                                    time.perf_counter() - started)
         if span is not None:
             tracer.finish(span, status="miss")
         return []
@@ -142,8 +142,8 @@ def find_all(index, pattern):
         metrics.counter("search.scan_nodes").inc(index._n - first_end)
         metrics.histogram("search.scan_length").observe(
             index._n - first_end)
-        metrics.timer("search.find_all.seconds").observe(
-            time.perf_counter() - started)
+        metrics.observe_latency("search.find_all",
+                                time.perf_counter() - started)
     if span is not None:
         tracer.finish(span, status="hit", end_node=first_end,
                       occurrences=len(ends),

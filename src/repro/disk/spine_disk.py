@@ -1019,7 +1019,7 @@ class DiskSpineIndex:
             registry.counter("disk.search.queries").inc()
             if not found:
                 registry.counter("disk.search.misses").inc()
-            registry.timer("disk.search.contains.seconds").observe(
+            registry.observe_latency("disk.search.contains",
                 time.perf_counter() - started)
         else:
             found = self._contains(pattern, span)
@@ -1063,7 +1063,7 @@ class DiskSpineIndex:
                     self._n - (starts[0] + len(pattern)))
             else:
                 registry.counter("disk.search.misses").inc()
-            registry.timer("disk.search.find_all.seconds").observe(
+            registry.observe_latency("disk.search.find_all",
                 time.perf_counter() - started)
         else:
             starts = self._find_all(pattern, span)

@@ -33,20 +33,48 @@ JSON lines. The ``repro explain`` subcommand
 (:mod:`repro.obs.explain`) renders a single pattern's span as a
 human-readable step-by-step account. Both follow the same off-by-
 default, one-attribute-check-when-disabled discipline.
+
+On top of both sits the **serving telemetry** layer:
+:mod:`repro.obs.export` renders the registry as Prometheus text
+exposition and flushes JSONL snapshots, :mod:`repro.obs.quantiles`
+adds fixed-memory streaming p50/p95/p99/p999 latency estimates to the
+query hot paths, :mod:`repro.obs.slowlog` keeps a bounded ring of
+structured slow-query records, and :mod:`repro.obs.health` serves
+``/metrics`` + ``/healthz`` + ``/stats`` over stdlib ``http.server``
+(started via ``QueryService(stats_port=...)`` or ``repro serve
+--stats-port``). Same discipline throughout: everything is off by
+default and costs one attribute check while off.
 """
 
 from __future__ import annotations
 
 from contextlib import contextmanager
 
+from repro.obs.export import (
+    MetricsFlusher,
+    render_prometheus,
+)
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    StreamingQuantiles,
+)
 from repro.obs.registry import (
     Counter,
+    Gauge,
     Histogram,
+    LATENCY_BOUNDS_US,
     MetricsRegistry,
     NULL_INSTRUMENT,
     Timer,
 )
 from repro.obs.report import build_report, record_io_snapshot
+from repro.obs.slowlog import (
+    SlowQueryLog,
+    get_slow_log,
+    set_slow_log,
+    slow_log_enabled,
+)
 from repro.obs.trace import (
     NULL_SPAN,
     Span,
@@ -59,21 +87,32 @@ from repro.obs.trace import (
 
 __all__ = [
     "Counter",
+    "DEFAULT_QUANTILES",
+    "Gauge",
     "Histogram",
+    "LATENCY_BOUNDS_US",
+    "MetricsFlusher",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
     "NULL_SPAN",
+    "P2Quantile",
+    "SlowQueryLog",
     "Span",
+    "StreamingQuantiles",
     "Tracer",
     "build_report",
     "disable_metrics",
     "enable_metrics",
     "get_registry",
+    "get_slow_log",
     "get_tracer",
     "metrics_enabled",
     "record_io_snapshot",
+    "render_prometheus",
     "set_registry",
+    "set_slow_log",
     "set_tracer",
+    "slow_log_enabled",
     "summarize_spans",
     "Timer",
     "tracing_enabled",

@@ -1,0 +1,252 @@
+"""Exporting the metrics registry: Prometheus text exposition + JSONL.
+
+Two serving-side output formats over one
+:class:`~repro.obs.registry.MetricsRegistry`:
+
+:func:`render_prometheus`
+    The Prometheus text exposition format (version 0.0.4) — what a
+    scraper expects from a ``/metrics`` endpoint. Counters render with
+    the conventional ``_total`` suffix, gauges as gauges, timers as
+    summaries (``_count``/``_sum``), histograms with cumulative
+    ``_bucket{le="..."}`` series plus ``_sum``/``_count``, and
+    streaming quantile instruments as summaries with
+    ``{quantile="0.99"}`` sample lines. Metric names are sanitized
+    into the ``[a-zA-Z_:][a-zA-Z0-9_:]*`` charset under a ``spine_``
+    namespace (``search.find_all.seconds`` →
+    ``spine_search_find_all_seconds``).
+
+:class:`MetricsFlusher`
+    A JSONL appender: every flush writes one line containing a
+    timestamp and the full ``registry.snapshot()``. Drive it manually
+    (``flush()`` / ``maybe_flush()``) from a serving loop, or let
+    ``start()`` run a small daemon thread flushing every ``interval``
+    seconds — the only optional background thread in the telemetry
+    stack, and it never touches the query hot path.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+
+__all__ = [
+    "CONTENT_TYPE",
+    "MetricsFlusher",
+    "render_prometheus",
+    "sanitize_metric_name",
+]
+
+#: The content type a /metrics response should declare.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+#: Prefix namespacing every exported metric.
+NAMESPACE = "spine"
+
+
+def sanitize_metric_name(name, namespace=NAMESPACE):
+    """Registry instrument name → legal Prometheus metric name."""
+    cleaned = "".join(ch if ch.isalnum() or ch == "_" else "_"
+                      for ch in name)
+    if namespace:
+        cleaned = f"{namespace}_{cleaned}"
+    if cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _format_value(value):
+    """Sample value rendering: integers stay integral, floats use
+    repr (full precision), None (an untouched min/max) renders NaN."""
+    if value is None:
+        return "NaN"
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _format_bound(bound):
+    """``le`` label rendering: integral bounds without a trailing .0."""
+    as_float = float(bound)
+    if as_float.is_integer():
+        return str(int(as_float))
+    return repr(as_float)
+
+
+class _Writer:
+    """Accumulates exposition lines with per-metric HELP/TYPE headers."""
+
+    def __init__(self):
+        self.lines = []
+
+    def header(self, metric, mtype, help_text):
+        self.lines.append(f"# HELP {metric} {help_text}")
+        self.lines.append(f"# TYPE {metric} {mtype}")
+
+    def sample(self, metric, value, labels=None):
+        if labels:
+            rendered = ",".join(f'{k}="{v}"'
+                                for k, v in labels.items())
+            self.lines.append(f"{metric}{{{rendered}}} "
+                              f"{_format_value(value)}")
+        else:
+            self.lines.append(f"{metric} {_format_value(value)}")
+
+    def text(self):
+        return "\n".join(self.lines) + "\n" if self.lines else ""
+
+
+def render_prometheus(registry, namespace=NAMESPACE):
+    """Render ``registry`` as Prometheus text exposition (0.0.4).
+
+    Works from ``registry.snapshot()``, so a disabled registry renders
+    an empty (but valid) document and concurrent updates see a
+    consistent point-in-time view per instrument.
+    """
+    snap = registry.snapshot()
+    out = _Writer()
+
+    for name, value in snap["counters"].items():
+        metric = sanitize_metric_name(name, namespace) + "_total"
+        out.header(metric, "counter", f"Counter {name}")
+        out.sample(metric, value)
+
+    for name, value in snap["gauges"].items():
+        metric = sanitize_metric_name(name, namespace)
+        out.header(metric, "gauge", f"Gauge {name}")
+        out.sample(metric, value)
+
+    for name, timer in snap["timers"].items():
+        metric = sanitize_metric_name(name, namespace)
+        out.header(metric, "summary", f"Timer {name} (seconds)")
+        out.sample(metric + "_sum", timer["total_seconds"])
+        out.sample(metric + "_count", timer["count"])
+
+    for name, hist in snap["histograms"].items():
+        metric = sanitize_metric_name(name, namespace)
+        out.header(metric, "histogram", f"Histogram {name}")
+        cumulative = 0
+        for bound, bucket in zip(hist["bounds"], hist["buckets"]):
+            cumulative += bucket
+            out.sample(metric + "_bucket", cumulative,
+                       {"le": _format_bound(bound)})
+        out.sample(metric + "_bucket", hist["count"], {"le": "+Inf"})
+        out.sample(metric + "_sum", hist["total"])
+        out.sample(metric + "_count", hist["count"])
+
+    for name, quant in snap["quantiles"].items():
+        metric = sanitize_metric_name(name, namespace)
+        out.header(metric, "summary",
+                   f"Streaming quantiles {name} (seconds)")
+        for prob, value in zip(quant["probs"],
+                               quant["estimates"].values()):
+            out.sample(metric, value,
+                       {"quantile": _format_quantile(prob)})
+        out.sample(metric + "_sum", quant["total"])
+        out.sample(metric + "_count", quant["count"])
+
+    return out.text()
+
+
+def _format_quantile(prob):
+    return format(prob, "g")
+
+
+class MetricsFlusher:
+    """Appends periodic registry snapshots to a JSONL file.
+
+    Parameters
+    ----------
+    registry:
+        The :class:`~repro.obs.registry.MetricsRegistry` to snapshot.
+    path:
+        JSONL file to append to (created on first flush).
+    interval:
+        Seconds between flushes for :meth:`maybe_flush` and the
+        :meth:`start` background loop.
+    context:
+        Static key→value metadata repeated on every line (run label,
+        port, pid ...).
+
+    Use as a context manager (flushes once more on exit), or call
+    :meth:`flush` directly from a serving loop.
+    """
+
+    def __init__(self, registry, path, interval=10.0, context=None):
+        if interval <= 0:
+            raise ValueError("flush interval must be positive")
+        self.registry = registry
+        self.path = path
+        self.interval = interval
+        self.context = dict(context or {})
+        self.flushes = 0
+        self._last_flush = None
+        self._lock = threading.Lock()
+        self._stop = threading.Event()
+        self._thread = None
+
+    def flush(self):
+        """Append one snapshot line; returns the line's dict."""
+        doc = {
+            "ts": time.time(),
+            "flush": self.flushes,
+            "context": self.context,
+            "metrics": self.registry.snapshot(),
+        }
+        with self._lock:
+            with open(self.path, "a") as handle:
+                handle.write(json.dumps(doc, sort_keys=True) + "\n")
+            self.flushes += 1
+            self._last_flush = time.monotonic()
+        return doc
+
+    def maybe_flush(self):
+        """Flush if at least ``interval`` seconds have passed since
+        the previous flush (or none has happened yet); returns True
+        when a flush was written."""
+        last = self._last_flush
+        if last is not None \
+                and time.monotonic() - last < self.interval:
+            return False
+        self.flush()
+        return True
+
+    # -- background mode ----------------------------------------------
+
+    def start(self):
+        """Flush every ``interval`` seconds on a daemon thread."""
+        if self._thread is not None:
+            return self
+        self._stop.clear()
+
+        def loop():
+            while not self._stop.wait(self.interval):
+                self.flush()
+
+        self._thread = threading.Thread(
+            target=loop, name="repro-metrics-flusher", daemon=True)
+        self._thread.start()
+        return self
+
+    def stop(self, final_flush=True):
+        """Stop the background thread (if any); optionally flush one
+        last line so the file always ends with the final state."""
+        if self._thread is not None:
+            self._stop.set()
+            self._thread.join(timeout=5.0)
+            self._thread = None
+        if final_flush:
+            self.flush()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.stop()
+        return False

@@ -1,0 +1,291 @@
+"""Live health introspection and the stats HTTP endpoint.
+
+Serving a string index is only half the job; the other half is
+answering "is it healthy, how big is it, how is the buffer pool
+doing" *while it runs*. This module has two layers:
+
+pure functions
+    :func:`index_health` renders any traversal layer — in-memory,
+    packed, page-resident disk, or sharded — into a JSON-ready dict
+    (length, layer, buffer-pool residency/pins/hit-rate, checkpoint
+    generation, per-shard sizes), and :func:`update_health_gauges`
+    mirrors the same readings into registry **gauges** so a
+    Prometheus scrape sees them next to the query counters.
+
+:class:`StatsServer`
+    A stdlib ``http.server`` endpoint (no dependencies, one daemon
+    thread) serving the observability triad:
+
+    ========== =====================================================
+    path       payload
+    ========== =====================================================
+    /metrics   Prometheus text exposition of the full registry
+               (health gauges refreshed per scrape)
+    /healthz   small JSON liveness document (200 ok / 503 closed)
+    /stats     full JSON: health + registry snapshot + slow-query
+               log + tracer summary
+    ========== =====================================================
+
+    Start it directly, or let ``QueryService(stats_port=...)`` /
+    ``repro serve --stats-port`` own one. ``port=0`` binds an
+    ephemeral port; the bound port is exposed as :attr:`port`.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+
+from repro.obs.export import CONTENT_TYPE, render_prometheus
+from repro.obs.slowlog import get_slow_log
+from repro.obs.trace import get_tracer
+
+
+def _default_registry():
+    # Imported lazily: repro.obs re-exports this module's names, so a
+    # top-level "from repro.obs import get_registry" would be circular.
+    from repro.obs import get_registry
+
+    return get_registry()
+
+__all__ = [
+    "StatsServer",
+    "index_health",
+    "update_health_gauges",
+]
+
+
+def _buffer_health(pool):
+    stats = pool.stats()
+    return {
+        "capacity": stats["capacity"],
+        "resident_pages": stats["resident_pages"],
+        "pinned_pages": stats["pinned_pages"],
+        "dirty_pages": stats["dirty_pages"],
+        "hits": stats["hits"],
+        "misses": stats["misses"],
+        "hit_rate": stats["hit_rate"],
+        "evictions": stats["evictions"],
+    }
+
+
+def index_health(index):
+    """JSON-ready health description of any traversal layer.
+
+    Duck-typed so the module imports none of the heavy layers: a disk
+    index is recognized by its buffer ``pool`` + ``generation``, a
+    sharded index by ``shard_count`` + ``stats()``, and anything else
+    reports its class name and length.
+    """
+    if index is None:
+        return {"layer": None, "length": 0}
+    doc = {
+        "layer": type(index).__name__,
+        "length": len(index),
+    }
+    pool = getattr(index, "pool", None)
+    pagefile = getattr(index, "pagefile", None)
+    if pool is not None and pagefile is not None:
+        doc["generation"] = index.generation
+        doc["page_count"] = pagefile.page_count
+        doc["page_size"] = pagefile.page_size
+        doc["buffer"] = _buffer_health(pool)
+        return doc
+    if hasattr(index, "shard_count") and hasattr(index, "stats"):
+        stats = index.stats()
+        doc["shard_layer"] = stats["layer"]
+        doc["shards"] = stats["shards"]
+        doc["max_pattern_len"] = stats["max_pattern_len"]
+        buffers = []
+        for shard in getattr(index, "_shards", ()):
+            shard_pool = getattr(shard.index, "pool", None)
+            if shard_pool is not None:
+                buffers.append(_buffer_health(shard_pool))
+        if buffers:
+            looked_up = sum(b["hits"] + b["misses"] for b in buffers)
+            hits = sum(b["hits"] for b in buffers)
+            doc["buffer"] = {
+                "capacity": sum(b["capacity"] for b in buffers),
+                "resident_pages": sum(b["resident_pages"]
+                                      for b in buffers),
+                "pinned_pages": sum(b["pinned_pages"]
+                                    for b in buffers),
+                "dirty_pages": sum(b["dirty_pages"] for b in buffers),
+                "hits": hits,
+                "misses": sum(b["misses"] for b in buffers),
+                "hit_rate": hits / looked_up if looked_up else 0.0,
+                "evictions": sum(b["evictions"] for b in buffers),
+            }
+        return doc
+    return doc
+
+
+def update_health_gauges(registry, index):
+    """Mirror :func:`index_health` readings into registry gauges.
+
+    Gauge names are stable (``index.length``, ``buffer.*``,
+    ``disk.generation``, ``shard.count``, ``shard.<i>.length``), so a
+    scraper sees point-in-time state next to the event counters.
+    Gated on ``registry.enabled`` like every instrument; a no-op when
+    disabled or without an index.
+    """
+    if not registry.enabled or index is None:
+        return
+    health = index_health(index)
+    registry.gauge("index.length").set(health["length"])
+    buffer = health.get("buffer")
+    if buffer is not None:
+        registry.gauge("buffer.capacity").set(buffer["capacity"])
+        registry.gauge("buffer.resident_pages").set(
+            buffer["resident_pages"])
+        registry.gauge("buffer.pinned_pages").set(
+            buffer["pinned_pages"])
+        registry.gauge("buffer.dirty_pages").set(
+            buffer["dirty_pages"])
+        registry.gauge("buffer.hit_rate").set(buffer["hit_rate"])
+    if "generation" in health:
+        registry.gauge("disk.generation").set(health["generation"])
+        registry.gauge("disk.page_count").set(health["page_count"])
+    shards = health.get("shards")
+    if shards is not None:
+        registry.gauge("shard.count").set(len(shards))
+        for shard in shards:
+            prefix = f"shard.{shard['id']}"
+            registry.gauge(prefix + ".length").set(shard["local_len"])
+            registry.gauge(prefix + ".owned_length").set(
+                shard["owned_len"])
+
+
+class _StatsHandler(BaseHTTPRequestHandler):
+    """Routes the three endpoints to the owning :class:`StatsServer`."""
+
+    server_version = "repro-stats/1"
+
+    def do_GET(self):  # noqa: N802 (http.server API)
+        owner = self.server.stats_server
+        path = self.path.split("?", 1)[0]
+        try:
+            if path == "/metrics":
+                body = owner.metrics_text().encode("utf-8")
+                self._respond(200, CONTENT_TYPE, body)
+            elif path == "/healthz":
+                doc, status = owner.health()
+                self._respond_json(status, doc)
+            elif path == "/stats":
+                self._respond_json(200, owner.stats())
+            else:
+                self._respond_json(404, {"error": f"no route {path}",
+                                         "routes": ["/metrics",
+                                                    "/healthz",
+                                                    "/stats"]})
+        except Exception as exc:  # never kill the serving thread
+            self._respond_json(500, {"error": repr(exc)})
+
+    def _respond(self, status, content_type, body):
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _respond_json(self, status, doc):
+        body = json.dumps(doc, sort_keys=True).encode("utf-8")
+        self._respond(status, "application/json; charset=utf-8", body)
+
+    def log_message(self, format, *args):
+        """Silence per-request stderr chatter."""
+
+
+class StatsServer:
+    """The live stats endpoint over one index / service / registry.
+
+    Parameters
+    ----------
+    index:
+        The traversal layer to introspect (optional — a bare registry
+        exporter is valid).
+    service:
+        The owning :class:`~repro.serve.QueryService`, if any; its
+        closed state drives the ``/healthz`` status code.
+    registry / slow_log:
+        Default to the process-global instances.
+    host / port:
+        Bind address; ``port=0`` picks an ephemeral port (the bound
+        one is in :attr:`port`).
+    """
+
+    def __init__(self, index=None, service=None, registry=None,
+                 slow_log=None, host="127.0.0.1", port=0):
+        self.index = index
+        self.service = service
+        self.registry = (registry if registry is not None
+                         else _default_registry())
+        self.slow_log = (slow_log if slow_log is not None
+                         else get_slow_log())
+        self._httpd = ThreadingHTTPServer((host, port), _StatsHandler)
+        self._httpd.daemon_threads = True
+        self._httpd.stats_server = self
+        self.host = host
+        self.port = self._httpd.server_address[1]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            name="repro-stats-server", daemon=True)
+        self._thread.start()
+
+    def url(self, path="/"):
+        """Absolute URL of ``path`` on this server."""
+        return f"http://{self.host}:{self.port}{path}"
+
+    # -- payload builders (also the programmatic surface) --------------
+
+    def metrics_text(self):
+        """The ``/metrics`` body: gauges refreshed, then rendered."""
+        update_health_gauges(self.registry, self.index)
+        return render_prometheus(self.registry)
+
+    def health(self):
+        """The ``/healthz`` payload: ``(doc, http_status)``."""
+        closed = bool(getattr(self.service, "closed", False))
+        doc = {
+            "status": "closed" if closed else "ok",
+            "layer": (type(self.index).__name__
+                      if self.index is not None else None),
+            "length": len(self.index) if self.index is not None else 0,
+            "metrics_enabled": self.registry.enabled,
+            "slow_log_enabled": self.slow_log.enabled,
+        }
+        return doc, (503 if closed else 200)
+
+    def stats(self):
+        """The ``/stats`` payload: the full JSON document."""
+        health_doc, _ = self.health()
+        return {
+            "health": health_doc,
+            "index": index_health(self.index),
+            "metrics": self.registry.snapshot(),
+            "slow_queries": self.slow_log.snapshot(),
+            "trace": get_tracer().summary(),
+        }
+
+    # -- lifecycle -----------------------------------------------------
+
+    def close(self):
+        """Stop serving and release the socket (idempotent)."""
+        if self._httpd is None:
+            return
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+        self._httpd = None
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        self.close()
+        return False
+
+    def __repr__(self):
+        state = "closed" if self._httpd is None else "serving"
+        return f"StatsServer({state}, {self.host}:{self.port})"

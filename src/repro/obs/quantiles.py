@@ -1,0 +1,213 @@
+"""Streaming latency quantiles with fixed memory (the P² algorithm).
+
+Serving telemetry needs tail latencies — p95/p99/p999 — but the
+registry's :class:`~repro.obs.registry.Timer` only keeps
+count/total/min/max, and storing every observation is out of the
+question on a hot path answering millions of queries. The P²
+("piecewise-parabolic") algorithm of Jain & Chlamtac (CACM 1985)
+estimates a quantile online with **five markers per quantile** — five
+heights and five positions, adjusted per observation with one
+parabolic (or linear) interpolation step — so a full
+p50/p95/p99/p999 battery costs a few hundred bytes, no background
+thread, no sorting, no allocation after construction.
+
+The registry exposes these through
+:meth:`~repro.obs.registry.MetricsRegistry.quantiles` (memoized by
+name, :data:`~repro.obs.registry.NULL_INSTRUMENT` while disabled),
+and the query hot paths in :mod:`repro.core.search`,
+:mod:`repro.core.batch` and :mod:`repro.shard.index` feed them
+through ``registry.observe_latency`` — gated, like every instrument,
+behind one ``registry.enabled`` attribute check.
+
+Accuracy note: P² is an estimator. It is exact below five
+observations (it keeps them), typically within a few percent of the
+true quantile for unimodal latency distributions, and deterministic —
+the same observation sequence always yields the same estimate.
+"""
+
+from __future__ import annotations
+
+from bisect import insort
+
+__all__ = [
+    "DEFAULT_QUANTILES",
+    "P2Quantile",
+    "StreamingQuantiles",
+    "quantile_label",
+]
+
+#: The serving battery: median plus the three standard tail levels.
+DEFAULT_QUANTILES = (0.5, 0.95, 0.99, 0.999)
+
+
+def quantile_label(prob):
+    """Conventional short label for a quantile probability:
+    ``0.5 -> "p50"``, ``0.99 -> "p99"``, ``0.999 -> "p999"``."""
+    text = format(prob * 100, "g").replace(".", "")
+    return f"p{text}"
+
+
+class P2Quantile:
+    """One quantile of a stream, estimated with the P² algorithm.
+
+    Five marker heights bracket the target quantile; every
+    observation shifts marker positions and nudges the middle heights
+    toward their desired positions by piecewise-parabolic
+    interpolation. ``value`` is the running estimate (exact while
+    fewer than five observations have been seen).
+    """
+
+    __slots__ = ("prob", "count", "_heights", "_positions", "_desired",
+                 "_rates")
+
+    def __init__(self, prob):
+        if not 0.0 < prob < 1.0:
+            raise ValueError("quantile probability must be in (0, 1)")
+        self.prob = prob
+        self.count = 0
+        self._heights = []  # sorted; first 5 observations, then markers
+        self._positions = [1.0, 2.0, 3.0, 4.0, 5.0]
+        self._desired = [1.0, 1.0 + 2.0 * prob, 1.0 + 4.0 * prob,
+                         3.0 + 2.0 * prob, 5.0]
+        self._rates = (0.0, prob / 2.0, prob, (1.0 + prob) / 2.0, 1.0)
+
+    def observe(self, value):
+        """Fold one observation into the estimate."""
+        self.count += 1
+        heights = self._heights
+        if len(heights) < 5:
+            insort(heights, value)
+            return
+        if value < heights[0]:
+            heights[0] = value
+            cell = 0
+        elif value >= heights[4]:
+            heights[4] = value
+            cell = 3
+        else:
+            cell = 0
+            while value >= heights[cell + 1]:
+                cell += 1
+        positions = self._positions
+        for i in range(cell + 1, 5):
+            positions[i] += 1.0
+        desired = self._desired
+        rates = self._rates
+        for i in range(5):
+            desired[i] += rates[i]
+        for i in (1, 2, 3):
+            delta = desired[i] - positions[i]
+            if (delta >= 1.0 and positions[i + 1] - positions[i] > 1.0) \
+                    or (delta <= -1.0
+                        and positions[i - 1] - positions[i] < -1.0):
+                step = 1.0 if delta >= 0.0 else -1.0
+                candidate = self._parabolic(i, step)
+                if heights[i - 1] < candidate < heights[i + 1]:
+                    heights[i] = candidate
+                else:
+                    heights[i] = self._linear(i, step)
+                positions[i] += step
+
+    def _parabolic(self, i, step):
+        heights = self._heights
+        positions = self._positions
+        return heights[i] + step / (positions[i + 1] - positions[i - 1]) * (
+            (positions[i] - positions[i - 1] + step)
+            * (heights[i + 1] - heights[i])
+            / (positions[i + 1] - positions[i])
+            + (positions[i + 1] - positions[i] - step)
+            * (heights[i] - heights[i - 1])
+            / (positions[i] - positions[i - 1]))
+
+    def _linear(self, i, step):
+        heights = self._heights
+        positions = self._positions
+        j = i + int(step)
+        return heights[i] + step * (heights[j] - heights[i]) \
+            / (positions[j] - positions[i])
+
+    @property
+    def value(self):
+        """The current estimate (0.0 before any observation)."""
+        heights = self._heights
+        if not heights:
+            return 0.0
+        if self.count < 5:
+            # Exact nearest-rank quantile over the retained samples.
+            rank = max(0, min(len(heights) - 1,
+                              round(self.prob * (len(heights) - 1))))
+            return heights[rank]
+        return heights[2]
+
+    def __repr__(self):
+        return (f"P2Quantile(p={self.prob}, count={self.count}, "
+                f"value={self.value:.6g})")
+
+
+class StreamingQuantiles:
+    """A battery of :class:`P2Quantile` estimators over one stream.
+
+    The registry's quantile instrument kind: one ``observe`` feeds
+    every tracked probability, plus running count/total/min/max so a
+    single instrument answers "how many, how slow, how bad at the
+    tail". ``probs`` must be ascending, unique and within (0, 1).
+    """
+
+    __slots__ = ("name", "probs", "count", "total", "min", "max",
+                 "_estimators")
+
+    def __init__(self, name, probs=DEFAULT_QUANTILES):
+        probs = tuple(probs)
+        if not probs or list(probs) != sorted(set(probs)) \
+                or not all(0.0 < p < 1.0 for p in probs):
+            raise ValueError("quantile probabilities must be ascending, "
+                             "unique and within (0, 1)")
+        self.name = name
+        self.probs = probs
+        self.count = 0
+        self.total = 0.0
+        self.min = None
+        self.max = None
+        self._estimators = tuple(P2Quantile(p) for p in probs)
+
+    def observe(self, value):
+        """Record one observation into every tracked quantile."""
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+        for estimator in self._estimators:
+            estimator.observe(value)
+
+    def observe_many(self, values):
+        """Record every value of an iterable."""
+        for value in values:
+            self.observe(value)
+
+    def quantile(self, prob):
+        """The current estimate for ``prob`` (must be tracked)."""
+        for estimator in self._estimators:
+            if estimator.prob == prob:
+                return estimator.value
+        raise ValueError(f"quantile {prob} is not tracked by "
+                         f"{self.name!r} (tracked: {self.probs})")
+
+    @property
+    def mean(self):
+        """Mean observed value (0.0 before any observation)."""
+        return self.total / self.count if self.count else 0.0
+
+    def values(self):
+        """``{prob: estimate}`` for every tracked probability."""
+        return {e.prob: e.value for e in self._estimators}
+
+    def labelled(self):
+        """``{"p50": estimate, ...}`` — the report/exposition shape."""
+        return {quantile_label(e.prob): e.value
+                for e in self._estimators}
+
+    def __repr__(self):
+        return (f"StreamingQuantiles({self.name!r}, "
+                f"count={self.count}, probs={self.probs})")

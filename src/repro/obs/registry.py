@@ -1,4 +1,5 @@
-"""Counters, timers and histograms behind a metrics registry.
+"""Counters, gauges, timers, histograms and streaming quantiles
+behind a metrics registry.
 
 One registry instance owns every instrument created through it; a
 process-global default registry (see :mod:`repro.obs`) lets library
@@ -12,23 +13,31 @@ else. Accordingly:
 
 * instrumented code gates on ``registry.enabled`` *before* touching any
   instrument;
-* ``counter()`` / ``timer()`` / ``histogram()`` on a disabled registry
-  hand back a shared no-op :data:`NULL_INSTRUMENT`, so even un-gated
-  call sites stay cheap and allocation-free.
+* ``counter()`` / ``gauge()`` / ``timer()`` / ``histogram()`` /
+  ``quantiles()`` on a disabled registry hand back a shared no-op
+  :data:`NULL_INSTRUMENT`, so even un-gated call sites stay cheap and
+  allocation-free.
 
 Instruments aggregate in plain Python numbers — there is no sampling,
 no background thread, no I/O. ``snapshot()`` renders everything to
-plain dicts for JSON reports.
+plain dicts for JSON reports, and
+:func:`repro.obs.export.render_prometheus` renders the same registry
+as Prometheus text exposition for live scraping.
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from bisect import bisect_left
+
+from repro.obs.quantiles import DEFAULT_QUANTILES, StreamingQuantiles
 
 __all__ = [
     "Counter",
+    "Gauge",
     "Histogram",
+    "LATENCY_BOUNDS_US",
     "MetricsRegistry",
     "NULL_INSTRUMENT",
     "Timer",
@@ -38,9 +47,18 @@ __all__ = [
 #: the last bound land in an overflow bucket).
 DEFAULT_BOUNDS = (1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024)
 
+#: Bucket upper bounds for latency histograms in **microseconds**.
+#: :data:`DEFAULT_BOUNDS` tops out at 1024 and was sized for integer
+#: structural counts (scan lengths, batch sizes); sub-second query
+#: latencies need a range from tens of microseconds (a hot in-memory
+#: traversal) to one second (a cold disk-resident batch).
+LATENCY_BOUNDS_US = (50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000,
+                     25_000, 50_000, 100_000, 250_000, 500_000,
+                     1_000_000)
+
 
 class Counter:
-    """A monotonically growing (or explicitly set) integer metric."""
+    """A monotonically growing integer metric."""
 
     __slots__ = ("name", "value")
 
@@ -53,13 +71,54 @@ class Counter:
         self.value += amount
 
     def set(self, value):
-        """Overwrite with an absolute value (for mirrored snapshots,
-        e.g. the disk layer's cumulative :class:`~repro.storage.metrics.
-        IOMetrics`)."""
+        """Overwrite with an absolute value.
+
+        .. deprecated:: use a :class:`Gauge` instead. Setting a
+           counter makes it non-monotonic, which corrupts
+           rate-over-time math in downstream systems (Prometheus
+           ``rate()`` interprets any decrease as a counter reset).
+           Kept working for older callers; the library's own mirrored
+           snapshot sites now use gauges.
+        """
+        warnings.warn(
+            "Counter.set() is deprecated: a set counter is no longer "
+            "monotonic (breaking rate() math); use "
+            "MetricsRegistry.gauge() for point-in-time values",
+            DeprecationWarning, stacklevel=2)
         self.value = value
 
     def __repr__(self):
         return f"Counter({self.name!r}, value={self.value})"
+
+
+class Gauge:
+    """A point-in-time value that may go up or down.
+
+    The instrument for mirrored snapshots and health introspection —
+    buffer-pool residency, checkpoint generation, shard sizes — where
+    the reading *is* the state, not an accumulation of events.
+    """
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name):
+        self.name = name
+        self.value = 0
+
+    def set(self, value):
+        """Overwrite with the current reading."""
+        self.value = value
+
+    def inc(self, amount=1):
+        """Add ``amount`` (default 1)."""
+        self.value += amount
+
+    def dec(self, amount=1):
+        """Subtract ``amount`` (default 1)."""
+        self.value -= amount
+
+    def __repr__(self):
+        return f"Gauge({self.name!r}, value={self.value})"
 
 
 class Timer:
@@ -182,6 +241,9 @@ class _NullInstrument:
     def inc(self, amount=1):
         pass
 
+    def dec(self, amount=1):
+        pass
+
     def set(self, value):
         pass
 
@@ -190,6 +252,9 @@ class _NullInstrument:
 
     def observe_many(self, values):
         pass
+
+    def quantile(self, prob):
+        return 0.0
 
     def time(self):
         return _NULL_CONTEXT
@@ -228,8 +293,10 @@ class MetricsRegistry:
     def __init__(self, enabled=True):
         self.enabled = enabled
         self._counters = {}
+        self._gauges = {}
         self._timers = {}
         self._histograms = {}
+        self._quantiles = {}
 
     # -- lifecycle -----------------------------------------------------
 
@@ -244,8 +311,10 @@ class MetricsRegistry:
     def reset(self):
         """Drop every instrument and its accumulated values."""
         self._counters.clear()
+        self._gauges.clear()
         self._timers.clear()
         self._histograms.clear()
+        self._quantiles.clear()
 
     # -- instrument accessors ------------------------------------------
 
@@ -258,6 +327,15 @@ class MetricsRegistry:
             instrument = self._counters[name] = Counter(name)
         return instrument
 
+    def gauge(self, name):
+        """The :class:`Gauge` called ``name`` (created on first use)."""
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._gauges.get(name)
+        if instrument is None:
+            instrument = self._gauges[name] = Gauge(name)
+        return instrument
+
     def timer(self, name):
         """The :class:`Timer` called ``name`` (created on first use)."""
         if not self.enabled:
@@ -267,15 +345,65 @@ class MetricsRegistry:
             instrument = self._timers[name] = Timer(name)
         return instrument
 
-    def histogram(self, name, bounds=DEFAULT_BOUNDS):
+    def histogram(self, name, bounds=None):
         """The :class:`Histogram` called ``name`` (created on first
-        use; ``bounds`` only applies to the creating call)."""
+        use; omitted ``bounds`` mean :data:`DEFAULT_BOUNDS` on
+        creation and "whatever it already has" afterwards).
+
+        Re-registering an existing histogram with *different* explicit
+        bounds raises ``ValueError``: silently handing back the old
+        instrument would bucket the caller's observations against a
+        scale it never asked for.
+        """
         if not self.enabled:
             return NULL_INSTRUMENT
         instrument = self._histograms.get(name)
         if instrument is None:
-            instrument = self._histograms[name] = Histogram(name, bounds)
+            instrument = self._histograms[name] = Histogram(
+                name, DEFAULT_BOUNDS if bounds is None else bounds)
+        elif bounds is not None and tuple(bounds) != instrument.bounds:
+            raise ValueError(
+                f"histogram {name!r} already registered with bounds "
+                f"{instrument.bounds}, conflicting bounds "
+                f"{tuple(bounds)} requested")
         return instrument
+
+    def quantiles(self, name, probs=None):
+        """The :class:`~repro.obs.quantiles.StreamingQuantiles`
+        instrument called ``name`` (created on first use; omitted
+        ``probs`` mean :data:`~repro.obs.quantiles.DEFAULT_QUANTILES`
+        on creation). Conflicting explicit ``probs`` on an existing
+        instrument raise ``ValueError``, mirroring :meth:`histogram`.
+        """
+        if not self.enabled:
+            return NULL_INSTRUMENT
+        instrument = self._quantiles.get(name)
+        if instrument is None:
+            instrument = self._quantiles[name] = StreamingQuantiles(
+                name, DEFAULT_QUANTILES if probs is None else probs)
+        elif probs is not None and tuple(probs) != instrument.probs:
+            raise ValueError(
+                f"quantile instrument {name!r} already registered "
+                f"with probs {instrument.probs}, conflicting probs "
+                f"{tuple(probs)} requested")
+        return instrument
+
+    def observe_latency(self, name, seconds):
+        """Record one operation latency across the full battery:
+        the ``<name>.seconds`` :class:`Timer` (count/total/min/max),
+        the ``<name>.latency_us`` :class:`Histogram` (microsecond
+        buckets, :data:`LATENCY_BOUNDS_US`) and the
+        ``<name>.latency`` streaming quantiles (p50/p95/p99/p999).
+
+        The hot-path convenience: query call sites gate on
+        ``registry.enabled`` once and then make this single call.
+        """
+        if not self.enabled:
+            return
+        self.timer(name + ".seconds").observe(seconds)
+        self.histogram(name + ".latency_us",
+                       LATENCY_BOUNDS_US).observe(seconds * 1e6)
+        self.quantiles(name + ".latency").observe(seconds)
 
     # -- reporting -----------------------------------------------------
 
@@ -284,6 +412,8 @@ class MetricsRegistry:
         return {
             "counters": {name: c.value
                          for name, c in sorted(self._counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self._gauges.items())},
             "timers": {
                 name: {
                     "count": t.count,
@@ -304,10 +434,24 @@ class MetricsRegistry:
                 }
                 for name, h in sorted(self._histograms.items())
             },
+            "quantiles": {
+                name: {
+                    "count": q.count,
+                    "total": q.total,
+                    "mean": q.mean,
+                    "min": q.min,
+                    "max": q.max,
+                    "probs": list(q.probs),
+                    "estimates": q.labelled(),
+                }
+                for name, q in sorted(self._quantiles.items())
+            },
         }
 
     def __repr__(self):
         state = "enabled" if self.enabled else "disabled"
         return (f"MetricsRegistry({state}, {len(self._counters)} counters,"
-                f" {len(self._timers)} timers, "
-                f"{len(self._histograms)} histograms)")
+                f" {len(self._gauges)} gauges, "
+                f"{len(self._timers)} timers, "
+                f"{len(self._histograms)} histograms, "
+                f"{len(self._quantiles)} quantiles)")

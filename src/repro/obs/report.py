@@ -17,30 +17,37 @@ REPORT_SCHEMA = 1
 
 def record_io_snapshot(registry, snapshot, prefix="disk"):
     """Mirror an :class:`~repro.storage.metrics.IOMetrics` snapshot
-    (or any flat name->number dict) into ``registry`` counters.
+    (or any flat name->number dict) into ``registry`` **gauges**.
 
-    The disk layer's physical/buffer counters are cumulative, so they
-    are ``set`` (not added) under ``<prefix>.<name>``; re-recording a
-    later snapshot of the same index simply refreshes the values.
+    The disk layer's physical/buffer counters are mirrored point-in-
+    time readings, so they are ``set`` under ``<prefix>.<name>``;
+    re-recording a later snapshot of the same index simply refreshes
+    the values. Historically these landed in counters via the
+    deprecated ``Counter.set`` — a set counter is no longer monotonic,
+    which corrupts rate-over-time math in scraping systems, so they
+    are proper gauges now (and live under the snapshot's ``gauges``
+    section).
     """
     if not registry.enabled:
         return
     for name, value in snapshot.items():
-        registry.counter(f"{prefix}.{name}").set(value)
+        registry.gauge(f"{prefix}.{name}").set(value)
 
 
 def observe_index(registry, index, prefix="index"):
-    """Record an index's structural totals as ``<prefix>.*`` counters.
+    """Record an index's structural totals as ``<prefix>.*`` gauges.
 
     Works for any object exposing ``edge_counts()`` and ``__len__``
     (i.e. :class:`~repro.core.index.SpineIndex`); totals are ``set``
-    because they are cumulative properties of the index, not events.
+    because they are point-in-time properties of the index, not
+    events (the same non-monotonicity argument as
+    :func:`record_io_snapshot`).
     """
     if not registry.enabled:
         return
-    registry.counter(f"{prefix}.length").set(len(index))
+    registry.gauge(f"{prefix}.length").set(len(index))
     for name, value in index.edge_counts().items():
-        registry.counter(f"{prefix}.{name}").set(value)
+        registry.gauge(f"{prefix}.{name}").set(value)
 
 
 def build_report(registry, label=None, context=None):

@@ -1,0 +1,185 @@
+"""A bounded slow-query log for the serving layer.
+
+Aggregates (the registry) tell you p99 got worse; traces tell you what
+one sampled query did. The slow-query log is the forensic middle
+ground production string stores ship: every query slower than a
+threshold leaves a **structured record** — operation, pattern size,
+traversal layer, occurrence count, latency, and the trace span id when
+tracing sampled the same query — in a fixed-size ring buffer you can
+dump from ``/stats`` or the REPL while the service keeps running.
+
+Cost discipline matches the registry and tracer exactly: the global
+log starts disabled, the serving call sites gate on ``log.enabled``
+before doing *any* work (no clock reads, no allocation), and an
+enabled-but-fast query costs two ``perf_counter`` calls and one
+comparison. Records are plain dicts; the ring is a ``deque(maxlen=N)``
+guarded by a lock because :class:`~repro.serve.QueryService` runs
+queries on a thread pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from contextlib import contextmanager
+
+__all__ = [
+    "SlowQueryLog",
+    "get_slow_log",
+    "set_slow_log",
+    "slow_log_enabled",
+]
+
+#: Default latency threshold: 100 ms, the classic slow-query cutoff.
+DEFAULT_THRESHOLD = 0.1
+
+#: Default ring capacity.
+DEFAULT_CAPACITY = 256
+
+
+class SlowQueryLog:
+    """Ring buffer of structured slow-query records.
+
+    Parameters
+    ----------
+    threshold:
+        Minimum latency in seconds for a query to be recorded.
+    capacity:
+        Ring size; the oldest record is dropped when full (drops are
+        counted in :attr:`dropped`).
+    enabled:
+        Off by default — the serving paths check this one attribute
+        and skip even the timing when false.
+    """
+
+    def __init__(self, threshold=DEFAULT_THRESHOLD,
+                 capacity=DEFAULT_CAPACITY, enabled=False):
+        if threshold < 0:
+            raise ValueError("slow-query threshold must be >= 0")
+        if capacity < 1:
+            raise ValueError("slow-query log capacity must be >= 1")
+        self.enabled = enabled
+        self.threshold = threshold
+        #: Queries observed while enabled (recorded or not).
+        self.seen = 0
+        #: Records evicted by the ring bound.
+        self.dropped = 0
+        self._records = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def enable(self, threshold=None):
+        """Turn recording on (optionally adjusting the threshold)."""
+        if threshold is not None:
+            if threshold < 0:
+                raise ValueError("slow-query threshold must be >= 0")
+            self.threshold = threshold
+        self.enabled = True
+        return self
+
+    def disable(self):
+        """Turn recording off (retained records are kept)."""
+        self.enabled = False
+        return self
+
+    def clear(self):
+        """Drop retained records and reset the counters."""
+        with self._lock:
+            self._records.clear()
+            self.seen = 0
+            self.dropped = 0
+
+    # -- recording -----------------------------------------------------
+
+    def observe(self, op, seconds, **fields):
+        """Consider one finished query; record it when at or above the
+        threshold. Returns the record dict, or ``None`` when the query
+        was fast enough. Extra ``fields`` (pattern_chars, patterns,
+        occurrences, layer, shards, trace_id ...) land verbatim in the
+        record."""
+        self.seen += 1
+        if seconds < self.threshold:
+            return None
+        record = {
+            "ts": time.time(),
+            "op": op,
+            "seconds": seconds,
+            **fields,
+        }
+        with self._lock:
+            if len(self._records) == self._records.maxlen:
+                self.dropped += 1
+            self._records.append(record)
+        return record
+
+    # -- introspection -------------------------------------------------
+
+    def __len__(self):
+        return len(self._records)
+
+    def records(self):
+        """Retained records, oldest first (copies of the dicts)."""
+        with self._lock:
+            return [dict(r) for r in self._records]
+
+    def slowest(self, n=10):
+        """The ``n`` slowest retained records, slowest first."""
+        with self._lock:
+            ranked = sorted(self._records,
+                            key=lambda r: r["seconds"], reverse=True)
+        return [dict(r) for r in ranked[:n]]
+
+    def snapshot(self):
+        """JSON-ready summary for ``/stats`` and reports."""
+        records = self.records()
+        return {
+            "enabled": self.enabled,
+            "threshold_seconds": self.threshold,
+            "capacity": self._records.maxlen,
+            "seen": self.seen,
+            "recorded": len(records),
+            "dropped": self.dropped,
+            "records": records,
+        }
+
+    def __repr__(self):
+        state = "enabled" if self.enabled else "disabled"
+        return (f"SlowQueryLog({state}, threshold="
+                f"{self.threshold}s, {len(self._records)} record(s))")
+
+
+#: Process-global slow-query log; disabled until someone opts in.
+_slow_log = SlowQueryLog()
+
+
+def get_slow_log():
+    """The process-global :class:`SlowQueryLog`."""
+    return _slow_log
+
+
+def set_slow_log(log):
+    """Swap the global slow log (returns the previous one)."""
+    global _slow_log
+    previous = _slow_log
+    _slow_log = log
+    return previous
+
+
+@contextmanager
+def slow_log_enabled(threshold=DEFAULT_THRESHOLD, clear=True):
+    """Enable the global slow log for a ``with`` block, restoring the
+    previous enabled/threshold state afterwards; yields the log."""
+    log = _slow_log
+    was_enabled = log.enabled
+    previous_threshold = log.threshold
+    if clear:
+        log.clear()
+    log.enable(threshold)
+    try:
+        yield log
+    finally:
+        log.threshold = previous_threshold
+        if not was_enabled:
+            log.disable()

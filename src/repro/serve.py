@@ -29,10 +29,12 @@ Two pieces:
 from __future__ import annotations
 
 import threading
+import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.batch import (batch_find_all, contains_at, find_all_at)
 from repro.exceptions import ServiceClosedError
+from repro.obs.slowlog import get_slow_log
 
 __all__ = ["QueryService", "SnapshotGuard"]
 
@@ -106,13 +108,22 @@ class QueryService:
         safely.
     threads:
         Size of the worker pool used for batch traversal phases.
+    stats_port / stats_host:
+        When ``stats_port`` is not ``None``, the service owns a
+        :class:`~repro.obs.health.StatsServer` bound there (``0`` picks
+        an ephemeral port), serving ``/metrics``, ``/healthz`` and
+        ``/stats`` over this index until :meth:`close`. The running
+        server is exposed as :attr:`stats_server`.
 
     Use as a context manager, or call :meth:`close` to release the
     pool. The service may outlive many snapshots; each read-style call
-    takes a fresh one.
+    takes a fresh one. Queries slower than the global slow-query-log
+    threshold (:func:`repro.obs.slowlog.get_slow_log`, off by default)
+    are recorded with their structured context.
     """
 
-    def __init__(self, index, threads=4):
+    def __init__(self, index, threads=4, stats_port=None,
+                 stats_host="127.0.0.1"):
         if threads < 1:
             raise ValueError("threads must be >= 1")
         self.index = index
@@ -126,6 +137,15 @@ class QueryService:
             thread_name_prefix="repro-serve")
             if threads > 1 else None)
         self._closed = False
+        self.stats_server = None
+        if stats_port is not None:
+            # Imported here so the serving core has no HTTP dependency
+            # unless a stats endpoint is actually requested.
+            from repro.obs.health import StatsServer
+
+            self.stats_server = StatsServer(
+                index=index, service=self,
+                host=stats_host, port=stats_port)
 
     # -- reads ---------------------------------------------------------
 
@@ -137,7 +157,16 @@ class QueryService:
         return self.snapshot().contains(pattern)
 
     def find_all(self, pattern):
-        return self.snapshot().find_all(pattern)
+        slow_log = get_slow_log()
+        if not slow_log.enabled:
+            return self.snapshot().find_all(pattern)
+        started = time.perf_counter()
+        starts = self.snapshot().find_all(pattern)
+        slow_log.observe(
+            "find_all", time.perf_counter() - started,
+            pattern_chars=len(pattern), occurrences=len(starts),
+            layer=type(self.index).__name__)
+        return starts
 
     def batch_find_all(self, patterns):
         """Batched query with the traversal phase on the worker pool.
@@ -150,8 +179,10 @@ class QueryService:
         the close completed.
         """
         self._check_open()
+        slow_log = get_slow_log()
+        started = (time.perf_counter() if slow_log.enabled else None)
         try:
-            return self.snapshot().batch_find_all(
+            results = self.snapshot().batch_find_all(
                 patterns, threads=self.threads, executor=self._executor)
         except ServiceClosedError:
             raise
@@ -160,6 +191,14 @@ class QueryService:
                 raise ServiceClosedError(
                     "QueryService closed during batch_find_all") from exc
             raise
+        if started is not None:
+            slow_log.observe(
+                "batch_find_all", time.perf_counter() - started,
+                patterns=len(results),
+                pattern_chars=sum(len(m.pattern) for m in results),
+                occurrences=sum(len(m.starts) for m in results),
+                layer=type(self.index).__name__)
+        return results
 
     # -- writes --------------------------------------------------------
 
@@ -177,6 +216,11 @@ class QueryService:
 
     # -- lifecycle -----------------------------------------------------
 
+    @property
+    def closed(self):
+        """True once :meth:`close` has run (drives ``/healthz``)."""
+        return self._closed
+
     def _check_open(self):
         if self._closed:
             raise ServiceClosedError("QueryService is closed")
@@ -188,6 +232,8 @@ class QueryService:
         self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
+        if self.stats_server is not None:
+            self.stats_server.close()
 
     def __enter__(self):
         return self

@@ -282,8 +282,8 @@ class ShardedSpineIndex:
             metrics.counter("shard.queries").inc()
             metrics.counter("shard.route.fanout").inc(routed)
             metrics.counter("shard.merge.dropped").inc(dropped)
-            metrics.timer("shard.query.seconds").observe(
-                time.perf_counter() - started)
+            metrics.observe_latency("shard.query",
+                                    time.perf_counter() - started)
         if span is not None:
             tracer.finish(span, status="hit" if starts else "miss",
                           occurrences=len(starts))
@@ -414,8 +414,8 @@ class ShardedSpineIndex:
             metrics.counter("shard.batches").inc()
             metrics.counter("shard.route.fanout").inc(len(live))
             metrics.counter("shard.merge.dropped").inc(dropped)
-            metrics.timer("shard.query.seconds").observe(
-                time.perf_counter() - started)
+            metrics.observe_latency("shard.query",
+                                    time.perf_counter() - started)
         if span is not None:
             tracer.finish(span, status="done")
         return results

@@ -269,6 +269,28 @@ class BufferPool:
     def __len__(self):
         return len(self._frames)
 
+    def stats(self):
+        """Point-in-time health readings for introspection surfaces
+        (:mod:`repro.obs.health`): residency, pins, dirty pages and
+        the cumulative hit rate from the page file's
+        :class:`~repro.storage.metrics.IOMetrics`."""
+        with self._latch:
+            metrics = self.pagefile.metrics
+            hits = metrics.buffer_hits
+            misses = metrics.buffer_misses
+            looked_up = hits + misses
+            return {
+                "capacity": self.capacity,
+                "resident_pages": len(self._frames),
+                "pinned_pages": len(self._pins),
+                "dirty_pages": len(self._dirty),
+                "hits": hits,
+                "misses": misses,
+                "hit_rate": hits / looked_up if looked_up else 0.0,
+                "evictions": metrics.evictions,
+                "thread_safe": self.thread_safe,
+            }
+
     def get(self, page_id, load=True):
         """Return the buffered page, faulting it in if necessary.
 

@@ -1,0 +1,183 @@
+"""Prometheus exposition conformance and the JSONL metrics flusher."""
+
+import json
+import re
+
+import pytest
+
+from repro.obs.export import (
+    CONTENT_TYPE,
+    MetricsFlusher,
+    render_prometheus,
+    sanitize_metric_name,
+)
+from repro.obs.registry import MetricsRegistry
+
+#: Legal Prometheus metric name (abridged: no colons in our output).
+NAME_RE = re.compile(r"[a-zA-Z_][a-zA-Z0-9_]*")
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)"
+    r"(?:\{(?P<labels>[^}]*)\})? "
+    r"(?P<value>\S+)$")
+
+
+def populated_registry():
+    reg = MetricsRegistry()
+    reg.counter("search.queries").inc(12)
+    reg.counter("batch.hits").inc(3)
+    reg.gauge("buffer.hit_rate").set(0.875)
+    reg.gauge("index.length").set(5000)
+    reg.timer("search.find_all.seconds").observe(0.004)
+    reg.timer("search.find_all.seconds").observe(0.006)
+    hist = reg.histogram("batch.latency_us", bounds=(100, 1000, 10000))
+    for value in (40, 250, 250, 2_000, 50_000):
+        hist.observe(value)
+    quant = reg.quantiles("search.find_all.latency")
+    for i in range(200):
+        quant.observe(0.001 * (1 + i % 10))
+    return reg
+
+
+class TestSanitize:
+    def test_dots_become_underscores_with_namespace(self):
+        assert (sanitize_metric_name("search.find_all.seconds")
+                == "spine_search_find_all_seconds")
+
+    def test_output_is_always_legal(self):
+        for raw in ("9lives", "a-b.c", "weird name!"):
+            assert NAME_RE.fullmatch(sanitize_metric_name(raw))
+
+
+class TestRenderPrometheus:
+    def test_empty_registry_renders_empty_document(self):
+        assert render_prometheus(MetricsRegistry()) == ""
+
+    def test_content_type_pins_exposition_version(self):
+        assert "version=0.0.4" in CONTENT_TYPE
+
+    def test_document_is_line_by_line_conformant(self):
+        """Parse the full document: every line is a comment or a
+        well-formed sample, every sample's metric was TYPE-declared
+        first, and every declared TYPE is a known kind."""
+        text = render_prometheus(populated_registry())
+        assert text.endswith("\n")
+        declared = {}  # base metric -> type
+        for line in text.splitlines():
+            if line.startswith("# TYPE "):
+                _, _, metric, mtype = line.split(" ", 3)
+                assert NAME_RE.fullmatch(metric)
+                assert mtype in {"counter", "gauge", "summary",
+                                 "histogram"}
+                assert metric not in declared, "duplicate TYPE"
+                declared[metric] = mtype
+                continue
+            if line.startswith("#"):
+                continue
+            match = SAMPLE_RE.match(line)
+            assert match, f"malformed sample line: {line!r}"
+            name = match.group("name")
+            base = re.sub(r"_(total|sum|count|bucket)$", "", name)
+            assert base in declared or name in declared, (
+                f"sample {name} before its TYPE header")
+            float(match.group("value").replace("+Inf", "inf"))
+
+    def test_counter_total_suffix(self):
+        text = render_prometheus(populated_registry())
+        assert "# TYPE spine_search_queries_total counter" in text
+        assert "spine_search_queries_total 12" in text
+
+    def test_gauge_values(self):
+        text = render_prometheus(populated_registry())
+        assert "# TYPE spine_buffer_hit_rate gauge" in text
+        assert "spine_buffer_hit_rate 0.875" in text
+        assert "spine_index_length 5000" in text
+
+    def test_timer_renders_as_summary(self):
+        text = render_prometheus(populated_registry())
+        assert ("# TYPE spine_search_find_all_seconds summary"
+                in text)
+        assert "spine_search_find_all_seconds_count 2" in text
+        sum_line = next(
+            line for line in text.splitlines()
+            if line.startswith("spine_search_find_all_seconds_sum "))
+        assert float(sum_line.split()[1]) == pytest.approx(0.010)
+
+    def test_histogram_buckets_are_cumulative_and_capped(self):
+        text = render_prometheus(populated_registry())
+        buckets = []
+        inf_count = count = None
+        for line in text.splitlines():
+            if line.startswith("spine_batch_latency_us_bucket"):
+                le = re.search(r'le="([^"]+)"', line).group(1)
+                value = int(line.rsplit(" ", 1)[1])
+                if le == "+Inf":
+                    inf_count = value
+                else:
+                    buckets.append((float(le), value))
+            elif line.startswith("spine_batch_latency_us_count"):
+                count = int(line.rsplit(" ", 1)[1])
+        # Observations: 40, 250, 250, 2000, 50000 against
+        # bounds (100, 1000, 10000).
+        assert buckets == [(100.0, 1), (1000.0, 3), (10000.0, 4)]
+        assert [v for _, v in buckets] == sorted(
+            v for _, v in buckets), "buckets must be cumulative"
+        assert inf_count == count == 5
+
+    def test_quantile_sample_lines(self):
+        text = render_prometheus(populated_registry())
+        metric = "spine_search_find_all_latency"
+        assert f"# TYPE {metric} summary" in text
+        labels = re.findall(
+            rf'^{metric}{{quantile="([^"]+)"}} (\S+)$', text,
+            flags=re.MULTILINE)
+        assert [q for q, _ in labels] == ["0.5", "0.95", "0.99",
+                                          "0.999"]
+        values = [float(v) for _, v in labels]
+        assert values == sorted(values)
+        assert f"{metric}_count 200" in text
+
+    def test_untouched_min_max_render_nan_free_document(self):
+        """A snapshot with None min/max (no observations on a created
+        timer) must still render parseable values."""
+        reg = MetricsRegistry()
+        reg.timer("idle.seconds")
+        text = render_prometheus(reg)
+        assert "idle_seconds_count 0" in text
+
+
+class TestMetricsFlusher:
+    def test_flush_appends_jsonl(self, tmp_path):
+        reg = populated_registry()
+        path = tmp_path / "metrics.jsonl"
+        flusher = MetricsFlusher(reg, str(path), interval=100,
+                                 context={"run": "test"})
+        flusher.flush()
+        reg.counter("search.queries").inc()
+        flusher.flush()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        first, second = (json.loads(line) for line in lines)
+        assert first["flush"] == 0 and second["flush"] == 1
+        assert first["context"] == {"run": "test"}
+        assert second["metrics"]["counters"]["search.queries"] == 13
+        assert second["ts"] >= first["ts"]
+
+    def test_maybe_flush_respects_interval(self, tmp_path):
+        flusher = MetricsFlusher(MetricsRegistry(),
+                                 str(tmp_path / "m.jsonl"),
+                                 interval=3600)
+        assert flusher.maybe_flush() is True  # first is always due
+        assert flusher.maybe_flush() is False
+        assert flusher.flushes == 1
+
+    def test_context_manager_final_flush(self, tmp_path):
+        path = tmp_path / "m.jsonl"
+        with MetricsFlusher(MetricsRegistry(), str(path),
+                            interval=3600):
+            pass
+        assert len(path.read_text().splitlines()) == 1
+
+    def test_bad_interval_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            MetricsFlusher(MetricsRegistry(), str(tmp_path / "m"),
+                           interval=0)

@@ -1,0 +1,170 @@
+"""Health introspection and the /metrics /healthz /stats endpoint."""
+
+import json
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro import obs
+from repro.core.index import SpineIndex
+from repro.obs.health import (
+    StatsServer,
+    index_health,
+    update_health_gauges,
+)
+from repro.sequences import generate_dna
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=10) as response:
+        return (response.status, response.headers.get("Content-Type"),
+                response.read().decode("utf-8"))
+
+
+class TestIndexHealth:
+    def test_none_index(self):
+        assert index_health(None) == {"layer": None, "length": 0}
+
+    def test_in_memory_index(self):
+        doc = index_health(SpineIndex("abracadabra"))
+        assert doc["layer"] == "SpineIndex"
+        assert doc["length"] == 11
+        assert "buffer" not in doc
+
+    def test_disk_index_reports_buffer_and_generation(self):
+        from repro.disk.spine_disk import DiskSpineIndex
+
+        disk = DiskSpineIndex(buffer_pages=4)
+        disk.extend("ACGTACGTACGT")
+        disk.contains("GTAC")
+        doc = index_health(disk)
+        disk.close()
+        assert doc["layer"] == "DiskSpineIndex"
+        assert doc["length"] == 12
+        assert doc["page_count"] > 0
+        assert doc["buffer"]["capacity"] == 4
+        assert 0.0 <= doc["buffer"]["hit_rate"] <= 1.0
+        assert "generation" in doc
+
+    def test_sharded_index_aggregates_shards(self):
+        from repro.shard import ShardedSpineIndex
+
+        index = ShardedSpineIndex.build(generate_dna(600, seed=5),
+                                        shards=3)
+        doc = index_health(index)
+        index.close()
+        assert doc["length"] == 600
+        assert len(doc["shards"]) == 3
+        assert "max_pattern_len" in doc
+
+
+class TestHealthGauges:
+    def test_gauges_mirror_health(self):
+        from repro.disk.spine_disk import DiskSpineIndex
+
+        disk = DiskSpineIndex(buffer_pages=4)
+        disk.extend("ACGTACGTACGT")
+        disk.contains("GTAC")
+        with obs.metrics_enabled() as reg:
+            update_health_gauges(reg, disk)
+            gauges = reg.snapshot()["gauges"]
+        disk.close()
+        assert gauges["index.length"] == 12
+        assert gauges["buffer.capacity"] == 4
+        assert gauges["disk.page_count"] > 0
+
+    def test_disabled_registry_is_untouched(self):
+        reg = obs.MetricsRegistry(enabled=False)
+        update_health_gauges(reg, SpineIndex("abc"))
+        assert reg.snapshot()["gauges"] == {}
+
+
+class TestStatsServer:
+    @pytest.fixture
+    def server(self):
+        index = SpineIndex("abracadabra" * 30)
+        obs.enable_metrics(reset=True)
+        index.find_all("abra")
+        server = StatsServer(index=index)
+        yield server
+        server.close()
+        obs.disable_metrics()
+        obs.get_registry().reset()
+
+    def test_metrics_endpoint(self, server):
+        status, ctype, body = _get(server.url("/metrics"))
+        assert status == 200
+        assert "version=0.0.4" in ctype
+        assert "spine_search_queries_total" in body
+        # Health gauges are refreshed per scrape.
+        assert "spine_index_length 330" in body
+        assert 'quantile="0.99"' in body
+
+    def test_healthz_endpoint(self, server):
+        status, ctype, body = _get(server.url("/healthz"))
+        assert status == 200
+        assert ctype.startswith("application/json")
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["layer"] == "SpineIndex"
+        assert doc["length"] == 330
+        assert doc["metrics_enabled"] is True
+
+    def test_stats_endpoint(self, server):
+        status, _, body = _get(server.url("/stats"))
+        assert status == 200
+        doc = json.loads(body)
+        assert set(doc) == {"health", "index", "metrics",
+                            "slow_queries", "trace"}
+        assert doc["metrics"]["counters"]["search.queries"] >= 1
+        assert doc["index"]["layer"] == "SpineIndex"
+
+    def test_unknown_route_is_404(self, server):
+        with pytest.raises(urllib.error.HTTPError) as err:
+            _get(server.url("/nope"))
+        assert err.value.code == 404
+        assert "/metrics" in json.loads(err.value.read())["routes"]
+
+    def test_close_is_idempotent(self):
+        server = StatsServer()
+        server.close()
+        server.close()
+
+
+class TestQueryServiceIntegration:
+    def test_stats_port_lifecycle(self):
+        from repro.serve import QueryService
+
+        index = SpineIndex("abracadabra" * 10)
+        obs.enable_metrics(reset=True)
+        try:
+            service = QueryService(index, threads=2, stats_port=0)
+            server = service.stats_server
+            assert server is not None
+            service.find_all("abra")
+            status, _, body = _get(server.url("/healthz"))
+            assert status == 200
+            assert json.loads(body)["status"] == "ok"
+            assert not service.closed
+            service.close()
+            assert service.closed
+            # The endpoint dies with the service.
+            with pytest.raises(Exception):
+                _get(server.url("/healthz"))
+        finally:
+            obs.disable_metrics()
+            obs.get_registry().reset()
+
+    def test_healthz_reports_closed_service(self):
+        from repro.serve import QueryService
+
+        index = SpineIndex("abc")
+        service = QueryService(index, threads=1)
+        with StatsServer(index=index, service=service) as server:
+            doc, status = server.health()
+            assert status == 200
+            service.close()
+            doc, status = server.health()
+            assert status == 503
+            assert doc["status"] == "closed"

@@ -19,7 +19,9 @@ from repro import obs
 from repro.core.index import SpineIndex
 from repro.core.matching import matching_statistics
 from repro.core.search import find_first_end
+from repro.obs import quantiles as quantiles_mod
 from repro.obs import registry as registry_mod
+from repro.obs import slowlog as slowlog_mod
 from repro.obs import trace as trace_mod
 from repro.sequences import generate_dna
 
@@ -40,8 +42,12 @@ def patterns():
 def test_disabled_sentinels():
     assert obs.get_registry().enabled is False
     assert obs.get_tracer().enabled is False
+    assert obs.get_slow_log().enabled is False
     assert obs.get_registry().counter("x") is registry_mod.NULL_INSTRUMENT
     assert obs.get_registry().timer("x") is registry_mod.NULL_INSTRUMENT
+    assert obs.get_registry().gauge("x") is registry_mod.NULL_INSTRUMENT
+    assert (obs.get_registry().quantiles("x")
+            is registry_mod.NULL_INSTRUMENT)
     assert obs.get_tracer().begin("x") is None
 
 
@@ -55,6 +61,10 @@ def test_disabled_search_allocates_no_observability_objects(
     monkeypatch.setattr(registry_mod.Counter, "__init__", boom)
     monkeypatch.setattr(registry_mod.Timer, "__init__", boom)
     monkeypatch.setattr(registry_mod.Histogram, "__init__", boom)
+    monkeypatch.setattr(registry_mod.Gauge, "__init__", boom)
+    monkeypatch.setattr(quantiles_mod.P2Quantile, "__init__", boom)
+    monkeypatch.setattr(quantiles_mod.StreamingQuantiles, "__init__",
+                        boom)
 
     assert not obs.get_registry().enabled
     assert not obs.get_tracer().enabled
@@ -62,6 +72,39 @@ def test_disabled_search_allocates_no_observability_objects(
         assert big_index.contains(pattern)
     big_index.find_all(patterns[0])
     matching_statistics(big_index, generate_dna(512, seed=12))
+
+
+def test_disabled_batch_and_service_allocate_nothing(
+        big_index, patterns, monkeypatch):
+    """The batched engine and the serving front end stay on the
+    one-attribute-check path when metrics, tracing and the slow-query
+    log are all off: no instrument, quantile, or slow-log record may
+    be created."""
+    from repro.core.batch import batch_find_all
+    from repro.serve import QueryService
+
+    def boom(self, *args, **kwargs):
+        raise AssertionError(
+            "observability object allocated on the disabled path")
+
+    monkeypatch.setattr(trace_mod.Span, "__init__", boom)
+    monkeypatch.setattr(registry_mod.Counter, "__init__", boom)
+    monkeypatch.setattr(registry_mod.Timer, "__init__", boom)
+    monkeypatch.setattr(registry_mod.Histogram, "__init__", boom)
+    monkeypatch.setattr(registry_mod.Gauge, "__init__", boom)
+    monkeypatch.setattr(quantiles_mod.P2Quantile, "__init__", boom)
+    monkeypatch.setattr(quantiles_mod.StreamingQuantiles, "__init__",
+                        boom)
+    monkeypatch.setattr(
+        slowlog_mod.SlowQueryLog, "observe",
+        lambda *a, **k: (_ for _ in ()).throw(AssertionError(
+            "slow-log record taken while disabled")))
+
+    assert not obs.get_slow_log().enabled
+    batch_find_all(big_index, patterns[:8])
+    with QueryService(big_index, threads=1) as service:
+        service.find_all(patterns[0])
+        service.batch_find_all(patterns[:4])
 
 
 def test_disabled_search_wall_clock_factor(big_index, patterns):

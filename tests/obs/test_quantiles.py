@@ -1,0 +1,153 @@
+"""P² streaming quantile estimator tests."""
+
+import random
+
+import pytest
+
+from repro.obs.quantiles import (
+    DEFAULT_QUANTILES,
+    P2Quantile,
+    StreamingQuantiles,
+    quantile_label,
+)
+
+
+class TestQuantileLabel:
+    def test_standard_labels(self):
+        assert quantile_label(0.5) == "p50"
+        assert quantile_label(0.95) == "p95"
+        assert quantile_label(0.99) == "p99"
+        assert quantile_label(0.999) == "p999"
+
+
+class TestP2Quantile:
+    def test_validates_probability(self):
+        with pytest.raises(ValueError):
+            P2Quantile(0.0)
+        with pytest.raises(ValueError):
+            P2Quantile(1.0)
+        with pytest.raises(ValueError):
+            P2Quantile(-0.5)
+
+    def test_empty_is_zero(self):
+        assert P2Quantile(0.5).value == 0.0
+
+    def test_exact_below_five_observations(self):
+        q = P2Quantile(0.5)
+        for value in (30.0, 10.0, 20.0):
+            q.observe(value)
+        # Exact nearest-rank median of {10, 20, 30}.
+        assert q.value == 20.0
+
+    def test_median_of_known_sequence(self):
+        q = P2Quantile(0.5)
+        for value in range(1, 101):
+            q.observe(float(value))
+        assert q.count == 100
+        assert abs(q.value - 50.5) < 3.0
+
+    def test_uniform_stream_accuracy(self):
+        rng = random.Random(42)
+        values = [rng.random() for _ in range(10_000)]
+        for prob in DEFAULT_QUANTILES:
+            q = P2Quantile(prob)
+            for value in values:
+                q.observe(value)
+            # On U(0,1) the true quantile equals the probability.
+            assert abs(q.value - prob) < 0.02, (prob, q.value)
+
+    def test_deterministic(self):
+        rng = random.Random(7)
+        values = [rng.expovariate(1.0) for _ in range(500)]
+        a, b = P2Quantile(0.99), P2Quantile(0.99)
+        for value in values:
+            a.observe(value)
+            b.observe(value)
+        assert a.value == b.value
+
+    def test_skewed_distribution_tail(self):
+        """p99 of an exponential stream lands near -ln(0.01)."""
+        rng = random.Random(3)
+        q = P2Quantile(0.99)
+        for _ in range(20_000):
+            q.observe(rng.expovariate(1.0))
+        assert 3.9 < q.value < 5.4  # true value ~4.605
+
+
+class TestStreamingQuantiles:
+    def test_validates_probs(self):
+        with pytest.raises(ValueError):
+            StreamingQuantiles("x", probs=())
+        with pytest.raises(ValueError):
+            StreamingQuantiles("x", probs=(0.9, 0.5))  # not ascending
+        with pytest.raises(ValueError):
+            StreamingQuantiles("x", probs=(0.5, 0.5))  # not unique
+        with pytest.raises(ValueError):
+            StreamingQuantiles("x", probs=(0.5, 1.5))  # out of range
+
+    def test_defaults_to_serving_battery(self):
+        sq = StreamingQuantiles("lat")
+        assert sq.probs == DEFAULT_QUANTILES
+
+    def test_running_aggregates(self):
+        sq = StreamingQuantiles("lat", probs=(0.5,))
+        sq.observe_many([4.0, 1.0, 3.0, 2.0])
+        assert sq.count == 4
+        assert sq.total == 10.0
+        assert sq.mean == 2.5
+        assert sq.min == 1.0
+        assert sq.max == 4.0
+
+    def test_quantile_lookup(self):
+        sq = StreamingQuantiles("lat")
+        sq.observe_many(float(v) for v in range(1000))
+        assert abs(sq.quantile(0.5) - 500.0) < 25.0
+        with pytest.raises(ValueError):
+            sq.quantile(0.42)
+
+    def test_values_and_labelled_shapes(self):
+        sq = StreamingQuantiles("lat")
+        sq.observe(1.0)
+        values = sq.values()
+        assert set(values) == set(DEFAULT_QUANTILES)
+        labelled = sq.labelled()
+        assert set(labelled) == {"p50", "p95", "p99", "p999"}
+        assert labelled["p50"] == values[0.5]
+
+
+class TestRegistryIntegration:
+    def test_observe_latency_feeds_all_three_kinds(self):
+        from repro.obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        for _ in range(10):
+            reg.observe_latency("op", 0.002)
+        snap = reg.snapshot()
+        assert snap["timers"]["op.seconds"]["count"] == 10
+        assert snap["histograms"]["op.latency_us"]["count"] == 10
+        quant = snap["quantiles"]["op.latency"]
+        assert quant["count"] == 10
+        assert quant["probs"] == list(DEFAULT_QUANTILES)
+        assert abs(quant["estimates"]["p50"] - 0.002) < 1e-9
+
+    def test_search_hot_path_reports_quantiles(self):
+        from repro import obs
+        from repro.core.index import SpineIndex
+
+        with obs.metrics_enabled() as reg:
+            index = SpineIndex("abracadabra")
+            for _ in range(8):
+                index.find_all("abra")
+            snap = reg.snapshot()
+        quant = snap["quantiles"]["search.find_all.latency"]
+        assert quant["count"] == 8
+        assert quant["estimates"]["p99"] >= quant["estimates"]["p50"] > 0
+
+    def test_conflicting_probs_raise(self):
+        from repro.obs.registry import MetricsRegistry
+
+        reg = MetricsRegistry()
+        reg.quantiles("q", probs=(0.5, 0.9))
+        assert reg.quantiles("q") is reg.quantiles("q")  # omitted: fine
+        with pytest.raises(ValueError, match="conflicting probs"):
+            reg.quantiles("q", probs=(0.25, 0.75))

@@ -4,7 +4,7 @@ import pytest
 
 from repro import obs
 from repro.obs.registry import (
-    Counter, Histogram, MetricsRegistry, NULL_INSTRUMENT, Timer)
+    Counter, Gauge, Histogram, MetricsRegistry, NULL_INSTRUMENT, Timer)
 
 
 class TestCounter:
@@ -14,8 +14,28 @@ class TestCounter:
         c.inc()
         c.inc(4)
         assert c.value == 5
-        c.set(2)
+        with pytest.deprecated_call():
+            c.set(2)
         assert c.value == 2
+
+    def test_set_warns_but_keeps_working(self):
+        c = Counter("legacy")
+        with pytest.deprecated_call(match="gauge"):
+            c.set(41)
+        assert c.value == 41
+
+
+class TestGauge:
+    def test_set_inc_dec(self):
+        g = Gauge("pool.pages")
+        assert g.value == 0
+        g.set(7)
+        g.inc()
+        g.inc(2)
+        g.dec(4)
+        assert g.value == 6
+        g.set(1.5)  # gauges may hold non-integers (hit rates)
+        assert g.value == 1.5
 
 
 class TestTimer:
@@ -73,6 +93,25 @@ class TestRegistry:
         assert reg.counter("a") is reg.counter("a")
         assert reg.timer("b") is reg.timer("b")
         assert reg.histogram("c") is reg.histogram("c")
+        assert reg.gauge("d") is reg.gauge("d")
+        assert reg.quantiles("e") is reg.quantiles("e")
+
+    def test_histogram_conflicting_bounds_raise(self):
+        reg = MetricsRegistry()
+        first = reg.histogram("h", bounds=(1, 2, 4))
+        # Omitted bounds mean "whatever it already has".
+        assert reg.histogram("h") is first
+        # Re-stating the same bounds is fine too.
+        assert reg.histogram("h", bounds=(1, 2, 4)) is first
+        with pytest.raises(ValueError, match="conflicting bounds"):
+            reg.histogram("h", bounds=(10, 20))
+
+    def test_gauges_in_snapshot(self):
+        reg = MetricsRegistry()
+        reg.gauge("pool.hit_rate").set(0.75)
+        reg.gauge("pool.pages").set(32)
+        assert reg.snapshot()["gauges"] == {"pool.hit_rate": 0.75,
+                                            "pool.pages": 32}
 
     def test_disabled_registry_returns_null(self):
         reg = MetricsRegistry(enabled=False)
@@ -80,8 +119,8 @@ class TestRegistry:
         assert reg.timer("b") is NULL_INSTRUMENT
         assert reg.histogram("c") is NULL_INSTRUMENT
         # Nothing was created.
-        assert reg.snapshot() == {"counters": {}, "timers": {},
-                                  "histograms": {}}
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "timers": {},
+                                  "histograms": {}, "quantiles": {}}
 
     def test_null_instrument_is_inert(self):
         NULL_INSTRUMENT.inc()
@@ -106,8 +145,8 @@ class TestRegistry:
         reg.counter("a").inc()
         reg.timer("b").observe(1.0)
         reg.reset()
-        assert reg.snapshot() == {"counters": {}, "timers": {},
-                                  "histograms": {}}
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "timers": {},
+                                  "histograms": {}, "quantiles": {}}
 
     def test_snapshot_shape(self):
         reg = MetricsRegistry()
@@ -214,7 +253,7 @@ class TestLibraryIntegration:
             counters = reg.snapshot()["counters"]
         assert counters["disk.construction.chars"] == 12
         assert counters["disk.search.queries"] == 2
-        assert counters["disk.buffer_hits"] > 0
+        assert reg.snapshot()["gauges"]["disk.buffer_hits"] > 0
 
     def test_disabled_mode_records_nothing(self, tmp_path):
         from repro.core.index import SpineIndex
@@ -226,5 +265,5 @@ class TestLibraryIntegration:
         index = SpineIndex("aaccacaaca")
         index.find_all("ac")
         save_index(index, tmp_path / "q.spine")
-        assert reg.snapshot() == {"counters": {}, "timers": {},
-                                  "histograms": {}}
+        assert reg.snapshot() == {"counters": {}, "gauges": {}, "timers": {},
+                                  "histograms": {}, "quantiles": {}}

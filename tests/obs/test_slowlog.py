@@ -1,0 +1,124 @@
+"""The bounded slow-query log and its serving integration."""
+
+import pytest
+
+from repro.obs.slowlog import (
+    SlowQueryLog,
+    get_slow_log,
+    set_slow_log,
+    slow_log_enabled,
+)
+
+
+class TestSlowQueryLog:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SlowQueryLog(threshold=-1)
+        with pytest.raises(ValueError):
+            SlowQueryLog(capacity=0)
+        log = SlowQueryLog()
+        with pytest.raises(ValueError):
+            log.enable(threshold=-0.5)
+
+    def test_threshold_gates_recording(self):
+        log = SlowQueryLog(threshold=0.05, enabled=True)
+        assert log.observe("find_all", 0.01) is None
+        record = log.observe("find_all", 0.2, pattern_chars=12,
+                             occurrences=3, layer="SpineIndex")
+        assert record["op"] == "find_all"
+        assert record["seconds"] == 0.2
+        assert record["pattern_chars"] == 12
+        assert record["layer"] == "SpineIndex"
+        assert "ts" in record
+        assert log.seen == 2
+        assert len(log) == 1
+
+    def test_ring_bound_drops_oldest(self):
+        log = SlowQueryLog(threshold=0.0, capacity=3, enabled=True)
+        for i in range(5):
+            log.observe("op", 0.1, i=i)
+        assert len(log) == 3
+        assert log.dropped == 2
+        assert [r["i"] for r in log.records()] == [2, 3, 4]
+
+    def test_slowest_ranks_by_latency(self):
+        log = SlowQueryLog(threshold=0.0, enabled=True)
+        for seconds in (0.3, 0.1, 0.9, 0.5):
+            log.observe("op", seconds)
+        assert [r["seconds"] for r in log.slowest(2)] == [0.9, 0.5]
+
+    def test_snapshot_shape(self):
+        log = SlowQueryLog(threshold=0.0, capacity=8, enabled=True)
+        log.observe("op", 0.2)
+        snap = log.snapshot()
+        assert snap["enabled"] is True
+        assert snap["threshold_seconds"] == 0.0
+        assert snap["capacity"] == 8
+        assert snap["seen"] == 1
+        assert snap["recorded"] == 1
+        assert snap["dropped"] == 0
+        assert snap["records"][0]["op"] == "op"
+
+    def test_clear_resets_counters(self):
+        log = SlowQueryLog(threshold=0.0, enabled=True)
+        log.observe("op", 0.2)
+        log.clear()
+        assert len(log) == 0
+        assert log.seen == 0
+
+
+class TestGlobalSlowLog:
+    def test_disabled_by_default(self):
+        assert get_slow_log().enabled is False
+
+    def test_context_manager_restores_state(self):
+        log = get_slow_log()
+        with slow_log_enabled(threshold=0.0) as active:
+            assert active is log
+            assert log.enabled
+            log.observe("op", 0.1)
+        assert not log.enabled
+        assert log.threshold == pytest.approx(0.1)  # default restored
+
+    def test_set_slow_log_swaps(self):
+        replacement = SlowQueryLog()
+        previous = set_slow_log(replacement)
+        try:
+            assert get_slow_log() is replacement
+        finally:
+            set_slow_log(previous)
+
+
+class TestServiceIntegration:
+    def test_query_service_records_slow_queries(self):
+        from repro.core.index import SpineIndex
+        from repro.serve import QueryService
+
+        index = SpineIndex("abracadabra" * 40)
+        with slow_log_enabled(threshold=0.0) as log, \
+                QueryService(index, threads=2) as service:
+            assert service.find_all("abra")
+            service.batch_find_all(["abra", "cad", "zzz"])
+        ops = [r["op"] for r in log.records()]
+        assert "find_all" in ops
+        assert "batch_find_all" in ops
+        find_rec = next(r for r in log.records()
+                        if r["op"] == "find_all")
+        assert find_rec["pattern_chars"] == 4
+        assert find_rec["occurrences"] == 80
+        assert find_rec["layer"] == "SpineIndex"
+        batch_rec = next(r for r in log.records()
+                         if r["op"] == "batch_find_all")
+        assert batch_rec["patterns"] == 3
+        assert batch_rec["occurrences"] > 0
+
+    def test_fast_queries_stay_unrecorded(self):
+        from repro.core.index import SpineIndex
+        from repro.serve import QueryService
+
+        index = SpineIndex("abracadabra")
+        with slow_log_enabled(threshold=10.0) as log, \
+                QueryService(index, threads=1) as service:
+            service.find_all("abra")
+        assert log.seen == 1
+        assert len(log) == 0

@@ -204,9 +204,10 @@ class TestProfile:
         assert counters["construction.chars"] == 170
         assert counters["search.queries"] > 0
         assert counters["serialize.save.files"] == 1
-        assert counters["disk.buffer_hits"] > 0
-        assert "disk.buffer_misses" in counters
-        assert "disk.evictions" in counters
+        gauges = report["metrics"]["gauges"]
+        assert gauges["disk.buffer_hits"] > 0
+        assert "disk.buffer_misses" in gauges
+        assert "disk.evictions" in gauges
         assert report["metrics"]["timers"]
         assert report["context"]["queries"] == 5
 
@@ -255,6 +256,76 @@ class TestProfile:
         assert "no patterns" in capsys.readouterr().err
 
 
+class TestServe:
+    def test_serve_bounded_run(self, index_file, tmp_path, capsys):
+        import json
+
+        metrics_out = tmp_path / "flush.jsonl"
+        assert main(["serve", index_file, "--stats-port", "0",
+                     "--load", "4", "--duration", "1.5",
+                     "--slow-threshold-ms", "0",
+                     "--metrics-out", str(metrics_out),
+                     "--flush-interval", "0.5"]) == 0
+        out = capsys.readouterr().out
+        assert "stats endpoint: http://127.0.0.1:" in out
+        assert "served" in out and "slow" in out
+        lines = metrics_out.read_text().splitlines()
+        assert lines, "metrics flusher wrote nothing"
+        final = json.loads(lines[-1])
+        assert final["metrics"]["counters"]["batch.batches"] > 0
+        assert "batch.latency" in final["metrics"]["quantiles"]
+        # The command cleans up its global opt-ins.
+        from repro import obs
+        from repro.obs.slowlog import get_slow_log
+        assert obs.get_registry().enabled is False
+        assert get_slow_log().enabled is False
+
+    def test_serve_endpoint_scrapeable_while_running(
+            self, index_file, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys
+        import time as time_mod
+        import urllib.request
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(
+            __file__)))
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo, "src") + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        proc = subprocess.Popen(
+            [sys.executable, "-u", "-m", "repro.cli", "serve",
+             index_file, "--stats-port", "0", "--load", "4",
+             "--duration", "6"],
+            env=env, stdout=subprocess.PIPE, text=True)
+        try:
+            # The bound port is printed on the second line.
+            proc.stdout.readline()
+            endpoint_line = proc.stdout.readline()
+            port = int(endpoint_line.split("127.0.0.1:")[1]
+                       .split("/")[0])
+            base = f"http://127.0.0.1:{port}"
+            deadline = time_mod.monotonic() + 5
+            body = ""
+            while time_mod.monotonic() < deadline:
+                with urllib.request.urlopen(f"{base}/metrics",
+                                            timeout=5) as resp:
+                    body = resp.read().decode()
+                if "spine_batch_seconds_count" in body:
+                    break
+                time_mod.sleep(0.2)
+            assert "spine_index_length" in body
+            assert "spine_batch_seconds_count" in body
+            with urllib.request.urlopen(f"{base}/healthz",
+                                        timeout=5) as resp:
+                assert json.load(resp)["status"] == "ok"
+        finally:
+            proc.terminate()
+            proc.wait(timeout=10)
+
+
 class TestBenchReport:
     def test_bench_report_writes_snapshot(self, tmp_path):
         import json
@@ -281,7 +352,44 @@ class TestBenchReport:
             "chars_per_second"] > 0
         counters = snapshot["metrics"]["counters"]
         assert counters["construction.chars"] == 1500
-        assert "disk.buffer_hits" in counters
+        assert "disk.buffer_hits" in snapshot["metrics"]["gauges"]
+
+    def test_bench_report_compare_mode(self, tmp_path):
+        import json
+        import os
+        import subprocess
+        import sys
+
+        repo = os.path.dirname(os.path.dirname(os.path.abspath(
+            __file__)))
+        script = os.path.join(repo, "benchmarks", "bench_report.py")
+        env = dict(os.environ)
+        env["PYTHONPATH"] = os.path.join(repo, "src") + (
+            os.pathsep + env["PYTHONPATH"]
+            if env.get("PYTHONPATH") else "")
+        base_args = [sys.executable, script, "-o", str(tmp_path),
+                     "--scale", "1200", "--queries", "4",
+                     "--repeats", "1", "--disk-chars", "300"]
+        proc = subprocess.run(base_args + ["--label", "base"],
+                              env=env, capture_output=True,
+                              text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        # Compare against the directory (newest snapshot discovery)
+        # with an impossible-to-fail tolerance.
+        proc = subprocess.run(
+            base_args + ["--label", "next",
+                         "--compare", str(tmp_path),
+                         "--tolerance", "0.99"],
+            env=env, capture_output=True, text=True, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "compare: construction chars/s" in proc.stdout
+        assert "REGRESSION" not in proc.stdout
+        snapshot = json.loads(
+            (tmp_path / "BENCH_next.json").read_text())
+        comparison = snapshot["comparison"]
+        assert comparison["previous_label"] == "base"
+        assert len(comparison["figures"]) == 3
+        assert comparison["regressions"] == []
 
 
 class TestBatch:
