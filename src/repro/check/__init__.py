@@ -1,0 +1,52 @@
+"""Cross-layer correctness subsystem: differential fuzzing, invariant
+checking, case minimization and replayable repro files.
+
+SPINE's risk profile is silent wrongness — a horizontally-compacted
+trie admits false positives that only the PT/PRT/LEL labels exclude,
+and the same query semantics are re-implemented on four traversal
+layers. This package hunts divergences systematically instead of
+waiting for users:
+
+* :mod:`repro.check.generators` — seeded adversarial scenarios (texts,
+  operation sequences, pattern pools);
+* :mod:`repro.check.oracles` — the naive-scan ground truth plus the
+  independent suffix-array oracle;
+* :mod:`repro.check.harness` — builds every layer through its mutation
+  sequence and normalizes outcomes;
+* :mod:`repro.check.differential` — the fuzz engine (``run_case`` /
+  ``run_fuzz`` / ``replay_file``) and repro-file I/O;
+* :mod:`repro.check.minimize` — delta-debugging shrinker.
+
+Operationally exposed as ``repro fuzz`` (see ``docs/verification.md``).
+"""
+
+from repro.check.differential import (
+    Divergence,
+    FuzzReport,
+    load_repro,
+    replay_file,
+    run_case,
+    run_fuzz,
+    save_repro,
+)
+from repro.check.generators import Scenario, generate_scenario
+from repro.check.harness import LayerUnderTest, build_layers
+from repro.check.minimize import minimize_scenario
+from repro.check.oracles import OPS, Oracle
+
+__all__ = [
+    "Divergence",
+    "FuzzReport",
+    "LayerUnderTest",
+    "OPS",
+    "Oracle",
+    "Scenario",
+    "build_layers",
+    "generate_scenario",
+    "load_repro",
+    "minimize_scenario",
+    "replay_file",
+    "run_case",
+    "run_fuzz",
+    "save_repro",
+]

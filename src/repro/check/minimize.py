@@ -1,0 +1,185 @@
+"""Delta-debugging case minimization.
+
+Given a failing :class:`Scenario` and the divergence to preserve,
+:func:`minimize_scenario` searches for the smallest scenario that still
+fails *the same way* (same kind / layer / operation — the classic
+ddmin fixed point, not just "still fails somehow"):
+
+1. structural simplification — drop the optional operations
+   (save/load, checkpoint, reopen, splits), collapse the extend
+   sequence to a single build, shrink the shard count, and keep only
+   the diverging pattern;
+2. ddmin over the text (chunk removal at exponentially finer
+   granularity down to single characters);
+3. ddmin over the pattern;
+4. alphabet collapse — rewrite every character position to the first
+   alphabet symbol where the failure survives.
+
+Every candidate is re-executed with :func:`repro.check.differential.
+run_case`, so minimization is exact (no model of the bug, just the
+bug). The total number of candidate executions is bounded by
+``max_evals``; texts the fuzzer produces are small, so the fixed point
+is normally reached well under the bound.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+
+def _still_fails(scenario, target, evals):
+    """Does ``scenario`` reproduce the target failure class?"""
+    from repro.check.differential import run_case
+
+    if evals["left"] <= 0:
+        return False
+    evals["left"] -= 1
+    for divergence in run_case(scenario):
+        if divergence.matches(target):
+            return divergence
+    return None
+
+
+def _clamp_cuts(cuts, n):
+    """Clamp an extend-cut list to a text of length ``n``, preserving
+    the build/extend shape (a bug may need the online path)."""
+    if n == 0:
+        return []
+    kept = sorted({min(cut, n) for cut in cuts if cut > 0})
+    if not kept or kept[-1] != n:
+        kept.append(n)
+    return kept
+
+
+def _with(scenario, **changes):
+    """A scenario copy with ``changes`` applied and the cut list kept
+    consistent with the (possibly shorter) text."""
+    candidate = dataclasses.replace(scenario, **changes)
+    if "text" in changes and "cuts" not in changes:
+        candidate.cuts = _clamp_cuts(candidate.cuts,
+                                     len(candidate.text))
+    return candidate
+
+
+def _ddmin(items, rebuild, target, evals):
+    """Classic ddmin over a sequence: returns the reduced sequence."""
+    granularity = 2
+    while len(items) >= 1:
+        chunk = max(1, len(items) // granularity)
+        reduced = False
+        start = 0
+        while start < len(items):
+            candidate_items = items[:start] + items[start + chunk:]
+            candidate = rebuild(candidate_items)
+            if candidate is not None and \
+                    _still_fails(candidate, target, evals):
+                items = candidate_items
+                granularity = max(granularity - 1, 2)
+                reduced = True
+                break
+            start += chunk
+        if not reduced:
+            if chunk <= 1:
+                break
+            granularity = min(len(items), granularity * 2)
+        if evals["left"] <= 0:
+            break
+    return items
+
+
+def minimize_scenario(scenario, target, max_evals=300):
+    """Shrink ``scenario`` while preserving ``target``'s failure class.
+
+    Returns ``(minimized_scenario, divergences)`` where ``divergences``
+    is the fresh (non-empty) divergence list of the minimized case.
+    """
+    evals = {"left": max_evals}
+    best = scenario
+
+    # 1. Structural simplification, most disruptive first.
+    simplifications = [
+        {"patterns": []} if target.kind == "invariant"
+        else {"patterns": [target.pattern]},
+        {"save_load": False},
+        {"reopen": False},
+        {"checkpoint": False},
+        {"split_threshold": None},
+        {"batch_threads": 1},
+        {"shards": 1},
+        {"shard_layer": "memory"},
+        {"deep_verify": False} if target.kind != "invariant" else None,
+    ]
+    for changes in simplifications:
+        if changes is None:
+            continue
+        if all(getattr(best, k) == v for k, v in changes.items()):
+            continue
+        candidate = _with(best, **changes)
+        if _still_fails(candidate, target, evals):
+            best = candidate
+    # Collapse the extend sequence once the rest is settled.
+    if best.cuts != _clamp_cuts([len(best.text)], len(best.text)):
+        candidate = _with(best, cuts=_clamp_cuts([len(best.text)],
+                                                 len(best.text)))
+        if _still_fails(candidate, target, evals):
+            best = candidate
+
+    # 2–4. Pattern ddmin, text ddmin and alphabet collapse, iterated
+    # to a fixed point: shrinking the pattern typically unlocks text
+    # reductions (a whole-text pattern pins every character) and vice
+    # versa.
+    while evals["left"] > 0:
+        before = (best.text, tuple(best.patterns))
+
+        if len(best.patterns) == 1 and best.patterns[0]:
+            def rebuild_pattern(chars):
+                if not chars:
+                    return None
+                return _with(best, patterns=["".join(chars)])
+
+            pattern = _ddmin(list(best.patterns[0]), rebuild_pattern,
+                             target, evals)
+            best = _with(best, patterns=["".join(pattern)])
+
+        def rebuild_text(chars):
+            return _with(best, text="".join(chars))
+
+        text = _ddmin(list(best.text), rebuild_text, target, evals)
+        best = _with(best, text="".join(text))
+
+        # Alphabet collapse: canonicalize characters to the first
+        # symbol, text first, then the pattern.
+        first = best.alphabet[0]
+        for attr in ("text", "pattern"):
+            value = (best.text if attr == "text"
+                     else (best.patterns[0] if len(best.patterns) == 1
+                           else None))
+            if value is None:
+                continue
+            chars = list(value)
+            for i, ch in enumerate(chars):
+                if ch == first:
+                    continue
+                trial = chars[:]
+                trial[i] = first
+                candidate = (_with(best, text="".join(trial))
+                             if attr == "text"
+                             else _with(best,
+                                        patterns=["".join(trial)]))
+                if _still_fails(candidate, target, evals):
+                    chars = trial
+                    best = candidate
+
+        if (best.text, tuple(best.patterns)) == before:
+            break
+
+    divergences = []
+    from repro.check.differential import run_case
+
+    divergences = run_case(best)
+    if not any(d.matches(target) for d in divergences):
+        # Shrinking drifted (budget exhaustion mid-step); fall back to
+        # the original, which is known to fail.
+        best = scenario
+        divergences = run_case(best)
+    return best, divergences

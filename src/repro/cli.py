@@ -532,6 +532,70 @@ def _cmd_verify(args):
     return 0
 
 
+def _cmd_fuzz(args):
+    """Differential fuzzing across the traversal layers (repro.check):
+    seeded scenario stream, two independent oracles, layer-generic
+    invariant checks, delta-debugging minimization and replayable JSON
+    repro files."""
+    from repro.check import replay_file, run_fuzz
+
+    if args.replay:
+        result = replay_file(args.replay)
+        if result["reproduced"]:
+            print(f"{args.replay}: REPRODUCED "
+                  f"({len(result['divergences'])} divergence(s))")
+            for entry in result["divergences"]:
+                print(f"  [{entry['kind']}] layer={entry['layer']} "
+                      f"op={entry['op']} pattern={entry['pattern']!r}")
+                if entry["kind"] == "invariant":
+                    print(f"    {entry['detail']}")
+                else:
+                    print(f"    expected {entry['expected']}, "
+                          f"got {entry['got']}")
+            return 1
+        print(f"{args.replay}: did not reproduce "
+              "(the recorded bug appears fixed)")
+        return 0
+
+    layers = [name.strip() for name in args.layers.split(",")
+              if name.strip()]
+    known = {"memory", "packed", "disk", "shard"}
+    unknown = sorted(set(layers) - known)
+    if unknown:
+        raise ReproError(
+            f"unknown layer(s) {', '.join(unknown)}; choose from "
+            f"{', '.join(sorted(known))}")
+    injection = None
+    if args.inject:
+        # Testing aid: force a wrong answer so the minimize/replay
+        # pipeline can be demonstrated end to end. layer:op:marker.
+        parts = args.inject.split(":", 2)
+        if len(parts) != 3:
+            raise ReproError("--inject expects LAYER:OP:MARKER")
+        injection = {"layer": parts[0], "op": parts[1],
+                     "marker": parts[2]}
+    report = run_fuzz(
+        seed=args.seed, budget=args.budget, layers=layers,
+        max_cases=args.cases, out_dir=args.out_dir,
+        minimize=not args.no_minimize, max_text=args.max_text,
+        injection=injection,
+        log=(lambda message: print(message, file=sys.stderr)))
+    if args.json:
+        print(json.dumps(report.to_dict(), indent=2, sort_keys=True))
+    else:
+        status = "clean" if report.ok else "DIVERGED"
+        print(f"fuzz seed={report.seed} layers={','.join(layers)}: "
+              f"{status} after {report.cases} case(s), "
+              f"~{report.queries_hint} queries in "
+              f"{report.elapsed:.1f}s")
+        for entry in report.divergences:
+            print(f"  [{entry['kind']}] layer={entry['layer']} "
+                  f"op={entry['op']} pattern={entry['pattern']!r}")
+        for path in report.repro_files:
+            print(f"  repro file: {path}")
+    return 0 if report.ok else 1
+
+
 def _cmd_fsck(args):
     from repro.storage.fsck import fsck
 
@@ -751,6 +815,37 @@ def build_parser():
     p.set_defaults(func=_cmd_verify)
 
     p = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing of the traversal layers against "
+             "independent oracles (seeded, bounded, minimizing)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--budget", type=float, default=60.0,
+                   metavar="SECONDS",
+                   help="wall-clock time budget (default 60)")
+    p.add_argument("--layers", default="memory,packed,disk,shard",
+                   help="comma-separated layer matrix (default: all)")
+    p.add_argument("--cases", type=int, default=None,
+                   help="stop after this many scenarios (default: "
+                        "budget-bound only)")
+    p.add_argument("--out-dir", metavar="DIR",
+                   help="write replayable JSON repro files here on "
+                        "divergence")
+    p.add_argument("--replay", metavar="FILE",
+                   help="re-execute a repro file instead of fuzzing "
+                        "(exit 1 iff it still reproduces)")
+    p.add_argument("--no-minimize", action="store_true",
+                   help="skip delta-debugging minimization")
+    p.add_argument("--max-text", type=int, default=None,
+                   help="cap generated text length")
+    p.add_argument("--inject", metavar="LAYER:OP:MARKER",
+                   help="testing aid: inject a synthetic wrong answer "
+                        "into one layer to exercise the minimize/"
+                        "replay pipeline")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report")
+    p.set_defaults(func=_cmd_fuzz)
+
+    p = sub.add_parser(
         "fsck",
         help="offline integrity scan of a disk index file "
              "(metadata slots, generation chain, page checksums)")
@@ -780,6 +875,11 @@ def main(argv=None):
         except OSError:
             pass
         return 0
+    except OSError as exc:
+        # Missing/unreadable input files and the like: a one-line
+        # structured error, never a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

@@ -221,6 +221,35 @@ class PackedSpineIndex:
             for s in range(fanout)
         }
 
+    def vertebra_label(self, i):
+        """Character code of the vertebra into node ``i`` (1-based)."""
+        if not 1 <= i <= self._n:
+            raise SearchError(f"vertebra {i} out of range")
+        return int(self._codes[i])
+
+    def rib(self, node, code):
+        """``(dest, PT)`` of the rib at ``node`` for ``code``, or None."""
+        return self.ribs_at(node).get(code)
+
+    def extrib_chain(self, node, code):
+        """The extrib chain ``[(dest, PT), ...]`` of the rib at ``node``
+        for ``code`` (empty when the rib has never been extended)."""
+        ref = int(self._lt_ref[node]) if 0 <= node <= self._n else 0
+        if ref >= 0:
+            return []
+        fanout, row = self._decode_ptr(ref)
+        table = self._tables[fanout]
+        for slot in range(fanout):
+            if int(table.codes[row, slot]) != code:
+                continue
+            span = self._chains.get((fanout, row, slot))
+            if span is None:
+                return []
+            offset, length = span
+            return [(int(self._ext_dest[k]), int(self._ext_pt[k]))
+                    for k in range(offset, offset + length)]
+        return []
+
     # ------------------------------------------------------------------
     # traversal
     # ------------------------------------------------------------------

@@ -244,25 +244,29 @@ def load_index(path):
     with open(path, "rb") as handle:
         raw = handle.read(_HEADER.size)
         if len(raw) != _HEADER.size:
-            raise StorageError("not a SPINE index file (short header)")
+            raise StorageError(
+                f"{path}: not a SPINE index file (short header)")
         magic, version, _flags, n = _HEADER.unpack(raw)
         if magic != MAGIC:
-            raise StorageError("not a SPINE index file (bad magic)")
+            raise StorageError(
+                f"{path}: not a SPINE index file (bad magic)")
         if version != VERSION:
-            raise StorageError(f"unsupported format version {version}")
+            raise StorageError(
+                f"{path}: unsupported format version {version}")
         alphabet = _alphabet_from_payload(
             _read_section(handle, b"ALPH", metrics))
         index = SpineIndex(alphabet=alphabet)
         codes = _read_section(handle, b"CLBL", metrics)
         if len(codes) != n + 1:
-            raise StorageError("character section length mismatch")
+            raise StorageError(
+                f"{path}: character section length mismatch")
         index._codes = bytearray(codes)
         link_dest = array("i")
         link_dest.frombytes(_read_section(handle, b"LDST", metrics))
         link_lel = array("i")
         link_lel.frombytes(_read_section(handle, b"LLEL", metrics))
         if len(link_dest) != n + 1 or len(link_lel) != n + 1:
-            raise StorageError("link section length mismatch")
+            raise StorageError(f"{path}: link section length mismatch")
         index._link_dest = link_dest
         index._link_lel = link_lel
         # Mirror of the bulk save path: one unpack call per section,

@@ -920,6 +920,54 @@ class DiskSpineIndex:
         """Number of ribs planted so far."""
         return self._rib_count
 
+    @property
+    def text(self):
+        """The indexed string, decoded from the CL region (reads every
+        character label through the buffer pool — intended for tests,
+        verification and small indexes, not the serving hot path)."""
+        with self.pool.rwlock.read_locked():
+            codes = [self._cl.read(i)[0] for i in range(1, self._n + 1)]
+        return self.alphabet.decode(codes)
+
+    def vertebra_label(self, i):
+        """Character code of the vertebra into node ``i`` (1-based)."""
+        if not 1 <= i <= self._n:
+            raise SearchError(f"vertebra {i} out of range")
+        return self._cl.read(i)[0]
+
+    def ribs_at(self, node):
+        """Dict ``code -> (dest, PT)`` at ``node`` (mirrors the
+        reference index; one RT row read)."""
+        if not 0 <= node <= self._n:
+            return {}
+        ref = self._lt.read(node)[0]
+        if ref >= 0:
+            return {}
+        fanout, row = self._decode_ptr(-ref - 1)
+        _, slots = self._row_slots(fanout, row)
+        return {code: (dest, pt) for code, dest, pt, _ in slots}
+
+    def rib(self, node, code):
+        """``(dest, PT)`` of the rib at ``node`` for ``code``, or None."""
+        return self.ribs_at(node).get(code)
+
+    def extrib_chain(self, node, code):
+        """The extrib chain ``[(dest, PT), ...]`` of the rib at ``node``
+        for ``code`` (empty when the rib has never been extended)."""
+        if not 0 <= node <= self._n:
+            return []
+        ref = self._lt.read(node)[0]
+        hit = self._find_slot(-ref - 1 if ref < 0 else -1, code)
+        if hit is None:
+            return []
+        chain = []
+        eid = hit[5]
+        while eid != -1:
+            e_dest, e_pt, e_next = self._ext.read(eid)
+            chain.append((e_dest, e_pt))
+            eid = e_next
+        return chain
+
     def enable_concurrent_reads(self):
         """Make the read path safe for parallel query threads.
 

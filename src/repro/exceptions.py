@@ -71,4 +71,16 @@ class CorpusError(ReproError):
 
 
 class VerificationError(ReproError):
-    """An index violated one of its structural invariants."""
+    """An index violated one of its structural invariants.
+
+    Carries the traversal ``layer`` the violation was observed on
+    (``"memory"``, ``"packed"``, ``"disk"``, ``"sharded"``, or the
+    offending class name when the layer is not verifiable at all) and a
+    short ``invariant`` slug, so tooling can route failures without
+    parsing the message.
+    """
+
+    def __init__(self, message, layer=None, invariant=None):
+        super().__init__(message)
+        self.layer = layer
+        self.invariant = invariant

@@ -194,8 +194,18 @@ class ShardedSpineIndex:
             from repro.core.packed import PackedSpineIndex
 
             indexes = [PackedSpineIndex.from_index(ix) for ix in indexes]
-        built = [_Shard(ix, starts[i], owned[i])
-                 for i, ix in enumerate(indexes)]
+        # A non-tail shard whose overlap window ran past the end of the
+        # build text is still owed the missing characters: record the
+        # shortfall so later ``extend`` calls drain into it, exactly
+        # like a shard sealed by an extend-time split. Without this, an
+        # occurrence straddling the build-time tail boundary is owned by
+        # an early shard that never indexed enough text to find it.
+        built = []
+        for i, ix in enumerate(indexes):
+            stop = min(starts[i] + owned[i] + overlap, n)
+            pending = (starts[i] + owned[i] + overlap - stop
+                       if i < shards - 1 else 0)
+            built.append(_Shard(ix, starts[i], owned[i], pending))
         index = cls(built, alphabet, max_pattern_len, layer, n,
                     path=path, split_threshold=split_threshold,
                     disk_options=disk_options)

@@ -1,0 +1,86 @@
+"""Case minimization and replay.
+
+The ``injection`` hook on a scenario deliberately corrupts one layer's
+``find_all`` answers, giving the minimizer a reproducible "bug" to
+shrink without depending on a real defect existing."""
+
+import json
+
+from repro.check import (minimize_scenario, replay_file, run_case,
+                         save_repro, Scenario)
+from repro.cli import main
+
+INJECTION = {"layer": "packed", "op": "find_all", "marker": "a"}
+
+
+def _failing_scenario():
+    text = "abbabababbababab"
+    return Scenario(
+        alphabet="ab", text=text, cuts=[5, len(text)],
+        layers=["memory", "packed"],
+        patterns=["ab", "bab", text, "bb"],
+        save_load=True, max_pattern_len=32,
+        injection=INJECTION)
+
+
+class TestMinimizer:
+    def test_injected_divergence_detected(self):
+        divergences = run_case(_failing_scenario())
+        assert divergences
+        assert all(d.layer == "packed" for d in divergences)
+        assert {d.op for d in divergences} <= \
+            {"find_all", "batch_find_all"}
+
+    def test_shrinks_to_single_character(self):
+        scenario = _failing_scenario()
+        target = run_case(scenario)[0]
+        best, divergences = minimize_scenario(scenario, target)
+        assert best.text == "a"
+        assert best.patterns == ["a"]
+        assert best.save_load is False
+        assert divergences
+        assert any(d.matches(target) for d in divergences)
+
+    def test_minimized_case_still_replays(self):
+        scenario = _failing_scenario()
+        target = run_case(scenario)[0]
+        best, _ = minimize_scenario(scenario, target)
+        # Exact determinism: two fresh executions agree.
+        assert run_case(best) == run_case(best)
+
+
+class TestReplay:
+    def _write_repro(self, path):
+        scenario = _failing_scenario()
+        divergences = run_case(scenario)
+        save_repro(path, scenario, divergences, seed=0, case_index=0,
+                   minimized=False)
+        return divergences
+
+    def test_replay_file_reproduces(self, tmp_path):
+        path = str(tmp_path / "repro.json")
+        recorded = self._write_repro(path)
+        result = replay_file(path)
+        assert result["reproduced"]
+        assert len(result["divergences"]) == len(recorded)
+        # Deterministic: a second replay sees the same divergences.
+        assert replay_file(path)["divergences"] == \
+            result["divergences"]
+
+    def test_cli_replay_exits_nonzero(self, tmp_path, capsys):
+        path = str(tmp_path / "repro.json")
+        self._write_repro(path)
+        assert main(["fuzz", "--replay", path]) == 1
+        assert "REPRODUCED" in capsys.readouterr().out
+
+    def test_cli_replay_clean_after_fix(self, tmp_path, capsys):
+        # Stripping the injection models "the bug got fixed": the
+        # repro file must now replay clean and exit 0.
+        path = str(tmp_path / "repro.json")
+        self._write_repro(path)
+        data = json.loads(open(path).read())
+        data["scenario"]["injection"] = None
+        with open(path, "w") as handle:
+            json.dump(data, handle)
+        assert main(["fuzz", "--replay", path]) == 0
+        assert "did not reproduce" in capsys.readouterr().out

@@ -1,0 +1,108 @@
+"""Layer-generic ``verify_index``: every layer is verifiable, and
+failures carry structured ``layer``/``invariant`` attributes instead of
+an ``AttributeError``."""
+
+import pytest
+
+from repro.alphabet import Alphabet
+from repro.core.packed import PackedSpineIndex
+from repro.core import SpineIndex
+from repro.core.verify import classify_layer, verify_index
+from repro.disk.spine_disk import DiskSpineIndex
+from repro.exceptions import VerificationError
+from repro.shard.index import ShardedSpineIndex
+
+TEXT = "cdadcccdadaadcdd"  # the paper's running example
+
+
+def _disk(text, tmp_path):
+    index = DiskSpineIndex(alphabet=Alphabet("acd", name="t"),
+                           path=str(tmp_path / "d.spinedb"))
+    if text:
+        index.extend(text)
+    return index
+
+
+class TestClassify:
+    def test_all_layers_classified(self, tmp_path):
+        memory = SpineIndex(TEXT)
+        packed = PackedSpineIndex.from_index(memory)
+        disk = _disk(TEXT, tmp_path)
+        shard = ShardedSpineIndex.build(TEXT, shards=2,
+                                        max_pattern_len=8)
+        try:
+            assert classify_layer(memory) == "memory"
+            assert classify_layer(packed) == "packed"
+            assert classify_layer(disk) == "disk"
+            assert classify_layer(shard) == "sharded"
+            assert classify_layer(object()) is None
+        finally:
+            disk.close()
+            shard.close()
+
+
+class TestVerifiesCleanIndexes:
+    def test_packed(self):
+        packed = PackedSpineIndex.from_index(SpineIndex(TEXT))
+        assert verify_index(packed, deep=True)
+
+    def test_disk(self, tmp_path):
+        disk = _disk(TEXT, tmp_path)
+        try:
+            assert verify_index(disk, deep=True)
+        finally:
+            disk.close()
+
+    def test_sharded(self):
+        shard = ShardedSpineIndex.build(TEXT * 4, shards=3,
+                                        max_pattern_len=6)
+        try:
+            assert verify_index(shard, deep=True)
+        finally:
+            shard.close()
+
+    def test_empty_indexes(self, tmp_path):
+        assert verify_index(SpineIndex(""))
+        assert verify_index(
+            PackedSpineIndex.from_index(SpineIndex("")))
+        disk = _disk("", tmp_path)
+        try:
+            assert verify_index(disk)
+        finally:
+            disk.close()
+
+
+class TestStructuredFailures:
+    def test_unsupported_layer_is_structured(self):
+        with pytest.raises(VerificationError) as info:
+            verify_index(object())
+        assert info.value.layer == "object"
+        assert info.value.invariant == "unsupported-layer"
+
+    def test_corrupted_packed_names_layer_and_invariant(self):
+        packed = PackedSpineIndex.from_index(SpineIndex(TEXT))
+        packed._lt_lel[4] = 9  # LEL can never exceed its position
+        with pytest.raises(VerificationError) as info:
+            verify_index(packed)
+        assert info.value.layer == "packed"
+        assert info.value.invariant in ("lel-range", "lel-increment")
+
+    def test_corrupted_memory_names_layer(self):
+        memory = SpineIndex(TEXT)
+        memory._link_dest[5] = 9  # links must point upstream
+        with pytest.raises(VerificationError) as info:
+            verify_index(memory)
+        assert info.value.layer == "memory"
+        assert info.value.invariant == "link-upstream"
+
+    def test_tampered_shard_accounting(self):
+        shard = ShardedSpineIndex.build(TEXT * 4, shards=3,
+                                        max_pattern_len=6)
+        try:
+            shard._shards[0].owned_len += 1
+            with pytest.raises(VerificationError) as info:
+                verify_index(shard)
+            assert info.value.layer == "sharded"
+            assert info.value.invariant is not None
+        finally:
+            shard.close()

@@ -507,3 +507,90 @@ class TestShard:
     def test_shard_stats_garbage_dir_errors(self, tmp_path, capsys):
         assert main(["shard", "stats", str(tmp_path)]) == 2
         assert "error:" in capsys.readouterr().err
+
+
+class TestStructuredErrorPaths:
+    """Every CLI path must exit non-zero with a one-line ``error:``
+    diagnostic — never a traceback — on missing, truncated, or
+    foreign input files."""
+
+    def _assert_structured(self, capsys, code, expected=2):
+        assert code == expected
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "Traceback" not in err
+
+    def test_search_missing_file(self, tmp_path, capsys):
+        self._assert_structured(
+            capsys, main(["search", str(tmp_path / "no.spine"), "AC"]))
+
+    def test_verify_missing_file(self, tmp_path, capsys):
+        self._assert_structured(
+            capsys, main(["verify", str(tmp_path / "no.spine")]))
+
+    def test_stats_missing_file(self, tmp_path, capsys):
+        self._assert_structured(
+            capsys, main(["stats", str(tmp_path / "no.spine")]))
+
+    def test_build_missing_fasta(self, tmp_path, capsys):
+        self._assert_structured(
+            capsys, main(["build", str(tmp_path / "no.fa"), "-o",
+                          str(tmp_path / "o.spine")]))
+
+    def test_truncated_index_names_path(self, tmp_path, capsys):
+        bad = tmp_path / "trunc.spine"
+        bad.write_bytes(b"\x00\x01")
+        assert main(["search", str(bad), "AC"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "trunc.spine" in err
+        assert "Traceback" not in err
+
+    def test_garbage_index_is_structured(self, tmp_path, capsys):
+        bad = tmp_path / "bad.spine"
+        bad.write_bytes(b"not a spine index, definitely" * 4)
+        self._assert_structured(capsys,
+                                main(["verify", str(bad)]))
+
+    def test_fuzz_replay_missing_file(self, tmp_path, capsys):
+        self._assert_structured(
+            capsys, main(["fuzz", "--replay",
+                          str(tmp_path / "no.json")]))
+
+    def test_fuzz_bad_layer(self, capsys):
+        self._assert_structured(
+            capsys, main(["fuzz", "--budget", "1", "--layers",
+                          "memory,warp"]))
+
+
+class TestFuzzCommand:
+    def test_bounded_clean_run(self, capsys):
+        assert main(["fuzz", "--seed", "0", "--budget", "3",
+                     "--cases", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "clean" in out
+
+    def test_json_report(self, capsys):
+        import json
+
+        assert main(["fuzz", "--seed", "1", "--budget", "3",
+                     "--cases", "3", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["ok"] is True
+        assert payload["cases"] == 3
+
+    def test_injected_divergence_fails_and_writes_repro(
+            self, tmp_path, capsys):
+        out_dir = str(tmp_path / "artifacts")
+        code = main(["fuzz", "--seed", "0", "--budget", "30",
+                     "--cases", "80", "--layers", "memory,packed",
+                     "--inject", "packed:find_all:a",
+                     "--out-dir", out_dir])
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "DIVERGED" in out
+        repros = list((tmp_path / "artifacts").glob("repro-*.json"))
+        assert repros
+        # The written repro must itself replay as reproducing.
+        capsys.readouterr()
+        assert main(["fuzz", "--replay", str(repros[0])]) == 1
