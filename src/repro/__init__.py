@@ -45,13 +45,25 @@ from repro.serve import QueryService, SnapshotGuard
 from repro.shard import ShardedSpineIndex
 from repro.exceptions import (
     AlphabetError,
+    CircuitOpenError,
     ConstructionError,
     CorpusError,
+    DeadlineExceededError,
+    OverloadedError,
     ReproError,
+    RetryExhaustedError,
     SearchError,
     ServiceClosedError,
     StorageError,
     VerificationError,
+)
+from repro.resilience import (
+    AdmissionController,
+    CancellationToken,
+    CircuitBreaker,
+    Deadline,
+    PartialResult,
+    RetryPolicy,
 )
 
 __version__ = "1.0.0"
@@ -70,6 +82,12 @@ __all__ = [
     "ServiceClosedError",
     "ShardedSpineIndex",
     "SnapshotGuard",
+    "AdmissionController",
+    "CancellationToken",
+    "CircuitBreaker",
+    "Deadline",
+    "PartialResult",
+    "RetryPolicy",
     "collect_statistics",
     "load_index",
     "longest_common_substring",
@@ -80,8 +98,12 @@ __all__ = [
     "verify_index",
     "ReproError",
     "AlphabetError",
+    "CircuitOpenError",
     "ConstructionError",
     "CorpusError",
+    "DeadlineExceededError",
+    "OverloadedError",
+    "RetryExhaustedError",
     "SearchError",
     "StorageError",
     "VerificationError",

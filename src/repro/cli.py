@@ -352,38 +352,101 @@ def _cmd_profile(args):
     return 0
 
 
+def _load_serving_index(path):
+    """Open any persisted index layer for serving, auto-detected:
+    a directory with a shard manifest loads sharded, a ``SPDK``-magic
+    file reopens the page-resident disk layer, anything else goes
+    through the flat serializer."""
+    import os
+
+    if os.path.isdir(path):
+        from repro.shard import ShardedSpineIndex
+
+        return ShardedSpineIndex.load(path), "shard"
+    with open(path, "rb") as handle:
+        head = handle.read(8192)
+    # The disk layer commits generation g to metadata slot g % 2, so
+    # the SPDK magic may sit on page 0 or page 1 (default page size).
+    if head[:4] == b"SPDK" or head[4096:4100] == b"SPDK":
+        from repro.disk.spine_disk import DiskSpineIndex
+
+        return DiskSpineIndex.open(path), "disk"
+    from repro.core.serialize import load_index
+
+    return load_index(path), "memory"
+
+
+def _parse_inject_fault(spec):
+    """``SITE:MODE[:NTH[:COUNT[:DELAY]]]`` for ``serve --inject-fault``."""
+    parts = spec.split(":")
+    if len(parts) < 2 or len(parts) > 5:
+        raise ReproError(
+            "--inject-fault expects SITE:MODE[:NTH[:COUNT[:DELAY]]], "
+            f"got {spec!r}")
+    site, mode = parts[0], parts[1]
+    try:
+        nth = int(parts[2]) if len(parts) > 2 else 1
+        count = int(parts[3]) if len(parts) > 3 else 1
+        delay = float(parts[4]) if len(parts) > 4 else None
+    except ValueError as exc:
+        raise ReproError(f"--inject-fault: bad number in {spec!r}: "
+                         f"{exc}") from exc
+    return site, mode, nth, count, delay
+
+
 def _cmd_serve(args):
     """Serve a saved index with live telemetry: the stats endpoint
     (``/metrics`` + ``/healthz`` + ``/stats``), streaming latency
     quantiles, the slow-query log, and an optional JSONL metrics
     flusher — plus a self-generated query load so the endpoint has
-    something to show (and CI has something to scrape)."""
+    something to show (and CI has something to scrape).
+
+    The resilience knobs map straight onto
+    :class:`~repro.serve.QueryService`: ``--deadline-ms`` bounds every
+    query, ``--max-concurrent``/``--max-queue`` put admission control
+    in front of the pool, ``--degraded`` turns sharded fan-out
+    failures into partial answers, and ``--inject-fault`` arms a
+    storage failpoint so a chaos run can watch the service absorb
+    faults while ``/healthz`` stays up."""
     import itertools
     import random
 
     from repro import obs
-    from repro.core.serialize import load_index
+    from repro.exceptions import (DeadlineExceededError,
+                                  OverloadedError, StorageError)
     from repro.obs.export import MetricsFlusher
     from repro.obs.slowlog import get_slow_log
     from repro.serve import QueryService
+    from repro.storage import failpoints
 
-    index = load_index(args.index)
+    index, kind = _load_serving_index(args.index)
     obs.enable_metrics(reset=True)
     slow_log = get_slow_log()
     if args.slow_threshold_ms is not None:
         slow_log.enable(threshold=args.slow_threshold_ms / 1000.0)
+    if kind == "shard" and args.breaker_threshold > 0:
+        index.enable_breakers(
+            failure_threshold=args.breaker_threshold,
+            reset_timeout=args.breaker_reset)
 
     rng = random.Random(args.seed)
-    text = index.text
-    plen = max(1, min(args.pattern_length, len(text)))
+    text = getattr(index, "text", None)
     if args.patterns_file:
         workload = itertools.cycle(_load_patterns_file(
             args.patterns_file))
         next_pattern = lambda: next(workload)  # noqa: E731
-    else:
+    elif text is not None:
+        plen = max(1, min(args.pattern_length, len(text)))
+
         def next_pattern():
             start = rng.randrange(0, max(1, len(text) - plen + 1))
             return text[start:start + plen]
+    elif args.load > 0:
+        raise ReproError(
+            f"{args.index}: a {kind} index does not expose its text; "
+            "--load needs --patterns-file")
+    else:
+        next_pattern = None
 
     flusher = None
     if args.metrics_out:
@@ -393,11 +456,24 @@ def _cmd_serve(args):
             context={"index": args.index, "command": "serve"})
         flusher.start()
 
-    service = QueryService(index, threads=args.threads,
-                           stats_port=args.stats_port,
-                           stats_host=args.host)
+    if args.inject_fault:
+        site, mode, nth, count, delay = _parse_inject_fault(
+            args.inject_fault)
+        if delay is None:
+            failpoints.fail_at(site, mode=mode, nth=nth, count=count)
+        else:
+            failpoints.fail_at(site, mode=mode, nth=nth, count=count,
+                               delay=delay)
+
+    service = QueryService(
+        index, threads=args.threads,
+        stats_port=args.stats_port, stats_host=args.host,
+        default_deadline=(args.deadline_ms / 1000.0
+                          if args.deadline_ms is not None else None),
+        max_concurrent=args.max_concurrent, max_queue=args.max_queue,
+        degraded=args.degraded)
     server = service.stats_server
-    print(f"serving {args.index} ({len(index)} chars)")
+    print(f"serving {args.index} ({len(index)} chars, {kind} layer)")
     print(f"stats endpoint: {server.url('/metrics')}  "
           f"{server.url('/healthz')}  {server.url('/stats')}")
     sys.stdout.flush()
@@ -405,30 +481,61 @@ def _cmd_serve(args):
     deadline = (time.monotonic() + args.duration
                 if args.duration is not None else None)
     queries = 0
+    timeouts = 0
+    shed = 0
+    partial = 0
+    faults = 0
     try:
         while deadline is None or time.monotonic() < deadline:
             if args.load > 0:
                 batch = [next_pattern()
                          for _ in range(min(args.load, 64))]
-                service.batch_find_all(batch)
-                service.find_all(next_pattern())
+                try:
+                    results = service.batch_find_all(batch)
+                    partial += sum(
+                        1 for m in results
+                        if getattr(m.starts, "complete", True) is False)
+                    starts = service.find_all(next_pattern())
+                    if getattr(starts, "complete", True) is False:
+                        partial += 1
+                except DeadlineExceededError:
+                    timeouts += 1
+                except OverloadedError:
+                    shed += 1
+                except StorageError:
+                    # Retry budget exhausted (or corruption surfaced):
+                    # the query failed structurally, serving continues.
+                    faults += 1
                 queries += len(batch) + 1
             else:
                 time.sleep(0.2)
     except KeyboardInterrupt:
         pass
     finally:
+        if args.inject_fault:
+            failpoints.clear_failpoints()
         if flusher is not None:
             flusher.stop()
         service.close()
+        if args.slowlog_out:
+            with open(args.slowlog_out, "w") as handle:
+                json.dump(slow_log.snapshot(), handle, indent=1,
+                          sort_keys=True)
+                handle.write("\n")
+            print(f"wrote slow-query log to {args.slowlog_out}")
         slow_recorded = (len(slow_log) if slow_log.enabled else None)
         slow_log.disable()
         obs.disable_metrics()
+        if hasattr(index, "close"):
+            index.close()
+    resilience = (f"{timeouts} timed out, {shed} shed, "
+                  f"{partial} partial, {faults} storage error(s)")
     if slow_recorded is not None:
-        print(f"served {queries} queries; {slow_recorded} slow "
+        print(f"served {queries} queries ({resilience}); "
+              f"{slow_recorded} slow "
               f"(threshold {slow_log.threshold * 1000:.1f} ms)")
     else:
-        print(f"served {queries} queries")
+        print(f"served {queries} queries ({resilience})")
     return 0
 
 
@@ -743,7 +850,9 @@ def build_parser():
         "serve",
         help="serve a saved index with the live stats endpoint "
              "(/metrics, /healthz, /stats)")
-    p.add_argument("index", help="saved index file")
+    p.add_argument("index",
+                   help="saved index: flat file, disk index file, or "
+                        "sharded index directory (auto-detected)")
     p.add_argument("--stats-port", type=int, default=0,
                    help="stats endpoint port (default 0 = ephemeral; "
                         "the bound port is printed)")
@@ -767,6 +876,38 @@ def build_parser():
     p.add_argument("--duration", type=float, metavar="SECONDS",
                    help="exit after this long (default: run until "
                         "interrupted)")
+    p.add_argument("--deadline-ms", type=float, metavar="MS",
+                   help="per-query wall-clock budget; expiry raises a "
+                        "structured DeadlineExceededError (default: "
+                        "unbounded)")
+    p.add_argument("--max-concurrent", type=int, metavar="N",
+                   help="admission control: queries running at once "
+                        "(default: no admission gate)")
+    p.add_argument("--max-queue", type=int, metavar="N",
+                   help="admission control: queries allowed to wait; "
+                        "beyond this arrivals are shed with "
+                        "OverloadedError")
+    p.add_argument("--degraded", action="store_true",
+                   help="sharded index: answer partially (with "
+                        "failed-shard metadata) instead of failing "
+                        "the whole fan-out")
+    p.add_argument("--breaker-threshold", type=int, default=5,
+                   metavar="N",
+                   help="sharded index: consecutive failures opening "
+                        "a shard's circuit breaker (default 5; 0 "
+                        "disables breakers)")
+    p.add_argument("--breaker-reset", type=float, default=1.0,
+                   metavar="SECONDS",
+                   help="seconds an open breaker waits before the "
+                        "half-open probe (default 1)")
+    p.add_argument("--inject-fault", metavar="SITE:MODE[:NTH[:COUNT"
+                   "[:DELAY]]]",
+                   help="chaos: arm a storage failpoint for the whole "
+                        "run (e.g. pager.read:oserror:1:3 or "
+                        "pager.read:stall:1:10:0.05)")
+    p.add_argument("--slowlog-out", metavar="FILE",
+                   help="write the slow-query log snapshot as JSON on "
+                        "exit")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(

@@ -43,13 +43,18 @@ import time
 from concurrent.futures import ThreadPoolExecutor
 
 from repro.core.search import OccurrenceScanner
-from repro.exceptions import SearchError
+from repro.exceptions import (
+    DeadlineExceededError,
+    SearchError,
+    ServiceClosedError,
+)
 from repro.obs import get_registry
 from repro.obs.trace import get_tracer
 
 __all__ = [
     "BatchMatch",
     "batch_find_all",
+    "check_executor_open",
     "contains_at",
     "find_all_at",
     "traverse_first_end",
@@ -92,16 +97,30 @@ class BatchMatch:
                 f"{len(self.starts)} occurrence(s))")
 
 
-def traverse_first_end(index, codes, limit):
+def traverse_first_end(index, codes, limit, cancel=None):
     """End node of the first occurrence of ``codes`` within the prefix
     of length ``limit``, or ``None``.
 
     A step landing beyond ``limit`` is a dead end: by Section 2.7 that
     edge does not exist in the prefix sub-index (edges planted after
     character ``limit`` always point past it).
+
+    ``cancel`` is an optional
+    :class:`~repro.resilience.CancellationToken`; when given, the
+    traversal checkpoints it once per step (an amortized integer
+    decrement — see :mod:`repro.resilience.deadline`). The common
+    ``cancel is None`` path is the historical loop, untouched.
     """
     node = 0
     step = index.step
+    if cancel is not None:
+        checkpoint = cancel.checkpoint
+        for pathlength, code in enumerate(codes):
+            checkpoint()
+            node = step(node, pathlength, code)
+            if node is None or node > limit:
+                return None
+        return node
     for pathlength, code in enumerate(codes):
         node = step(node, pathlength, code)
         if node is None or node > limit:
@@ -109,29 +128,46 @@ def traverse_first_end(index, codes, limit):
     return node
 
 
-def contains_at(index, pattern, limit):
+def contains_at(index, pattern, limit, cancel=None):
     """``contains`` evaluated against the length-``limit`` prefix."""
     if pattern == "":
         return True
     codes = index.alphabet.try_encode(pattern)
     if codes is None:
         return False
-    return traverse_first_end(index, codes, limit) is not None
+    return traverse_first_end(index, codes, limit, cancel) is not None
 
 
-def find_all_at(index, pattern, limit):
+def find_all_at(index, pattern, limit, cancel=None):
     """``find_all`` evaluated against the length-``limit`` prefix."""
     if pattern == "":
         raise SearchError("find_all of the empty pattern is ill-defined")
     codes = index.alphabet.try_encode(pattern)
     if codes is None:
         return []
-    first_end = traverse_first_end(index, codes, limit)
+    first_end = traverse_first_end(index, codes, limit, cancel)
     if first_end is None:
         return []
     scanner = OccurrenceScanner(index)
     pid = scanner.add(first_end, len(codes))
-    return scanner.resolve_starts(limit=limit)[pid]
+    return scanner.resolve_starts(limit=limit, cancel=cancel)[pid]
+
+
+def check_executor_open(executor):
+    """Reject an already-shut-down executor with a structured error.
+
+    A ``ThreadPoolExecutor`` that has been ``shutdown()`` raises a raw
+    ``RuntimeError`` only when the first traversal is submitted —
+    mid-batch, from inside ``map``. Checking up front turns that into
+    :class:`~repro.exceptions.ServiceClosedError` before any work
+    starts. Non-stdlib executors without a ``_shutdown`` flag pass
+    through unchecked (their first submit will still error, and the
+    serving layer translates that too).
+    """
+    if executor is not None and getattr(executor, "_shutdown", False):
+        raise ServiceClosedError(
+            "executor is shut down; batch_find_all needs a live "
+            "executor (or pass none to use a temporary pool)")
 
 
 def _null_context():
@@ -139,7 +175,7 @@ def _null_context():
 
 
 def batch_find_all(index, patterns, threads=1, limit=None,
-                   executor=None):
+                   executor=None, cancel=None):
     """Resolve every pattern's occurrences with one shared backbone
     scan.
 
@@ -167,7 +203,15 @@ def batch_find_all(index, patterns, threads=1, limit=None,
         authoritative: traversals run on it with *its* sizing whenever
         there is more than one unique pattern, and ``threads`` is
         ignored. When ``None``, ``threads > 1`` creates a temporary
-        pool of exactly that size.
+        pool of exactly that size. An executor that has already been
+        shut down is rejected up front with
+        :class:`~repro.exceptions.ServiceClosedError`.
+    cancel:
+        Optional :class:`~repro.resilience.CancellationToken` checked
+        at the batch checkpoints (entry, each traversal step, the
+        shared scan in bounded chunks). On expiry the batch raises
+        :class:`~repro.exceptions.DeadlineExceededError` — partial
+        traversal work is discarded, never returned as a wrong answer.
 
     Returns
     -------
@@ -176,6 +220,9 @@ def batch_find_all(index, patterns, threads=1, limit=None,
     """
     if threads < 1:
         raise ValueError("threads must be >= 1")
+    check_executor_open(executor)
+    if cancel is not None:
+        cancel.poll()
     patterns = list(patterns)
     registry = get_registry()
     metrics = registry if registry.enabled else None
@@ -218,31 +265,42 @@ def batch_find_all(index, patterns, threads=1, limit=None,
         enable = getattr(index, "enable_concurrent_reads", None)
         if enable is not None:
             enable()
-    lock = getattr(index, "read_locked", _null_context)
-    with lock():
-        # Phase 1: first-occurrence traversals.
-        if multithreaded:
-            if executor is not None:
-                ends = list(executor.map(
-                    lambda codes: traverse_first_end(index, codes, n),
-                    uid_codes))
-            else:
-                with ThreadPoolExecutor(max_workers=threads) as pool:
-                    ends = list(pool.map(
-                        lambda codes: traverse_first_end(index, codes,
-                                                         n),
-                        uid_codes))
-        else:
-            ends = [traverse_first_end(index, codes, n)
-                    for codes in uid_codes]
+    if cancel is None:
+        def _traverse(codes):
+            return traverse_first_end(index, codes, n)
+    else:
+        # One child token per traversal: the amortization counter is
+        # not thread-safe, so workers must not share one.
+        def _traverse(codes):
+            return traverse_first_end(index, codes, n, cancel.child())
 
-        # Phase 2: the single shared downstream scan (Section 4).
-        scanner = OccurrenceScanner(index)
-        pids = {}
-        for uid, (codes, end) in enumerate(zip(uid_codes, ends)):
-            if end is not None:
-                pids[uid] = scanner.add(end, len(codes))
-        starts_by_pid = scanner.resolve_starts(limit=n)
+    lock = getattr(index, "read_locked", _null_context)
+    try:
+        with lock():
+            # Phase 1: first-occurrence traversals.
+            if multithreaded:
+                if executor is not None:
+                    ends = list(executor.map(_traverse, uid_codes))
+                else:
+                    with ThreadPoolExecutor(max_workers=threads) as pool:
+                        ends = list(pool.map(_traverse, uid_codes))
+            else:
+                ends = [_traverse(codes) for codes in uid_codes]
+
+            # Phase 2: the single shared downstream scan (Section 4).
+            scanner = OccurrenceScanner(index)
+            pids = {}
+            for uid, (codes, end) in enumerate(zip(uid_codes, ends)):
+                if end is not None:
+                    pids[uid] = scanner.add(end, len(codes))
+            starts_by_pid = scanner.resolve_starts(limit=n, cancel=cancel)
+    except BaseException as exc:
+        if span is not None:
+            cancelled = isinstance(exc, (DeadlineExceededError,
+                                         ServiceClosedError))
+            tracer.finish(span, status="cancelled" if cancelled
+                          else "error", error=type(exc).__name__)
+        raise
 
     results = []
     hits = misses = 0

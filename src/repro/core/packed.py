@@ -188,9 +188,13 @@ class PackedSpineIndex:
         resolved through the overflow table before being yielded.
         """
         n = self._n if hi is None else min(hi, self._n)
+        if lo >= n:
+            return
         threshold = min(min_lel, OVERFLOW_SENTINEL)
-        candidates = np.nonzero(self._lt_lel[:n + 1] >= threshold)[0]
-        candidates = candidates[candidates > lo]
+        # Scan only the requested (lo, n] slice so windowed sweeps
+        # (cancellation chunking) stay linear in the total range.
+        candidates = np.nonzero(
+            self._lt_lel[lo + 1:n + 1] >= threshold)[0] + (lo + 1)
         lt_ref = self._lt_ref
         lt_lel = self._lt_lel
         for j in candidates:

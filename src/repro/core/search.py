@@ -208,11 +208,24 @@ class OccurrenceScanner:
         self._patterns[pid] = (first_end, length)
         return pid
 
-    def resolve(self, limit=None):
+    #: Backbone positions swept between cancellation polls. Large
+    #: enough that the per-window generator setup + ``poll`` cost
+    #: vanishes against the sweep itself, small enough that a deadline
+    #: is noticed within a fraction of a millisecond of scan work.
+    CANCEL_CHUNK = 4096
+
+    def resolve(self, limit=None, cancel=None):
         """Run the shared scan; returns ``{pid: [end nodes ascending]}``.
 
         ``limit`` bounds the scan to backbone nodes ``<= limit`` — the
         snapshot prefix of Section 2.7; defaults to the whole index.
+        ``cancel`` is an optional
+        :class:`~repro.resilience.CancellationToken`: the sweep then
+        runs in :data:`CANCEL_CHUNK`-position windows (separate
+        ``iter_link_entries`` ranges) with one poll between windows,
+        so even a backbone-length scan is cancelled promptly while the
+        window interior stays the tight historical loop at its
+        original per-entry cost.
         """
         index = self.index
         n = index._n if limit is None else min(limit, index._n)
@@ -233,8 +246,25 @@ class OccurrenceScanner:
         self.last_scan_nodes = max(0, n - min_start)
         # Nodes with LEL below every registered length can never end an
         # occurrence, so the layers may skip them while sweeping.
-        for j, dest, lel in index.iter_link_entries(
-                min_start, hi=n, min_lel=min_length):
+        if cancel is None:
+            self._sweep(index.iter_link_entries(
+                min_start, hi=n, min_lel=min_length),
+                node_targets, results)
+        else:
+            window = self.CANCEL_CHUNK
+            lo = min_start
+            while lo < n:
+                cancel.poll()
+                hi = min(lo + window, n)
+                self._sweep(index.iter_link_entries(
+                    lo, hi=hi, min_lel=min_length),
+                    node_targets, results)
+                lo = hi
+        return results
+
+    def _sweep(self, entries_iter, node_targets, results):
+        """The inner link-scan loop over ``entries_iter``."""
+        for j, dest, lel in entries_iter:
             entries = node_targets.get(dest)
             if not entries:
                 continue
@@ -245,11 +275,10 @@ class OccurrenceScanner:
             node_targets.setdefault(j, []).extend(hits)
             for pid, _ in hits:
                 results[pid].append(j)
-        return results
 
-    def resolve_starts(self, limit=None):
+    def resolve_starts(self, limit=None, cancel=None):
         """Like :meth:`resolve` but mapping to 0-indexed start lists."""
-        ends = self.resolve(limit=limit)
+        ends = self.resolve(limit=limit, cancel=cancel)
         return {
             pid: [e - self._patterns[pid][1] for e in end_list]
             for pid, end_list in ends.items()

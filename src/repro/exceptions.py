@@ -35,8 +35,64 @@ class ServiceClosedError(ReproError, RuntimeError):
     """
 
 
+class DeadlineExceededError(ReproError):
+    """A query ran past its deadline and was cooperatively cancelled.
+
+    Raised from a traversal/scan checkpoint (see
+    :mod:`repro.resilience`) the moment the expiry is noticed — the
+    query does *not* run to completion first. Carries the ``op`` that
+    was cancelled so callers and the slow-query log can route without
+    parsing the message.
+    """
+
+    def __init__(self, message, op=None):
+        super().__init__(message)
+        self.op = op
+
+
+class OverloadedError(ReproError):
+    """The serving front end shed this request instead of queueing it.
+
+    Raised by :class:`repro.resilience.AdmissionController` when every
+    worker is busy and the bounded admission queue is full. The request
+    did no index work at all; retrying after backoff is safe.
+    """
+
+
+class CircuitOpenError(OverloadedError):
+    """A per-shard circuit breaker is open; the shard was not queried.
+
+    Derives from :class:`OverloadedError` so callers can treat "try
+    again later" uniformly. Carries the breaker ``name`` (e.g.
+    ``"shard-3"``) and the seconds until the breaker will next admit a
+    half-open probe (``retry_after``, ``None`` when unknown).
+    """
+
+    def __init__(self, message, name=None, retry_after=None):
+        super().__init__(message)
+        self.name = name
+        self.retry_after = retry_after
+
+
 class StorageError(ReproError):
     """The disk substrate failed (bad page id, buffer misuse, closed store)."""
+
+
+class RetryExhaustedError(StorageError):
+    """A transient storage fault persisted through every retry attempt.
+
+    Raised by the read path of :class:`repro.storage.pager.PageFile`
+    (and by :meth:`repro.resilience.RetryPolicy.call` generally) once
+    the retry budget is spent. Carries the total ``attempts`` made and
+    the failing ``site`` so chaos tests and operators can verify the
+    budget was honoured; the last underlying fault is chained as
+    ``__cause__``.
+    """
+
+    def __init__(self, message, attempts=None, site=None):
+        super().__init__(message)
+        self.attempts = attempts
+        self.site = site
 
 
 class IntegrityError(StorageError):

@@ -97,6 +97,8 @@ def index_health(index):
         doc["shard_layer"] = stats["layer"]
         doc["shards"] = stats["shards"]
         doc["max_pattern_len"] = stats["max_pattern_len"]
+        if stats.get("breakers") is not None:
+            doc["breakers"] = stats["breakers"]
         buffers = []
         for shard in getattr(index, "_shards", ()):
             shard_pool = getattr(shard.index, "pool", None)
@@ -125,7 +127,8 @@ def update_health_gauges(registry, index):
     """Mirror :func:`index_health` readings into registry gauges.
 
     Gauge names are stable (``index.length``, ``buffer.*``,
-    ``disk.generation``, ``shard.count``, ``shard.<i>.length``), so a
+    ``disk.generation``, ``shard.count``, ``shard.<i>.length``,
+    ``resilience.breaker.<name>.state``), so a
     scraper sees point-in-time state next to the event counters.
     Gated on ``registry.enabled`` like every instrument; a no-op when
     disabled or without an index.
@@ -155,6 +158,16 @@ def update_health_gauges(registry, index):
             registry.gauge(prefix + ".length").set(shard["local_len"])
             registry.gauge(prefix + ".owned_length").set(
                 shard["owned_len"])
+    breakers = health.get("breakers")
+    if breakers:
+        # Imported here: repro.resilience is optional for bare-metrics
+        # deployments and must not become an obs import dependency.
+        from repro.resilience import BREAKER_STATES
+
+        for breaker in breakers:
+            registry.gauge(
+                f"resilience.breaker.{breaker['name']}.state").set(
+                BREAKER_STATES[breaker["state"]])
 
 
 class _StatsHandler(BaseHTTPRequestHandler):

@@ -1,0 +1,79 @@
+"""Resilience policies for the SPINE serving stack.
+
+Production string serving (ROADMAP north star: millions of users)
+needs more than correct answers — it needs *bounded* answers. A single
+slow page read, a transient ``OSError`` from the pager, or one sick
+shard must not turn into an unbounded-latency query or a failed
+fan-out. This package holds the policy objects that put that bound in
+place; :mod:`repro.serve`, :mod:`repro.shard.index` and
+:mod:`repro.storage` thread them through the read path.
+
+Four policies, one degradation type:
+
+:class:`Deadline` / :class:`CancellationToken`
+    A wall-clock budget plus the cooperative token the traversal loops
+    poll. The token's :meth:`~CancellationToken.checkpoint` is
+    stride-amortized — hot loops pay one integer increment per
+    iteration and a real clock read only every ``stride`` calls — so
+    the always-on serving path stays within a few percent of the
+    uninstrumented loop (``benchmarks/bench_resilience.py`` measures
+    exactly this).
+
+:class:`RetryPolicy`
+    Bounded retries with exponential backoff and a jitter cap, for
+    transient storage faults on the read path. The
+    :class:`~repro.storage.pager.PageFile` read loop runs under one of
+    these instead of its historical ad-hoc counter.
+
+:class:`CircuitBreaker`
+    The classic closed → open → half-open state machine, one per shard
+    in :class:`~repro.shard.index.ShardedSpineIndex`: a shard that
+    keeps failing is skipped outright (fast) until a half-open probe
+    proves it healthy again.
+
+:class:`AdmissionController`
+    A bounded concurrency gate with load shedding:
+    :class:`~repro.serve.QueryService` admits at most
+    ``max_concurrent`` queries and queues at most ``max_queue`` more;
+    anything beyond that is shed immediately with
+    :class:`~repro.exceptions.OverloadedError` rather than piling onto
+    an already-late queue.
+
+:class:`PartialResult`
+    What degraded scatter-gather returns: a ``list`` of occurrences
+    (shape-compatible with ``find_all``) that additionally carries
+    ``complete``, ``failed_shards`` and the per-shard errors.
+
+Everything reports into the global metrics registry under
+``resilience.*`` (deadline hits, sheds, retries, breaker transitions)
+following the library-wide off-by-default discipline, and the
+structured errors (:class:`~repro.exceptions.DeadlineExceededError`,
+:class:`~repro.exceptions.OverloadedError`,
+:class:`~repro.exceptions.CircuitOpenError`,
+:class:`~repro.exceptions.RetryExhaustedError`) all derive from
+:class:`~repro.exceptions.ReproError`. See ``docs/serving.md`` for
+the end-to-end semantics and the chaos-test contract.
+"""
+
+from __future__ import annotations
+
+from repro.resilience.admission import AdmissionController
+from repro.resilience.breaker import BREAKER_STATES, CircuitBreaker
+from repro.resilience.deadline import (
+    CancellationToken,
+    Deadline,
+    NEVER_CANCELLED,
+)
+from repro.resilience.partial import PartialResult
+from repro.resilience.retry import RetryPolicy
+
+__all__ = [
+    "AdmissionController",
+    "BREAKER_STATES",
+    "CancellationToken",
+    "CircuitBreaker",
+    "Deadline",
+    "NEVER_CANCELLED",
+    "PartialResult",
+    "RetryPolicy",
+]

@@ -1,0 +1,153 @@
+"""Admission control: a bounded concurrency gate with load shedding.
+
+An overloaded service has exactly two honest options: make the caller
+wait a *bounded* time, or tell it "no" immediately. Unbounded queueing
+is the dishonest third option — every queued request makes every later
+request slower, and by the time the queue drains the clients have
+timed out anyway. :class:`AdmissionController` implements the honest
+pair: at most ``max_concurrent`` requests run, at most ``max_queue``
+more wait, and everything beyond that is shed instantly with
+:class:`~repro.exceptions.OverloadedError`.
+
+Implementation is a counting semaphore under a condition variable
+rather than an actual queue of work items: the *callers'* threads wait
+(FIFO fairness is the condition variable's; Python's notify order is
+good enough here), which keeps the controller independent of how the
+service runs queries (inline, thread pool, or an external executor).
+
+A waiter also gives up when its cancellation token expires — a request
+that would start after its own deadline is shed rather than run late.
+Sheds and the high-water marks are observable under
+``resilience.admission.*``.
+"""
+
+from __future__ import annotations
+
+import threading
+
+from repro.exceptions import OverloadedError
+
+__all__ = ["AdmissionController"]
+
+
+class AdmissionController:
+    """Bounded-concurrency admission gate.
+
+    Parameters
+    ----------
+    max_concurrent:
+        Requests allowed to run simultaneously.
+    max_queue:
+        Requests allowed to *wait* for a slot; arrivals beyond
+        ``max_concurrent + max_queue`` in flight are shed immediately.
+        ``0`` means shed as soon as every slot is busy.
+
+    Use as a context manager per request::
+
+        with admission.admit(cancel):
+            ... run the query ...
+    """
+
+    __slots__ = ("max_concurrent", "max_queue", "_cond", "_running",
+                 "_waiting")
+
+    def __init__(self, max_concurrent, max_queue=0):
+        if max_concurrent < 1:
+            raise ValueError(
+                f"max_concurrent must be >= 1, got {max_concurrent}")
+        if max_queue < 0:
+            raise ValueError(f"max_queue must be >= 0, got {max_queue}")
+        self.max_concurrent = max_concurrent
+        self.max_queue = max_queue
+        self._cond = threading.Condition()
+        self._running = 0
+        self._waiting = 0
+
+    def admit(self, cancel=None):
+        """Acquire a slot (blocking up to the token's deadline);
+        returns a context manager whose exit releases the slot.
+
+        Raises :class:`~repro.exceptions.OverloadedError` when the
+        queue is full, and lets the token's own structured error
+        propagate when the deadline expires while queued.
+        """
+        from repro import obs
+        registry = obs.get_registry()
+        with self._cond:
+            if self._running < self.max_concurrent:
+                self._running += 1
+            elif self._waiting >= self.max_queue:
+                if registry.enabled:
+                    registry.counter("resilience.admission.shed").inc()
+                raise OverloadedError(
+                    f"overloaded: {self._running} running and "
+                    f"{self._waiting} queued (max_concurrent="
+                    f"{self.max_concurrent}, max_queue={self.max_queue})")
+            else:
+                self._waiting += 1
+                if registry.enabled:
+                    registry.counter("resilience.admission.queued").inc()
+                try:
+                    while self._running >= self.max_concurrent:
+                        if cancel is not None:
+                            cancel.poll()
+                        remaining = (cancel.remaining()
+                                     if cancel is not None else None)
+                        # Bounded waits even without a deadline, so a
+                        # shutdown event set by close() is noticed.
+                        self._cond.wait(
+                            0.05 if remaining is None
+                            else max(min(remaining, 0.05), 0.001))
+                finally:
+                    self._waiting -= 1
+                self._running += 1
+            if registry.enabled:
+                registry.gauge("resilience.admission.running").set(
+                    self._running)
+                registry.gauge("resilience.admission.waiting").set(
+                    self._waiting)
+        return _Admitted(self)
+
+    def _release(self):
+        with self._cond:
+            self._running -= 1
+            from repro import obs
+            registry = obs.get_registry()
+            if registry.enabled:
+                registry.gauge("resilience.admission.running").set(
+                    self._running)
+            self._cond.notify()
+
+    @property
+    def running(self):
+        """Requests currently holding a slot."""
+        with self._cond:
+            return self._running
+
+    @property
+    def waiting(self):
+        """Requests currently queued for a slot."""
+        with self._cond:
+            return self._waiting
+
+    def __repr__(self):
+        return (f"AdmissionController(running={self.running}, "
+                f"waiting={self.waiting}, "
+                f"max_concurrent={self.max_concurrent}, "
+                f"max_queue={self.max_queue})")
+
+
+class _Admitted:
+    """Context manager releasing one admission slot on exit."""
+
+    __slots__ = ("_controller",)
+
+    def __init__(self, controller):
+        self._controller = controller
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self._controller._release()
+        return False

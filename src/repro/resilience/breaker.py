@@ -1,0 +1,199 @@
+"""Per-dependency circuit breakers (closed / open / half-open).
+
+One breaker guards one failure domain — in this codebase, one shard of
+a :class:`~repro.shard.index.ShardedSpineIndex`. The state machine is
+the classic one:
+
+::
+
+              failure_threshold consecutive failures
+       CLOSED ────────────────────────────────────────▶ OPEN
+          ▲                                              │
+          │ success_threshold                            │ reset_timeout
+          │ consecutive probe                            │ elapsed
+          │ successes                                    ▼
+          └─────────────────────────────────────── HALF-OPEN
+                       (a probe failure reopens immediately)
+
+While **closed**, calls pass through and consecutive failures are
+counted. At ``failure_threshold`` the breaker **opens**: every call is
+rejected instantly with :class:`~repro.exceptions.CircuitOpenError`
+(carrying ``retry_after``) — no I/O, no latency. After
+``reset_timeout`` seconds the next caller is admitted as a
+**half-open** probe; ``success_threshold`` consecutive probe successes
+re-close the breaker, while any probe failure snaps it back open and
+restarts the timeout.
+
+What counts as a failure is the *caller's* decision (via
+:meth:`record_failure`): the sharded fan-out counts storage faults but
+not deadline expiry — a slow client budget says nothing about shard
+health. Thread-safe; transitions are recorded under
+``resilience.breaker.*`` counters and a per-breaker state gauge.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.exceptions import CircuitOpenError
+
+__all__ = ["BREAKER_STATES", "CircuitBreaker"]
+
+#: State name → gauge value (exported as ``resilience.breaker.<name>.state``).
+BREAKER_STATES = {"closed": 0, "open": 1, "half-open": 2}
+
+
+class CircuitBreaker:
+    """Failure-counting gate in front of one dependency.
+
+    Parameters
+    ----------
+    name:
+        Identity carried on errors, metrics and health output
+        (``"shard-3"``).
+    failure_threshold:
+        Consecutive recorded failures that open the breaker.
+    reset_timeout:
+        Seconds an open breaker waits before admitting a probe.
+    success_threshold:
+        Consecutive half-open successes required to re-close.
+    clock:
+        Injectable monotonic clock (tests advance a fake).
+    """
+
+    __slots__ = ("name", "failure_threshold", "reset_timeout",
+                 "success_threshold", "clock", "_lock", "_state",
+                 "_failures", "_successes", "_opened_at")
+
+    def __init__(self, name, failure_threshold=5, reset_timeout=1.0,
+                 success_threshold=1, clock=time.monotonic):
+        if failure_threshold < 1:
+            raise ValueError(
+                f"failure_threshold must be >= 1, got {failure_threshold}")
+        if success_threshold < 1:
+            raise ValueError(
+                f"success_threshold must be >= 1, got {success_threshold}")
+        if reset_timeout < 0:
+            raise ValueError(
+                f"reset_timeout must be >= 0, got {reset_timeout}")
+        self.name = name
+        self.failure_threshold = failure_threshold
+        self.reset_timeout = reset_timeout
+        self.success_threshold = success_threshold
+        self.clock = clock
+        self._lock = threading.Lock()
+        self._state = "closed"
+        self._failures = 0
+        self._successes = 0
+        self._opened_at = None
+
+    # -- state ---------------------------------------------------------
+
+    @property
+    def state(self):
+        """Current state name, with the open→half-open transition
+        applied lazily (an idle open breaker becomes half-open the
+        first time anyone looks after the timeout)."""
+        with self._lock:
+            self._maybe_half_open()
+            return self._state
+
+    def _maybe_half_open(self):
+        if self._state == "open" and \
+                self.clock() - self._opened_at >= self.reset_timeout:
+            self._transition("half-open")
+            self._successes = 0
+
+    def _transition(self, new_state):
+        old = self._state
+        if old == new_state:
+            return
+        self._state = new_state
+        from repro import obs
+        registry = obs.get_registry()
+        if registry.enabled:
+            registry.counter(
+                f"resilience.breaker.transitions.{old}_to_{new_state}").inc()
+            registry.gauge(
+                f"resilience.breaker.{self.name}.state").set(
+                    BREAKER_STATES[new_state])
+
+    # -- the caller-facing protocol ------------------------------------
+
+    def allow(self):
+        """Admission check before touching the dependency.
+
+        Returns normally when the call may proceed (closed, or
+        admitted as a half-open probe); raises
+        :class:`~repro.exceptions.CircuitOpenError` when the breaker
+        is open and the reset timeout has not elapsed.
+        """
+        with self._lock:
+            self._maybe_half_open()
+            if self._state == "open":
+                retry_after = max(
+                    0.0,
+                    self.reset_timeout - (self.clock() - self._opened_at))
+                from repro import obs
+                registry = obs.get_registry()
+                if registry.enabled:
+                    registry.counter("resilience.breaker.rejections").inc()
+                raise CircuitOpenError(
+                    f"circuit breaker {self.name!r} is open "
+                    f"(retry after {retry_after:.3f}s)",
+                    name=self.name, retry_after=retry_after)
+
+    def record_success(self):
+        """Report one successful call through the breaker."""
+        with self._lock:
+            self._failures = 0
+            if self._state == "half-open":
+                self._successes += 1
+                if self._successes >= self.success_threshold:
+                    self._transition("closed")
+            elif self._state == "open":
+                # A call admitted as a probe may report back after the
+                # breaker re-opened (another probe failed meanwhile);
+                # its success is stale evidence — ignore it.
+                pass
+
+    def record_failure(self):
+        """Report one failed call through the breaker."""
+        with self._lock:
+            self._failures += 1
+            if self._state == "half-open":
+                self._transition("open")
+                self._opened_at = self.clock()
+            elif self._state == "closed" and \
+                    self._failures >= self.failure_threshold:
+                self._transition("open")
+                self._opened_at = self.clock()
+
+    def call(self, fn):
+        """Run ``fn()`` under the breaker: :meth:`allow`, then record
+        success/failure from the outcome. Exceptions propagate."""
+        self.allow()
+        try:
+            result = fn()
+        except BaseException:
+            self.record_failure()
+            raise
+        self.record_success()
+        return result
+
+    def snapshot(self):
+        """JSON-ready state for ``stats()``/health output."""
+        with self._lock:
+            self._maybe_half_open()
+            return {
+                "name": self.name,
+                "state": self._state,
+                "consecutive_failures": self._failures,
+                "failure_threshold": self.failure_threshold,
+                "reset_timeout": self.reset_timeout,
+            }
+
+    def __repr__(self):
+        return (f"CircuitBreaker({self.name!r}, state={self.state!r}, "
+                f"failures={self._failures}/{self.failure_threshold})")

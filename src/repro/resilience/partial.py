@@ -1,0 +1,60 @@
+"""The degraded-mode result type for sharded scatter-gather.
+
+:class:`PartialResult` is a ``list`` subclass: the occurrences that
+*were* found, in the usual sorted-start order, plus honesty metadata —
+``complete`` (did every shard answer?), ``failed_shards`` (which did
+not) and ``errors`` (why, one structured exception per failed shard).
+
+Subclassing ``list`` is the contract, not a convenience: every
+existing consumer of ``find_all`` — ``BatchMatch.starts``, the CLI
+JSON renderers, the differential fuzzer's comparators — keeps working
+unchanged on a degraded answer, while resilience-aware callers check
+``result.complete`` before trusting absence. A degraded answer is a
+**subset** guarantee: every occurrence listed is real (surviving
+shards answer exactly), but occurrences owned by a failed shard may be
+missing. ``PartialResult`` never fabricates.
+"""
+
+from __future__ import annotations
+
+__all__ = ["PartialResult"]
+
+
+class PartialResult(list):
+    """Occurrence list plus fan-out completeness metadata.
+
+    Attributes
+    ----------
+    complete:
+        ``True`` when every shard contributed (the result is exactly
+        what strict mode would have returned).
+    failed_shards:
+        Sorted shard ordinals that did not answer (open breaker,
+        storage fault, or deadline slice exhausted).
+    errors:
+        ``{shard_ordinal: exception}`` for each failed shard.
+    """
+
+    __slots__ = ("complete", "failed_shards", "errors")
+
+    def __init__(self, occurrences=(), complete=True, failed_shards=(),
+                 errors=None):
+        super().__init__(occurrences)
+        self.complete = complete
+        self.failed_shards = tuple(failed_shards)
+        self.errors = dict(errors) if errors else {}
+
+    def to_dict(self):
+        """JSON-ready rendering (errors as strings)."""
+        return {
+            "occurrences": list(self),
+            "complete": self.complete,
+            "failed_shards": list(self.failed_shards),
+            "errors": {str(shard): f"{type(exc).__name__}: {exc}"
+                       for shard, exc in sorted(self.errors.items())},
+        }
+
+    def __repr__(self):
+        status = "complete" if self.complete else \
+            f"degraded(failed_shards={list(self.failed_shards)})"
+        return f"PartialResult({list(self)!r}, {status})"

@@ -24,6 +24,20 @@ Two pieces:
     :func:`repro.core.batch.batch_find_all` — provides the
     writer-excludes-readers guarantee; the service deliberately takes
     no read locks itself to avoid nesting a non-reentrant lock.
+
+Resilience (see ``docs/serving.md`` § Resilience). Every read-style
+call accepts a per-call ``deadline`` (seconds) overriding the service
+``default_deadline``; expiry is noticed at cooperative checkpoints in
+the traversal and scan loops and surfaces as
+:class:`~repro.exceptions.DeadlineExceededError` — never a late or
+wrong answer. ``max_concurrent``/``max_queue`` put an
+:class:`~repro.resilience.AdmissionController` in front of the reads
+(excess load sheds with :class:`~repro.exceptions.OverloadedError`),
+``degraded=True`` lets a sharded index answer partially
+(:class:`~repro.resilience.PartialResult`) instead of failing the
+fan-out, and :meth:`QueryService.close` cancels in-flight work via the
+shared shutdown event and returns within ``close_timeout`` even when a
+query is stuck on a hung page read.
 """
 
 from __future__ import annotations
@@ -32,9 +46,13 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
-from repro.core.batch import (batch_find_all, contains_at, find_all_at)
-from repro.exceptions import ServiceClosedError
+from repro.core.batch import (batch_find_all, check_executor_open,
+                              contains_at, find_all_at)
+from repro.exceptions import DeadlineExceededError, ServiceClosedError
+from repro.obs import get_registry
 from repro.obs.slowlog import get_slow_log
+from repro.resilience import (AdmissionController, CancellationToken,
+                              Deadline)
 
 __all__ = ["QueryService", "SnapshotGuard"]
 
@@ -53,6 +71,11 @@ class SnapshotGuard:
     those when present so per-shard routing stays inside the index,
     and falls back to the flat single-index implementations in
     :mod:`repro.core.batch` otherwise.
+
+    ``cancel`` parameters take a
+    :class:`~repro.resilience.CancellationToken`; ``degraded`` is
+    meaningful only for composite indexes (a flat index has no shards
+    to lose) and is ignored by the flat fallback.
     """
 
     __slots__ = ("index", "limit")
@@ -65,36 +88,44 @@ class SnapshotGuard:
     def __len__(self):
         return self.limit
 
-    def contains(self, pattern):
+    def contains(self, pattern, cancel=None):
         """``pattern in prefix`` (clean False on foreign characters)."""
         bound = getattr(self.index, "contains_at", None)
         if bound is not None:
-            return bound(pattern, self.limit)
-        return contains_at(self.index, pattern, self.limit)
+            return bound(pattern, self.limit, cancel=cancel)
+        return contains_at(self.index, pattern, self.limit, cancel)
 
-    def find_all(self, pattern):
+    def find_all(self, pattern, cancel=None, degraded=None):
         """Sorted starts of all occurrences within the snapshot."""
         bound = getattr(self.index, "find_all_at", None)
         if bound is not None:
-            return bound(pattern, self.limit)
-        return find_all_at(self.index, pattern, self.limit)
+            return bound(pattern, self.limit, cancel=cancel,
+                         degraded=degraded)
+        return find_all_at(self.index, pattern, self.limit, cancel)
 
-    def batch_find_all(self, patterns, threads=1, executor=None):
+    def batch_find_all(self, patterns, threads=1, executor=None,
+                       cancel=None, degraded=None):
         """Batched multi-pattern query bounded to the snapshot.
 
         ``executor``, when given, is authoritative: the traversal phase
         runs on it with its own sizing and ``threads`` is ignored.
         ``threads`` only sizes a temporary pool when no executor is
-        passed. ``threads < 1`` is rejected either way.
+        passed. ``threads < 1`` is rejected either way, and an executor
+        that has already been shut down is rejected with
+        :class:`~repro.exceptions.ServiceClosedError` before any
+        traversal starts.
         """
         if threads < 1:
             raise ValueError("threads must be >= 1")
+        check_executor_open(executor)
         bound = getattr(self.index, "batch_find_all", None)
         if bound is not None:
             return bound(patterns, threads=threads, limit=self.limit,
-                         executor=executor)
+                         executor=executor, cancel=cancel,
+                         degraded=degraded)
         return batch_find_all(self.index, patterns, threads=threads,
-                              limit=self.limit, executor=executor)
+                              limit=self.limit, executor=executor,
+                              cancel=cancel)
 
 
 class QueryService:
@@ -114,20 +145,54 @@ class QueryService:
         an ephemeral port), serving ``/metrics``, ``/healthz`` and
         ``/stats`` over this index until :meth:`close`. The running
         server is exposed as :attr:`stats_server`.
+    default_deadline:
+        Per-query wall-clock budget in seconds applied when a call
+        passes no ``deadline`` of its own; ``None`` (default) leaves
+        queries unbounded.
+    max_concurrent / max_queue:
+        When either is set, reads pass through an
+        :class:`~repro.resilience.AdmissionController`:
+        ``max_concurrent`` (default: ``threads``) queries run at once,
+        ``max_queue`` (default 0) more wait, the rest shed immediately
+        with :class:`~repro.exceptions.OverloadedError`. ``None`` for
+        both (the default) means no admission gate at all.
+    degraded:
+        Service-wide default for the sharded degraded mode: ``True``
+        turns shard failures into
+        :class:`~repro.resilience.PartialResult` answers instead of
+        errors. Per-call ``degraded=`` overrides. Ignored for flat
+        indexes.
+    close_timeout:
+        Upper bound in seconds that :meth:`close` waits for in-flight
+        queries. Cancellation is cooperative (the shutdown event fires
+        every in-flight token at its next checkpoint), so this is a
+        backstop for queries stuck inside a single hung I/O call, not
+        the expected drain time.
 
     Use as a context manager, or call :meth:`close` to release the
     pool. The service may outlive many snapshots; each read-style call
     takes a fresh one. Queries slower than the global slow-query-log
     threshold (:func:`repro.obs.slowlog.get_slow_log`, off by default)
-    are recorded with their structured context.
+    are recorded with their structured context — including
+    ``timed_out`` / ``degraded`` tags when resilience kicked in.
     """
 
     def __init__(self, index, threads=4, stats_port=None,
-                 stats_host="127.0.0.1"):
+                 stats_host="127.0.0.1", default_deadline=None,
+                 max_concurrent=None, max_queue=None, degraded=False,
+                 close_timeout=5.0):
         if threads < 1:
             raise ValueError("threads must be >= 1")
+        if default_deadline is not None and default_deadline <= 0:
+            raise ValueError("default_deadline must be positive "
+                             "seconds or None")
+        if close_timeout < 0:
+            raise ValueError("close_timeout must be >= 0")
         self.index = index
         self.threads = threads
+        self.default_deadline = default_deadline
+        self.degraded = degraded
+        self.close_timeout = close_timeout
         self._write_mutex = threading.Lock()
         enable = getattr(index, "enable_concurrent_reads", None)
         if enable is not None:
@@ -137,6 +202,15 @@ class QueryService:
             thread_name_prefix="repro-serve")
             if threads > 1 else None)
         self._closed = False
+        self._shutdown = threading.Event()
+        self._inflight = 0
+        self._inflight_cond = threading.Condition()
+        self.admission = None
+        if max_concurrent is not None or max_queue is not None:
+            self.admission = AdmissionController(
+                max_concurrent if max_concurrent is not None
+                else threads,
+                max_queue if max_queue is not None else 0)
         self.stats_server = None
         if stats_port is not None:
             # Imported here so the serving core has no HTTP dependency
@@ -153,22 +227,90 @@ class QueryService:
         """A :class:`SnapshotGuard` over the index as of now."""
         return SnapshotGuard(self.index)
 
-    def contains(self, pattern):
-        return self.snapshot().contains(pattern)
+    def _token(self, deadline, op):
+        """The cancellation token for one read call.
 
-    def find_all(self, pattern):
+        Always carries the service shutdown event (so ``close()`` can
+        cancel any in-flight query); carries a
+        :class:`~repro.resilience.Deadline` when the call or the
+        service configured one.
+        """
+        budget = deadline if deadline is not None \
+            else self.default_deadline
+        return CancellationToken(
+            Deadline.after(budget) if budget is not None else None,
+            self._shutdown, op=op)
+
+    def _enter(self):
+        with self._inflight_cond:
+            self._inflight += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("serve.inflight").set(self._inflight)
+
+    def _exit(self):
+        with self._inflight_cond:
+            self._inflight -= 1
+            if self._inflight == 0:
+                self._inflight_cond.notify_all()
+        registry = get_registry()
+        if registry.enabled:
+            registry.gauge("serve.inflight").set(self._inflight)
+
+    def contains(self, pattern, deadline=None):
+        """Membership within a fresh snapshot (deadline-bounded)."""
+        self._check_open()
+        token = self._token(deadline, "contains")
+        admitted = (self.admission.admit(token)
+                    if self.admission is not None else None)
+        self._enter()
+        try:
+            return self.snapshot().contains(pattern, cancel=token)
+        finally:
+            self._exit()
+            if admitted is not None:
+                admitted.__exit__()
+
+    def find_all(self, pattern, deadline=None, degraded=None):
+        """All occurrences within a fresh snapshot.
+
+        ``deadline`` (seconds) bounds this call; ``degraded``
+        overrides the service default for sharded indexes. A timed-out
+        or degraded query is tagged as such in the slow-query log.
+        """
+        self._check_open()
+        token = self._token(deadline, "find_all")
+        if degraded is None:
+            degraded = self.degraded
+        admitted = (self.admission.admit(token)
+                    if self.admission is not None else None)
+        self._enter()
         slow_log = get_slow_log()
-        if not slow_log.enabled:
-            return self.snapshot().find_all(pattern)
         started = time.perf_counter()
-        starts = self.snapshot().find_all(pattern)
-        slow_log.observe(
-            "find_all", time.perf_counter() - started,
-            pattern_chars=len(pattern), occurrences=len(starts),
-            layer=type(self.index).__name__)
+        try:
+            starts = self.snapshot().find_all(pattern, cancel=token,
+                                              degraded=degraded)
+        except DeadlineExceededError:
+            if slow_log.enabled:
+                slow_log.observe(
+                    "find_all", time.perf_counter() - started,
+                    pattern_chars=len(pattern), timed_out=True,
+                    layer=type(self.index).__name__)
+            raise
+        finally:
+            self._exit()
+            if admitted is not None:
+                admitted.__exit__()
+        if slow_log.enabled:
+            incomplete = getattr(starts, "complete", True) is False
+            slow_log.observe(
+                "find_all", time.perf_counter() - started,
+                pattern_chars=len(pattern), occurrences=len(starts),
+                degraded=incomplete,
+                layer=type(self.index).__name__)
         return starts
 
-    def batch_find_all(self, patterns):
+    def batch_find_all(self, patterns, deadline=None, degraded=None):
         """Batched query with the traversal phase on the worker pool.
 
         A ``close()`` racing an in-flight call can tear the worker pool
@@ -176,14 +318,29 @@ class QueryService:
         ``RuntimeError`` ("cannot schedule new futures after shutdown")
         is translated to :class:`~repro.exceptions.ServiceClosedError`
         so callers see the same structured error as a call made after
-        the close completed.
+        the close completed. ``deadline`` / ``degraded`` behave as in
+        :meth:`find_all`.
         """
         self._check_open()
+        token = self._token(deadline, "batch_find_all")
+        if degraded is None:
+            degraded = self.degraded
+        admitted = (self.admission.admit(token)
+                    if self.admission is not None else None)
+        self._enter()
         slow_log = get_slow_log()
-        started = (time.perf_counter() if slow_log.enabled else None)
+        started = time.perf_counter()
         try:
             results = self.snapshot().batch_find_all(
-                patterns, threads=self.threads, executor=self._executor)
+                patterns, threads=self.threads,
+                executor=self._executor, cancel=token,
+                degraded=degraded)
+        except DeadlineExceededError:
+            if slow_log.enabled:
+                slow_log.observe(
+                    "batch_find_all", time.perf_counter() - started,
+                    timed_out=True, layer=type(self.index).__name__)
+            raise
         except ServiceClosedError:
             raise
         except RuntimeError as exc:
@@ -191,12 +348,20 @@ class QueryService:
                 raise ServiceClosedError(
                     "QueryService closed during batch_find_all") from exc
             raise
-        if started is not None:
+        finally:
+            self._exit()
+            if admitted is not None:
+                admitted.__exit__()
+        if slow_log.enabled:
+            incomplete = any(
+                getattr(m.starts, "complete", True) is False
+                for m in results)
             slow_log.observe(
                 "batch_find_all", time.perf_counter() - started,
                 patterns=len(results),
                 pattern_chars=sum(len(m.pattern) for m in results),
                 occurrences=sum(len(m.starts) for m in results),
+                degraded=incomplete,
                 layer=type(self.index).__name__)
         return results
 
@@ -221,17 +386,46 @@ class QueryService:
         """True once :meth:`close` has run (drives ``/healthz``)."""
         return self._closed
 
+    @property
+    def inflight(self):
+        """Read-style calls currently executing."""
+        with self._inflight_cond:
+            return self._inflight
+
     def _check_open(self):
         if self._closed:
             raise ServiceClosedError("QueryService is closed")
 
-    def close(self):
-        """Shut down the worker pool (idempotent; index stays open)."""
+    def close(self, timeout=None):
+        """Shut down within a bounded time (idempotent; index stays
+        open).
+
+        Sets the shutdown event — every in-flight query's cancellation
+        token notices at its next checkpoint and aborts with
+        :class:`~repro.exceptions.ServiceClosedError` — then waits up
+        to ``timeout`` (default :attr:`close_timeout`) for in-flight
+        calls to drain, and finally tears the pool down with
+        ``cancel_futures=True`` so queued-but-unstarted traversals are
+        dropped rather than waited for. A query stuck inside a single
+        hung I/O call cannot be cancelled cooperatively; after the
+        timeout it is abandoned to finish (and fail its token's next
+        poll) in the background rather than holding ``close()``
+        hostage.
+        """
         if self._closed:
             return
         self._closed = True
+        self._shutdown.set()
+        timeout = self.close_timeout if timeout is None else timeout
+        deadline = time.monotonic() + timeout
+        with self._inflight_cond:
+            while self._inflight:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    break
+                self._inflight_cond.wait(min(remaining, 0.05))
         if self._executor is not None:
-            self._executor.shutdown(wait=True)
+            self._executor.shutdown(wait=False, cancel_futures=True)
         if self.stats_server is not None:
             self.stats_server.close()
 

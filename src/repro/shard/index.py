@@ -43,9 +43,11 @@ from concurrent.futures import ThreadPoolExecutor
 from repro.alphabet import Alphabet, alphabet_for, dna_alphabet
 from repro.core import batch as _batch
 from repro.core.batch import BatchMatch
-from repro.exceptions import (ConstructionError, SearchError,
-                              StorageError)
+from repro.exceptions import (CircuitOpenError, ConstructionError,
+                              DeadlineExceededError, SearchError,
+                              ServiceClosedError, StorageError)
 from repro.obs import get_registry, get_tracer
+from repro.resilience import CircuitBreaker, PartialResult
 from repro.shard.parallel import ShardBuildSpec, build_shard_indexes
 
 __all__ = ["ShardedSpineIndex"]
@@ -107,6 +109,14 @@ class ShardedSpineIndex:
         self.split_threshold = split_threshold
         self._disk_options = disk_options or {}
         self._concurrent = False
+        #: Per-shard circuit breakers (``None`` until
+        #: :meth:`enable_breakers`); aligned with ``self._shards``.
+        self._breakers = None
+        self._breaker_config = None
+        #: Default degradation mode for queries that do not pass an
+        #: explicit ``degraded=`` (strict — fail the fan-out — unless
+        #: the serving layer opts in).
+        self.degraded = False
 
     # -- construction --------------------------------------------------
 
@@ -232,6 +242,75 @@ class ShardedSpineIndex:
             if enable is not None:
                 enable()
 
+    def enable_breakers(self, failure_threshold=5, reset_timeout=1.0,
+                        success_threshold=1, clock=time.monotonic):
+        """Put a :class:`~repro.resilience.CircuitBreaker` in front of
+        every shard (idempotent; re-calling replaces the breakers and
+        their state). Shards created by later tail splits inherit the
+        same configuration.
+
+        Strict queries fail fast with
+        :class:`~repro.exceptions.CircuitOpenError` while a shard's
+        breaker is open; degraded queries skip the shard and report it
+        in ``failed_shards``. Either way an open breaker means the
+        sick shard sees **no traffic** until its half-open probe.
+        """
+        self._breaker_config = {
+            "failure_threshold": failure_threshold,
+            "reset_timeout": reset_timeout,
+            "success_threshold": success_threshold,
+            "clock": clock,
+        }
+        self._breakers = [
+            CircuitBreaker(f"shard-{i}", **self._breaker_config)
+            for i in range(len(self._shards))
+        ]
+        return self._breakers
+
+    def breaker(self, shard_id):
+        """The breaker guarding ``shard_id`` (``None`` when disabled)."""
+        if self._breakers is None:
+            return None
+        return self._breakers[shard_id]
+
+    def _guard(self, i, fn, degraded, failed):
+        """Run one shard's query under its breaker.
+
+        On success returns the shard's answer. On failure: strict mode
+        re-raises; degraded mode records the error in ``failed[i]``
+        and returns ``None``. Failure *classification* is the point —
+        storage faults count against the breaker, while deadline
+        expiry and service shutdown do not (a slow client budget says
+        nothing about shard health), and an open breaker's instant
+        rejection never touches the shard at all.
+        """
+        breaker = self._breakers[i] if self._breakers is not None \
+            else None
+        try:
+            if breaker is not None:
+                breaker.allow()
+            result = fn()
+        except CircuitOpenError as exc:
+            if degraded:
+                failed[i] = exc
+                return None
+            raise
+        except (DeadlineExceededError, ServiceClosedError) as exc:
+            if degraded:
+                failed[i] = exc
+                return None
+            raise
+        except StorageError as exc:
+            if breaker is not None:
+                breaker.record_failure()
+            if degraded:
+                failed[i] = exc
+                return None
+            raise
+        if breaker is not None:
+            breaker.record_success()
+        return result
+
     def _check_pattern(self, pattern):
         if len(pattern) > self.max_pattern_len:
             raise SearchError(
@@ -251,19 +330,29 @@ class ShardedSpineIndex:
         foreign characters, ``True`` for the empty pattern)."""
         return self.contains_at(pattern, self._len)
 
-    def contains_at(self, pattern, limit):
-        """``contains`` evaluated against the length-``limit`` prefix."""
+    def contains_at(self, pattern, limit, cancel=None):
+        """``contains`` evaluated against the length-``limit`` prefix.
+
+        Always strict: a boolean cannot express "some shards did not
+        answer", so shard failures (and open breakers) raise rather
+        than risk a wrong ``False``.
+        """
         if pattern == "":
             return True
         self._check_pattern(pattern)
         if self.alphabet.try_encode(pattern) is None:
             return False
         m = len(pattern)
-        for shard in self._shards:
+        for i, shard in enumerate(self._shards):
             bound = self._local_limit(shard, limit)
             if bound < m:
                 continue
-            if _batch.contains_at(shard.index, pattern, bound):
+            hit = self._guard(
+                i,
+                lambda: _batch.contains_at(shard.index, pattern, bound,
+                                           cancel),
+                degraded=False, failed={})
+            if hit:
                 return True
         return False
 
@@ -272,12 +361,25 @@ class ShardedSpineIndex:
         the unsharded index's answer for patterns within the cap."""
         return self.find_all_at(pattern, self._len)
 
-    def find_all_at(self, pattern, limit):
-        """``find_all`` evaluated against the length-``limit`` prefix."""
+    def find_all_at(self, pattern, limit, cancel=None, degraded=None):
+        """``find_all`` evaluated against the length-``limit`` prefix.
+
+        ``degraded`` overrides the index-level :attr:`degraded`
+        default. In degraded mode the answer is a
+        :class:`~repro.resilience.PartialResult` (a ``list``): shards
+        that fail — storage fault, open breaker, or a deadline slice
+        exhausted mid-fan-out — are skipped and reported in
+        ``failed_shards`` instead of failing the query; every
+        occurrence returned is real (surviving shards answer exactly),
+        but occurrences owned by a failed shard may be missing. In
+        strict mode (the default) any shard failure propagates.
+        """
         if pattern == "":
             raise SearchError(
                 "find_all of the empty pattern is ill-defined")
         self._check_pattern(pattern)
+        if degraded is None:
+            degraded = self.degraded
         registry = get_registry()
         metrics = registry if registry.enabled else None
         tracer = get_tracer()
@@ -286,26 +388,48 @@ class ShardedSpineIndex:
                 if tracer.enabled else None)
         if metrics is not None:
             started = time.perf_counter()
-        starts, routed, dropped = self._scatter_find(pattern, limit,
-                                                     span)
+        try:
+            starts, routed, dropped, failed = self._scatter_find(
+                pattern, limit, span, cancel=cancel, degraded=degraded)
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish(span, status="error",
+                              error=type(exc).__name__)
+            raise
         if metrics is not None:
             metrics.counter("shard.queries").inc()
             metrics.counter("shard.route.fanout").inc(routed)
             metrics.counter("shard.merge.dropped").inc(dropped)
+            if failed:
+                metrics.counter("resilience.degraded.queries").inc()
+                metrics.counter("resilience.degraded.failed_shards") \
+                    .inc(len(failed))
             metrics.observe_latency("shard.query",
                                     time.perf_counter() - started)
         if span is not None:
             tracer.finish(span, status="hit" if starts else "miss",
-                          occurrences=len(starts))
+                          occurrences=len(starts),
+                          failed_shards=sorted(failed))
+        if degraded:
+            return PartialResult(starts, complete=not failed,
+                                 failed_shards=sorted(failed),
+                                 errors=failed)
         return starts
 
-    def _scatter_find(self, pattern, limit, span=None):
-        """The scatter-gather core: per-shard hits, rebase, dedup."""
+    def _scatter_find(self, pattern, limit, span=None, cancel=None,
+                      degraded=False):
+        """The scatter-gather core: per-shard hits, rebase, dedup.
+
+        Returns ``(merged, routed, dropped, failed)`` with ``failed``
+        a ``{shard_id: error}`` dict (always empty in strict mode —
+        failures raise there instead).
+        """
         if self.alphabet.try_encode(pattern) is None:
-            return [], 0, 0
+            return [], 0, 0, {}
         m = len(pattern)
         merged = []
         routed = dropped = 0
+        failed = {}
         for i, shard in enumerate(self._shards):
             bound = self._local_limit(shard, limit)
             if bound < m:
@@ -314,15 +438,25 @@ class ShardedSpineIndex:
             if span is not None:
                 span.event("shard-route", shard=i, start=shard.start,
                            local_limit=bound)
-            local = _batch.find_all_at(shard.index, pattern, bound)
+            local = self._guard(
+                i,
+                lambda: _batch.find_all_at(shard.index, pattern, bound,
+                                           cancel),
+                degraded, failed)
+            if i in failed:
+                if span is not None:
+                    span.event("shard-degraded", shard=i,
+                               error=type(failed[i]).__name__)
+                continue
             kept = [s + shard.start for s in local
                     if s < shard.owned_len]
             dropped += len(local) - len(kept)
             merged.extend(kept)
         if span is not None:
             span.event("shard-merge", kept=len(merged),
-                       dropped=dropped, routed=routed)
-        return merged, routed, dropped
+                       dropped=dropped, routed=routed,
+                       failed=len(failed))
+        return merged, routed, dropped, failed
 
     def count(self, pattern):
         """Number of occurrences (``find_all`` semantics exactly)."""
@@ -351,7 +485,7 @@ class ShardedSpineIndex:
         return None
 
     def batch_find_all(self, patterns, threads=1, limit=None,
-                       executor=None):
+                       executor=None, cancel=None, degraded=None):
         """Batched multi-pattern query with per-shard fan-out.
 
         Each shard resolves the whole pattern set with one shared
@@ -360,9 +494,20 @@ class ShardedSpineIndex:
         ``threads`` ignored — same precedence as the flat batch path),
         else on a temporary pool of ``threads`` workers, else serially.
         Merging rebases and deduplicates exactly like :meth:`find_all`.
+
+        In degraded mode (``degraded=`` overriding the index default)
+        failed shards are skipped: every ``BatchMatch.starts`` is then
+        a :class:`~repro.resilience.PartialResult` carrying the batch's
+        ``failed_shards``, and a pattern whose only occurrences lived
+        on a failed shard reports ``miss`` with ``complete=False``.
         """
         if threads < 1:
             raise ValueError("threads must be >= 1")
+        _batch.check_executor_open(executor)
+        if cancel is not None:
+            cancel.poll()
+        if degraded is None:
+            degraded = self.degraded
         patterns = list(patterns)
         for pattern in patterns:
             if pattern == "":
@@ -389,45 +534,77 @@ class ShardedSpineIndex:
                 span.event("shard-route", shard=i,
                            start=shards[i].start, local_limit=bounds[i])
 
-        def _one(i):
-            return _batch.batch_find_all(shards[i].index, patterns,
-                                         threads=1, limit=bounds[i])
+        failed = {}
 
-        if len(live) > 1 and executor is not None:
-            per_shard = dict(zip(live, executor.map(_one, live)))
-        elif len(live) > 1 and threads > 1:
-            with ThreadPoolExecutor(max_workers=threads) as pool:
-                per_shard = dict(zip(live, pool.map(_one, live)))
-        else:
-            per_shard = {i: _one(i) for i in live}
+        def _one(i):
+            return self._guard(
+                i,
+                lambda: _batch.batch_find_all(
+                    shards[i].index, patterns, threads=1,
+                    limit=bounds[i],
+                    cancel=cancel.child() if cancel is not None
+                    else None),
+                degraded, failed)
+
+        try:
+            if len(live) > 1 and executor is not None:
+                per_shard = dict(zip(live, executor.map(_one, live)))
+            elif len(live) > 1 and threads > 1:
+                with ThreadPoolExecutor(max_workers=threads) as pool:
+                    per_shard = dict(zip(live, pool.map(_one, live)))
+            else:
+                per_shard = {i: _one(i) for i in live}
+        except BaseException as exc:
+            if span is not None:
+                tracer.finish(span, status="error",
+                              error=type(exc).__name__)
+            raise
+
+        failed_ids = sorted(failed)
+        complete = not failed
+
+        def _starts(merged):
+            if degraded:
+                return PartialResult(merged, complete=complete,
+                                     failed_shards=failed_ids,
+                                     errors=failed)
+            return merged
 
         results = []
         dropped = 0
         for j, pattern in enumerate(patterns):
             if self.alphabet.try_encode(pattern) is None:
-                results.append(BatchMatch(pattern, [],
+                results.append(BatchMatch(pattern, _starts([]),
                                           "alphabet-miss"))
                 continue
             merged = []
             for i in live:
+                if i in failed:
+                    continue
                 shard = shards[i]
                 local = per_shard[i][j].starts
                 kept = [s + shard.start for s in local
                         if s < shard.owned_len]
                 dropped += len(local) - len(kept)
                 merged.extend(kept)
-            results.append(BatchMatch(pattern, merged,
+            results.append(BatchMatch(pattern, _starts(merged),
                                       "hit" if merged else "miss"))
         if span is not None:
-            span.event("shard-merge", routed=len(live), dropped=dropped)
+            span.event("shard-merge", routed=len(live),
+                       dropped=dropped, failed=len(failed))
         if metrics is not None:
             metrics.counter("shard.batches").inc()
             metrics.counter("shard.route.fanout").inc(len(live))
             metrics.counter("shard.merge.dropped").inc(dropped)
+            if failed:
+                metrics.counter("resilience.degraded.queries").inc()
+                metrics.counter("resilience.degraded.failed_shards") \
+                    .inc(len(failed))
             metrics.observe_latency("shard.query",
                                     time.perf_counter() - started)
         if span is not None:
-            tracer.finish(span, status="done")
+            tracer.finish(span, status="done",
+                          failed_shards=failed_ids)
         return results
 
     # -- growth --------------------------------------------------------
@@ -500,6 +677,10 @@ class ShardedSpineIndex:
             enable = getattr(index, "enable_concurrent_reads", None)
             if enable is not None:
                 enable()
+        if self._breakers is not None:
+            self._breakers.append(
+                CircuitBreaker(f"shard-{new_id}",
+                               **self._breaker_config))
         # Fully initialized before it becomes visible to readers.
         self._shards.append(shard)
         registry = get_registry()
@@ -516,6 +697,8 @@ class ShardedSpineIndex:
             "max_pattern_len": self.max_pattern_len,
             "overlap": self.overlap,
             "split_threshold": self.split_threshold,
+            "breakers": ([b.snapshot() for b in self._breakers]
+                         if self._breakers is not None else None),
             "shards": [
                 {
                     "id": i,

@@ -417,11 +417,20 @@ class BufferPool:
             except BaseException:
                 self.policy.touch(victim)
                 raise
-        frame = self._frames.pop(victim)
-        self.pagefile.metrics.evictions += 1
+        frame = self._frames[victim]
         if victim in self._dirty:
+            # Write back *before* dropping the frame: a failed
+            # write-back must leave the page resident and dirty, or a
+            # transient fault silently loses committed mutations (the
+            # page would be re-read from its stale on-disk bytes).
+            try:
+                self.pagefile.write_page(victim, frame)
+            except BaseException:
+                self.policy.touch(victim)
+                raise
             self._dirty.discard(victim)
-            self.pagefile.write_page(victim, frame)
+        del self._frames[victim]
+        self.pagefile.metrics.evictions += 1
 
     def flush(self):
         """Write back every dirty page (ascending id: one arm sweep)."""

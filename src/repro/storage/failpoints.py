@@ -17,7 +17,9 @@ Sites and the modes they honour:
 site            fires in
 ==============  ==========================================================
 pager.read      ``PageFile.read_page`` before the physical read
-                (``oserror`` exercises the bounded retry path; ``crash``)
+                (``oserror`` exercises the bounded retry path;
+                ``stall`` sleeps ``delay`` seconds then proceeds — a
+                hung device for deadline tests; ``crash``)
 pager.write     ``PageFile.write_page`` before the physical write
                 (``torn``: half the page lands then the process "dies";
                 ``short``: the first ``pwrite`` is truncated — the write
@@ -42,6 +44,7 @@ from __future__ import annotations
 
 import errno
 import threading
+import time
 from contextlib import contextmanager
 
 __all__ = [
@@ -55,7 +58,12 @@ __all__ = [
 ]
 
 #: Recognised failure modes.
-MODES = ("torn", "short", "oserror", "crash")
+MODES = ("torn", "short", "oserror", "crash", "stall")
+
+#: How long a ``stall`` fault sleeps by default, in seconds. Long
+#: enough that a deadline in the tens of milliseconds reliably expires
+#: first, short enough that a stalled test still finishes promptly.
+DEFAULT_STALL_SECONDS = 0.25
 
 
 class CrashInjected(BaseException):
@@ -69,18 +77,23 @@ class CrashInjected(BaseException):
 
 
 class _Failpoint:
-    __slots__ = ("site", "mode", "nth", "count", "hits", "fired")
+    __slots__ = ("site", "mode", "nth", "count", "delay", "hits",
+                 "fired")
 
-    def __init__(self, site, mode, nth, count):
+    def __init__(self, site, mode, nth, count,
+                 delay=DEFAULT_STALL_SECONDS):
         if mode not in MODES:
             raise ValueError(f"unknown failpoint mode {mode!r}; "
                              f"expected one of {MODES}")
         if nth < 1 or count < 1:
             raise ValueError("nth and count must be >= 1")
+        if delay < 0:
+            raise ValueError(f"delay must be >= 0, got {delay}")
         self.site = site
         self.mode = mode
         self.nth = nth
         self.count = count
+        self.delay = delay
         self.hits = 0    # calls seen at this site
         self.fired = 0   # faults actually injected
 
@@ -105,10 +118,12 @@ class FailpointRegistry:
         self._points = {}
         self.active = False
 
-    def arm(self, site, mode="oserror", nth=1, count=1):
+    def arm(self, site, mode="oserror", nth=1, count=1,
+            delay=DEFAULT_STALL_SECONDS):
         """Arm ``site`` to fail on its ``nth`` call (then ``count - 1``
-        more); returns the failpoint for hit inspection."""
-        point = _Failpoint(site, mode, nth, count)
+        more); returns the failpoint for hit inspection. ``delay``
+        only matters for ``stall`` mode (seconds slept per fire)."""
+        point = _Failpoint(site, mode, nth, count, delay)
         with self._lock:
             self._points[site] = point
             self.active = True
@@ -142,6 +157,12 @@ class FailpointRegistry:
             raise OSError(errno.EIO,
                           f"injected I/O error at {site} "
                           f"(call #{point.hits})")
+        if mode == "stall":
+            # A hung device: the operation eventually *succeeds*, just
+            # slowly — the mode deadline/close tests use to pin a
+            # query mid-read without corrupting anything.
+            time.sleep(point.delay)
+            return None
         return mode  # "torn" / "short": handled at the site
 
 
@@ -154,9 +175,11 @@ def get_failpoints():
     return _REGISTRY
 
 
-def fail_at(site, mode="oserror", nth=1, count=1):
+def fail_at(site, mode="oserror", nth=1, count=1,
+            delay=DEFAULT_STALL_SECONDS):
     """Arm the global registry (see :meth:`FailpointRegistry.arm`)."""
-    return _REGISTRY.arm(site, mode=mode, nth=nth, count=count)
+    return _REGISTRY.arm(site, mode=mode, nth=nth, count=count,
+                         delay=delay)
 
 
 def clear_failpoints(site=None):
@@ -165,11 +188,12 @@ def clear_failpoints(site=None):
 
 
 @contextmanager
-def failpoints_armed(site, mode="oserror", nth=1, count=1):
+def failpoints_armed(site, mode="oserror", nth=1, count=1,
+                     delay=DEFAULT_STALL_SECONDS):
     """Arm one failpoint for a ``with`` block; always disarms on exit
     (including after an injected crash). Yields the failpoint so tests
     can assert it actually fired."""
-    point = fail_at(site, mode=mode, nth=nth, count=count)
+    point = fail_at(site, mode=mode, nth=nth, count=count, delay=delay)
     try:
         yield point
     finally:

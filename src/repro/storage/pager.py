@@ -11,8 +11,13 @@ Durability hardening (see ``docs/durability.md``):
   short write is completed, zero progress raises ``StorageError``
   (before, a short write was a silent torn page);
 * physical reads loop over ``os.pread`` so an interior short read is
-  completed; reads hitting a transient ``OSError`` are retried with
-  bounded exponential backoff (``READ_RETRIES`` attempts);
+  completed; reads hitting a transient ``OSError`` are retried under a
+  :class:`~repro.resilience.RetryPolicy` (bounded attempts,
+  exponential backoff with a jitter cap — ``retry_policy=`` swaps the
+  default, e.g. to also retry ``CorruptPageError`` on media where a
+  re-read may return different bytes); exhaustion raises
+  :class:`~repro.exceptions.RetryExhaustedError` carrying the attempt
+  count;
 * ``checksums=True`` reserves the last 8 bytes of every page for a
   trailer — CRC32 over (page id, generation, payload) plus the
   checkpoint generation that wrote the page — stamped on every write
@@ -29,12 +34,12 @@ from __future__ import annotations
 
 import os
 import struct
-import time
 import zlib
 
 from repro.exceptions import CorruptPageError, StorageError
 from repro.obs import get_registry
 from repro.obs.trace import get_tracer
+from repro.resilience.retry import RetryPolicy
 from repro.storage.failpoints import CrashInjected, get_failpoints
 from repro.storage.metrics import IOMetrics
 
@@ -63,15 +68,24 @@ class PageFile:
         generation trailer, stamped on write and verified on read.
         Callers must then pack records only into the first
         :attr:`payload_size` bytes of each page.
+    retry_policy:
+        The :class:`~repro.resilience.RetryPolicy` governing read
+        retries. ``None`` means the historical default (``OSError``
+        only, ``READ_RETRIES`` retries, ``RETRY_BACKOFF`` base). A
+        policy whose ``retryable`` includes
+        :class:`~repro.exceptions.CorruptPageError` re-reads and
+        re-verifies on checksum failure; each failed verification is
+        still counted individually in ``checksum_failures``.
     """
 
-    #: Read attempts beyond the first on transient ``OSError``.
+    #: Read attempts beyond the first on transient ``OSError``
+    #: (default ``retry_policy`` budget).
     READ_RETRIES = 3
     #: Base backoff between read retries (doubles per attempt).
     RETRY_BACKOFF = 0.002
 
     def __init__(self, path=None, page_size=4096, sync_writes=False,
-                 checksums=False):
+                 checksums=False, retry_policy=None):
         if page_size <= 0:
             raise StorageError("page_size must be positive")
         if checksums and page_size <= _TRAILER.size:
@@ -85,6 +99,10 @@ class PageFile:
         #: this at each checkpoint; purely diagnostic for other users).
         self.generation = 0
         self.metrics = IOMetrics()
+        self.retry_policy = retry_policy if retry_policy is not None \
+            else RetryPolicy(retries=self.READ_RETRIES,
+                             base_backoff=self.RETRY_BACKOFF,
+                             max_backoff=0.1, jitter=0.25, seed=0)
         self._path = path
         self._page_count = 0
         self._closed = False
@@ -118,40 +136,42 @@ class PageFile:
 
     # -- reads ---------------------------------------------------------
 
-    def read_page(self, page_id, verify=True):
+    def read_page(self, page_id, verify=True, cancel=None):
         """Physically read one page; returns a ``bytearray``.
 
         In checksum mode the trailer is verified (``verify=False``
         skips that — for probing possibly-torn metadata slots and for
-        fsck's structured scanning). Transient ``OSError`` reads are
-        retried ``READ_RETRIES`` times with exponential backoff.
+        fsck's structured scanning). Each attempt is the full
+        read-then-verify unit, retried under :attr:`retry_policy`
+        (``OSError`` only by default); exhaustion raises
+        :class:`~repro.exceptions.RetryExhaustedError` — a
+        ``StorageError`` carrying the attempt count and the read site.
+        ``cancel`` clips backoff sleeps to the caller's remaining
+        deadline and aborts the loop once the token expires.
         """
         self._check_open()
         self._check_page(page_id)
         self.metrics.record_read(page_id)
-        attempts = 0
-        while True:
-            try:
-                if _FAILPOINTS.active:
-                    _FAILPOINTS.fire("pager.read", page=page_id)
-                if self._fd is None:
-                    data = self._pages.get(page_id) or b""
-                else:
-                    data = self._pread_full(page_id)
-                break
-            except OSError as exc:
-                attempts += 1
-                self.metrics.read_retries += 1
-                if attempts > self.READ_RETRIES:
-                    raise StorageError(
-                        f"page {page_id} read failed after "
-                        f"{attempts} attempt(s): {exc}") from exc
-                time.sleep(self.RETRY_BACKOFF * (1 << (attempts - 1)))
-        buf = bytearray(self.page_size)
-        buf[:len(data)] = data
-        if verify and self.checksums:
-            self._verify(page_id, buf)
-        return buf
+
+        def _attempt():
+            if _FAILPOINTS.active:
+                _FAILPOINTS.fire("pager.read", page=page_id)
+            if self._fd is None:
+                data = self._pages.get(page_id) or b""
+            else:
+                data = self._pread_full(page_id)
+            buf = bytearray(self.page_size)
+            buf[:len(data)] = data
+            if verify and self.checksums:
+                self._verify(page_id, buf)
+            return buf
+
+        def _on_retry(attempt, exc):
+            self.metrics.read_retries += 1
+
+        return self.retry_policy.call(_attempt,
+                                      site=f"page {page_id} read",
+                                      cancel=cancel, on_retry=_on_retry)
 
     def _pread_full(self, page_id):
         """Read one page's bytes, completing interior short reads; a

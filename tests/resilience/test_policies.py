@@ -1,0 +1,370 @@
+"""Unit tests for the resilience primitives (repro.resilience).
+
+Everything here runs on injected fake clocks — no test sleeps to move
+time, so the breaker lifecycle and backoff schedules are exact.
+"""
+
+import threading
+
+import pytest
+
+from repro.exceptions import (CircuitOpenError, DeadlineExceededError,
+                              OverloadedError, RetryExhaustedError,
+                              ServiceClosedError)
+from repro.resilience import (NEVER_CANCELLED, AdmissionController,
+                              CancellationToken, CircuitBreaker,
+                              Deadline, PartialResult, RetryPolicy)
+
+
+class FakeClock:
+    """A monotonic clock a test advances by hand."""
+
+    def __init__(self, now=0.0):
+        self.now = now
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+class TestDeadline:
+    def test_after_budget(self):
+        clock = FakeClock(10.0)
+        deadline = Deadline.after(2.5, clock=clock)
+        assert deadline.remaining() == pytest.approx(2.5)
+        assert not deadline.expired()
+        clock.advance(2.5)
+        assert deadline.expired()
+        assert deadline.remaining() == pytest.approx(0.0)
+
+    def test_after_rejects_bad_budgets(self):
+        with pytest.raises(ValueError):
+            Deadline.after(None)
+        with pytest.raises(ValueError):
+            Deadline.after(-0.1)
+
+
+class TestCancellationToken:
+    def test_poll_raises_structured_deadline_error(self):
+        clock = FakeClock()
+        token = CancellationToken(Deadline.after(1.0, clock=clock),
+                                  op="find_all")
+        token.poll()  # not expired: no-op
+        clock.advance(1.5)
+        with pytest.raises(DeadlineExceededError) as err:
+            token.poll()
+        assert err.value.op == "find_all"
+
+    def test_shutdown_beats_deadline(self):
+        clock = FakeClock()
+        shutdown = threading.Event()
+        token = CancellationToken(Deadline.after(0.0, clock=clock),
+                                  shutdown=shutdown)
+        clock.advance(1.0)
+        shutdown.set()
+        # Both conditions hold; shutdown must win (a closing service
+        # should not dress its shutdown up as the caller's deadline).
+        with pytest.raises(ServiceClosedError):
+            token.poll()
+
+    def test_checkpoint_amortizes_by_stride(self):
+        clock = FakeClock()
+        token = CancellationToken(Deadline.after(0.0, clock=clock),
+                                  stride=8)
+        clock.advance(1.0)  # already expired
+        for _ in range(7):
+            token.checkpoint()  # cheap decrements, no poll yet
+        with pytest.raises(DeadlineExceededError):
+            token.checkpoint()  # 8th call crosses the stride
+
+    def test_child_shares_deadline_with_fresh_counter(self):
+        clock = FakeClock()
+        token = CancellationToken(Deadline.after(5.0, clock=clock),
+                                  op="batch", stride=4)
+        child = token.child(op="batch[3]")
+        assert child.deadline is token.deadline
+        assert child.op == "batch[3]"
+        clock.advance(9.0)
+        with pytest.raises(DeadlineExceededError):
+            child.poll()
+
+    def test_expired_is_non_raising(self):
+        clock = FakeClock()
+        token = CancellationToken(Deadline.after(1.0, clock=clock))
+        assert token.expired() is False
+        clock.advance(2.0)
+        assert token.expired() is True
+
+    def test_never_cancelled_is_inert(self):
+        NEVER_CANCELLED.poll()
+        NEVER_CANCELLED.checkpoint()
+        assert NEVER_CANCELLED.expired() is False
+        assert NEVER_CANCELLED.remaining() is None
+
+
+class TestRetryPolicy:
+    def _policy(self, **kwargs):
+        kwargs.setdefault("base_backoff", 0.0)
+        kwargs.setdefault("jitter", 0.0)
+        kwargs.setdefault("sleep", lambda _s: None)
+        return RetryPolicy(**kwargs)
+
+    def test_transient_fault_recovers(self):
+        attempts = []
+
+        def flaky():
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise OSError("transient")
+            return "ok"
+
+        assert self._policy(retries=3).call(flaky) == "ok"
+        assert len(attempts) == 3
+
+    def test_exhaustion_is_structured(self):
+        def always_fails():
+            raise OSError("still down")
+
+        with pytest.raises(RetryExhaustedError) as err:
+            self._policy(retries=2).call(always_fails, site="page 7 read")
+        assert err.value.attempts == 3  # retries + 1 total attempts
+        assert err.value.site == "page 7 read"
+        assert isinstance(err.value.__cause__, OSError)
+        assert "page 7 read failed after 3 attempt(s)" in str(err.value)
+
+    def test_non_retryable_propagates_unwrapped(self):
+        calls = []
+
+        def wrong_kind():
+            calls.append(1)
+            raise KeyError("not transient")
+
+        with pytest.raises(KeyError):
+            self._policy(retries=5).call(wrong_kind)
+        assert len(calls) == 1
+
+    def test_zero_retries_still_wraps(self):
+        with pytest.raises(RetryExhaustedError) as err:
+            self._policy(retries=0).call(
+                lambda: (_ for _ in ()).throw(OSError("x")))
+        assert err.value.attempts == 1
+
+    def test_backoff_doubles_and_caps(self):
+        policy = RetryPolicy(retries=10, base_backoff=0.01,
+                             max_backoff=0.04, jitter=0.0)
+        assert [policy.backoff(n) for n in (1, 2, 3, 4, 5)] == \
+            [0.01, 0.02, 0.04, 0.04, 0.04]
+
+    def test_jitter_is_bounded_and_seeded(self):
+        policy = RetryPolicy(base_backoff=0.01, max_backoff=1.0,
+                             jitter=0.5, seed=7)
+        delays = [policy.backoff(1) for _ in range(50)]
+        assert all(0.01 <= d <= 0.015 for d in delays)
+        replay = RetryPolicy(base_backoff=0.01, max_backoff=1.0,
+                             jitter=0.5, seed=7)
+        assert [replay.backoff(1) for _ in range(50)] == delays
+
+    def test_expired_token_stops_retrying(self):
+        clock = FakeClock()
+        token = CancellationToken(Deadline.after(1.0, clock=clock))
+        calls = []
+
+        def fail_and_expire():
+            calls.append(1)
+            clock.advance(2.0)  # the fault "took" past the deadline
+            raise OSError("slow fault")
+
+        with pytest.raises(DeadlineExceededError):
+            self._policy(retries=5).call(fail_and_expire, cancel=token)
+        assert len(calls) == 1  # no second attempt after expiry
+
+    def test_sleep_clipped_to_remaining_budget(self):
+        clock = FakeClock()
+        token = CancellationToken(Deadline.after(0.05, clock=clock))
+        slept = []
+
+        def fail_once():
+            if not slept:
+                raise OSError("x")
+            return "ok"
+
+        policy = RetryPolicy(retries=1, base_backoff=10.0,
+                             max_backoff=10.0, jitter=0.0,
+                             sleep=lambda s: slept.append(s))
+        assert policy.call(fail_once, cancel=token) == "ok"
+        assert slept and slept[0] <= 0.05
+
+    def test_on_retry_hook_counts_retries_only(self):
+        seen = []
+
+        def flaky():
+            if len(seen) < 2:
+                raise OSError("x")
+            return "ok"
+
+        self._policy(retries=5).call(
+            flaky, on_retry=lambda attempt, exc: seen.append(attempt))
+        assert seen == [1, 2]
+
+
+class TestCircuitBreaker:
+    def _breaker(self, clock, **kwargs):
+        kwargs.setdefault("failure_threshold", 3)
+        kwargs.setdefault("reset_timeout", 1.0)
+        return CircuitBreaker("shard-0", clock=clock, **kwargs)
+
+    def test_opens_at_threshold(self):
+        breaker = self._breaker(FakeClock())
+        for _ in range(2):
+            breaker.allow()
+            breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError) as err:
+            breaker.allow()
+        assert err.value.name == "shard-0"
+        assert 0.0 <= err.value.retry_after <= 1.0
+
+    def test_success_resets_the_failure_count(self):
+        breaker = self._breaker(FakeClock())
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"  # never 3 *consecutive*
+
+    def test_half_open_probe_recovers(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, success_threshold=2)
+        for _ in range(3):
+            breaker.record_failure()
+        assert breaker.state == "open"
+        clock.advance(1.0)
+        assert breaker.state == "half-open"
+        breaker.allow()  # the probe is admitted
+        breaker.record_success()
+        assert breaker.state == "half-open"  # needs 2 successes
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_probe_failure_reopens(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock)
+        for _ in range(3):
+            breaker.record_failure()
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        with pytest.raises(CircuitOpenError):
+            breaker.allow()  # timeout restarted
+        clock.advance(1.0)
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_call_wrapper(self):
+        clock = FakeClock()
+        breaker = self._breaker(clock, failure_threshold=1)
+        with pytest.raises(OSError):
+            breaker.call(lambda: (_ for _ in ()).throw(OSError("x")))
+        with pytest.raises(CircuitOpenError):
+            breaker.call(lambda: "never runs")
+        clock.advance(1.0)
+        assert breaker.call(lambda: "ok") == "ok"
+        assert breaker.state == "closed"
+
+    def test_snapshot(self):
+        breaker = self._breaker(FakeClock())
+        breaker.record_failure()
+        snap = breaker.snapshot()
+        assert snap["name"] == "shard-0"
+        assert snap["state"] == "closed"
+        assert snap["consecutive_failures"] == 1
+        assert snap["failure_threshold"] == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", failure_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", success_threshold=0)
+        with pytest.raises(ValueError):
+            CircuitBreaker("x", reset_timeout=-1.0)
+
+
+class TestAdmissionController:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdmissionController(0)
+        with pytest.raises(ValueError):
+            AdmissionController(1, max_queue=-1)
+
+    def test_admits_up_to_capacity_then_sheds(self):
+        admission = AdmissionController(2, max_queue=0)
+        first = admission.admit()
+        second = admission.admit()
+        assert admission.running == 2
+        with pytest.raises(OverloadedError) as err:
+            admission.admit()
+        assert "max_concurrent=2" in str(err.value)
+        with first:
+            pass  # release via the context protocol
+        second.__exit__(None, None, None)
+        assert admission.running == 0
+        with admission.admit():
+            assert admission.running == 1
+
+    def test_queued_caller_gets_released_slot(self):
+        admission = AdmissionController(1, max_queue=1)
+        slot = admission.admit()
+        acquired = threading.Event()
+
+        def waiter():
+            with admission.admit():
+                acquired.set()
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        try:
+            # The waiter is queued, not shed.
+            assert not acquired.wait(0.1)
+            slot.__exit__(None, None, None)
+            assert acquired.wait(2.0)
+        finally:
+            thread.join(timeout=2.0)
+
+    def test_queued_caller_respects_its_deadline(self):
+        admission = AdmissionController(1, max_queue=1)
+        slot = admission.admit()
+        token = CancellationToken(Deadline.after(0.05))
+        try:
+            with pytest.raises(DeadlineExceededError):
+                admission.admit(token)
+            assert admission.waiting == 0  # the waiter cleaned up
+        finally:
+            slot.__exit__(None, None, None)
+
+
+class TestPartialResult:
+    def test_complete_result_is_a_plain_list(self):
+        result = PartialResult([1, 2, 3])
+        assert result == [1, 2, 3]
+        assert result.complete is True
+        assert result.failed_shards == ()
+
+    def test_degraded_result_carries_failure_metadata(self):
+        errors = {2: OSError("disk gone")}
+        result = PartialResult([5, 9], complete=False,
+                               failed_shards=(2,), errors=errors)
+        assert result == [5, 9]
+        assert result.complete is False
+        assert result.failed_shards == (2,)
+        doc = result.to_dict()
+        assert doc["complete"] is False
+        assert doc["failed_shards"] == [2]
+        assert "OSError" in doc["errors"]["2"]
+        assert "degraded" in repr(result)
