@@ -56,6 +56,10 @@ class Scenario:
     buffer_pages: int = 8
     checkpoint: bool = False      # checkpoint after each segment
     reopen: bool = False          # checkpoint + close + open mid-stream
+    #: Simulated kill -9 between an extend and the next checkpoint,
+    #: then reopen: the disk layer must recover the un-checkpointed
+    #: extends from its WAL and still agree with every other layer.
+    crash_reopen: bool = False
     # memory layer knobs
     save_load: bool = False       # serialize round trip before querying
     # shard layer knobs
@@ -236,6 +240,7 @@ def generate_scenario(rng, layers=None, max_text=None, injection=None):
         buffer_pages=rng.choice([4, 8, 16]),
         checkpoint=rng.random() < 0.3,
         reopen=rng.random() < 0.25,
+        crash_reopen=rng.random() < 0.2,
         save_load=rng.random() < 0.3,
         shards=shards,
         max_pattern_len=max_pattern_len,

@@ -155,7 +155,8 @@ def _build_disk(scenario, workdir):
     from repro.disk.spine_disk import DiskSpineIndex
 
     alphabet = scenario_alphabet(scenario)
-    persistent = scenario.checkpoint or scenario.reopen
+    persistent = (scenario.checkpoint or scenario.reopen
+                  or getattr(scenario, "crash_reopen", False))
     path = (os.path.join(workdir, "disk.spine") if persistent else None)
     index = DiskSpineIndex(alphabet=alphabet, path=path,
                            page_size=scenario.page_size,
@@ -163,11 +164,28 @@ def _build_disk(scenario, workdir):
     segments = scenario.segments()
     reopen_after = (len(segments) // 2 if scenario.reopen
                     and len(segments) > 1 else None)
+    crash_after = (len(segments) // 2
+                   if getattr(scenario, "crash_reopen", False)
+                   and len(segments) > 1 else None)
     for i, segment in enumerate(segments):
         if segment:
             index.extend(segment)
         if scenario.checkpoint and path is not None:
             index.checkpoint()
+        if crash_after is not None and i == 0 and index.generation == 0:
+            # WAL replay needs a durable base checkpoint to land on.
+            index.checkpoint()
+        if crash_after is not None and i == crash_after:
+            # Simulated kill -9 between extend and checkpoint: the
+            # page file holds only the last checkpoint; reopening must
+            # replay the WAL tail so this layer still agrees with the
+            # others byte-for-byte.
+            index.crash()
+            index = DiskSpineIndex.open(
+                path, alphabet=alphabet,
+                page_size=scenario.page_size,
+                buffer_pages=scenario.buffer_pages)
+            crash_after = None
         if reopen_after is not None and i == reopen_after:
             # Crash-safe round trip in the middle of the stream; the
             # remaining segments extend the *reopened* index, so the

@@ -352,17 +352,18 @@ def _cmd_profile(args):
     return 0
 
 
-def _load_serving_index(path):
+def _load_serving_index(path, **disk_options):
     """Open any persisted index layer for serving, auto-detected:
     a directory with a shard manifest loads sharded, a ``SPDK``-magic
     file reopens the page-resident disk layer, anything else goes
-    through the flat serializer."""
+    through the flat serializer.  ``disk_options`` (e.g. WAL fsync
+    policy) reach the disk layer — flat files ignore them."""
     import os
 
     if os.path.isdir(path):
         from repro.shard import ShardedSpineIndex
 
-        return ShardedSpineIndex.load(path), "shard"
+        return ShardedSpineIndex.load(path, **disk_options), "shard"
     with open(path, "rb") as handle:
         head = handle.read(8192)
     # The disk layer commits generation g to metadata slot g % 2, so
@@ -370,7 +371,7 @@ def _load_serving_index(path):
     if head[:4] == b"SPDK" or head[4096:4100] == b"SPDK":
         from repro.disk.spine_disk import DiskSpineIndex
 
-        return DiskSpineIndex.open(path), "disk"
+        return DiskSpineIndex.open(path, **disk_options), "disk"
     from repro.core.serialize import load_index
 
     return load_index(path), "memory"
@@ -419,7 +420,8 @@ def _cmd_serve(args):
     from repro.serve import QueryService
     from repro.storage import failpoints
 
-    index, kind = _load_serving_index(args.index)
+    wal_fsync = (None if args.wal_fsync == "none" else args.wal_fsync)
+    index, kind = _load_serving_index(args.index, wal_fsync=wal_fsync)
     obs.enable_metrics(reset=True)
     slow_log = get_slow_log()
     if args.slow_threshold_ms is not None:
@@ -465,6 +467,22 @@ def _cmd_serve(args):
             failpoints.fail_at(site, mode=mode, nth=nth, count=count,
                                delay=delay)
 
+    scrubber = None
+    if args.scrub_interval is not None and args.scrub_interval > 0:
+        from repro.storage.scrub import Scrubber
+
+        scrubber = Scrubber(index, interval=args.scrub_interval,
+                            pages_per_second=args.scrub_rate).start()
+
+    extend_rng = random.Random(args.seed + 1)
+    extend_symbols = getattr(index, "alphabet", None)
+    extend_symbols = (extend_symbols.symbols if extend_symbols
+                      is not None else "ACGT")
+    if args.extend_load > 0 and not hasattr(index, "extend"):
+        raise ReproError(
+            f"{args.index}: a {kind} index is not extendable; drop "
+            "--extend-load")
+
     service = QueryService(
         index, threads=args.threads,
         stats_port=args.stats_port, stats_host=args.host,
@@ -507,13 +525,30 @@ def _cmd_serve(args):
                     # the query failed structurally, serving continues.
                     faults += 1
                 queries += len(batch) + 1
-            else:
+            if args.extend_load > 0:
+                piece = "".join(
+                    extend_rng.choice(extend_symbols)
+                    for _ in range(args.extend_load))
+                try:
+                    index.extend(piece)
+                except failpoints.CrashInjected:
+                    # An armed wal.append/wal.fsync fault "killed" the
+                    # writer mid-extend; the harness role of this loop
+                    # is the restarted process, which keeps serving —
+                    # the WAL guarantees no index state was half
+                    # applied.
+                    faults += 1
+                except (StorageError, OSError):
+                    faults += 1
+            if args.load <= 0 and args.extend_load <= 0:
                 time.sleep(0.2)
     except KeyboardInterrupt:
         pass
     finally:
         if args.inject_fault:
             failpoints.clear_failpoints()
+        if scrubber is not None:
+            scrubber.stop()
         if flusher is not None:
             flusher.stop()
         service.close()
@@ -701,6 +736,71 @@ def _cmd_fuzz(args):
         for path in report.repro_files:
             print(f"  repro file: {path}")
     return 0 if report.ok else 1
+
+
+def _cmd_wal(args):
+    from repro.storage.wal import WAL_SUFFIX, scan_wal, wal_path_for
+
+    path = args.index
+    if not path.endswith(WAL_SUFFIX):
+        path = wal_path_for(path)
+    scan = scan_wal(path)
+    doc = scan.to_dict()
+    if args.json:
+        json.dump(doc, sys.stdout, indent=2, sort_keys=True)
+        print()
+    elif not scan.exists:
+        print(f"{path}: no WAL (nothing to replay)")
+    elif not scan.header_ok:
+        print(f"{path}: unreadable ({scan.torn_reason}); recovery "
+              "reinitializes it as an empty log")
+    else:
+        print(f"{path}: {doc['records']} record(s), "
+              f"{doc['chars']} char(s), last LSN {doc['last_lsn']}, "
+              f"base generation {doc['base_generation']}")
+        if scan.torn_reason is not None:
+            print(f"  torn tail: {scan.torn_reason} "
+                  f"({scan.tail_bytes} byte(s) truncated on reopen)")
+        for record in scan.records[-args.tail:] if args.tail else ():
+            print(f"  gen {record.generation} lsn {record.lsn}: "
+                  f"{len(record.payload)} char(s)")
+    clean = not scan.exists or (scan.header_ok
+                                and scan.torn_reason is None)
+    return 0 if clean else 1
+
+
+def _cmd_scrub(args):
+    from repro.storage.scrub import scrub_index
+
+    index, kind = _load_serving_index(args.index, wal_fsync=None)
+    try:
+        if args.repair and kind == "shard":
+            index.enable_breakers()
+        report = scrub_index(index, pages_per_second=args.rate,
+                             repair=args.repair)
+    finally:
+        if hasattr(index, "close"):
+            index.close()
+    if args.json:
+        json.dump(report, sys.stdout, indent=2, sort_keys=True)
+        print()
+    else:
+        corrupt_pages = sum(len(c["pages"]) for c in report["corrupt"])
+        status = "CORRUPT" if corrupt_pages else "clean"
+        print(f"{args.index}: {status} "
+              f"({report['pages_checked']} page(s) checked, "
+              f"{kind} layer)")
+        for entry in report["corrupt"]:
+            where = ("" if entry["shard"] is None
+                     else f"shard {entry['shard']} ")
+            print(f"  {where}corrupt pages: {entry['pages']}")
+        for shard_id in report["repaired_shards"]:
+            print(f"  shard {shard_id}: repaired online")
+        for err in report["errors"]:
+            print(f"  error: {err}")
+    unrepaired = [c for c in report["corrupt"]
+                  if c["shard"] not in report["repaired_shards"]]
+    return 1 if unrepaired or report["errors"] else 0
 
 
 def _cmd_fsck(args):
@@ -908,6 +1008,19 @@ def build_parser():
     p.add_argument("--slowlog-out", metavar="FILE",
                    help="write the slow-query log snapshot as JSON on "
                         "exit")
+    p.add_argument("--wal-fsync", default="always",
+                   choices=["always", "interval", "off", "none"],
+                   help="disk layer: WAL fsync policy for extends "
+                        "(default always; none disables the WAL)")
+    p.add_argument("--extend-load", type=int, default=0, metavar="N",
+                   help="append N random characters per loop "
+                        "iteration, exercising the extend/WAL write "
+                        "path under load (default 0)")
+    p.add_argument("--scrub-interval", type=float, metavar="SECONDS",
+                   help="run the background page scrubber this often "
+                        "(default: no scrubbing)")
+    p.add_argument("--scrub-rate", type=float, metavar="PAGES_PER_SEC",
+                   help="scrubber I/O throttle (default unthrottled)")
     p.set_defaults(func=_cmd_serve)
 
     p = sub.add_parser(
@@ -997,6 +1110,33 @@ def build_parser():
     p.add_argument("--json", action="store_true",
                    help="emit the full machine-readable report")
     p.set_defaults(func=_cmd_fsck)
+
+    p = sub.add_parser(
+        "wal",
+        help="inspect the write-ahead log of a disk index "
+             "(records, last LSN, torn-tail diagnosis)")
+    p.add_argument("index",
+                   help="disk index file (or its .wal sidecar)")
+    p.add_argument("--tail", type=int, default=0, metavar="N",
+                   help="also list the last N records")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable scan")
+    p.set_defaults(func=_cmd_wal)
+
+    p = sub.add_parser(
+        "scrub",
+        help="one-shot page verification sweep of a disk index file "
+             "or sharded index directory")
+    p.add_argument("index",
+                   help="disk index file or sharded index directory")
+    p.add_argument("--repair", action="store_true",
+                   help="sharded index: quarantine and rebuild a "
+                        "corrupt shard online")
+    p.add_argument("--rate", type=float, metavar="PAGES_PER_SEC",
+                   help="I/O throttle (default unthrottled)")
+    p.add_argument("--json", action="store_true",
+                   help="emit the machine-readable report")
+    p.set_defaults(func=_cmd_scrub)
     return parser
 
 

@@ -48,6 +48,7 @@ from repro.obs.trace import get_tracer
 from repro.storage.buffer import (
     BufferPool, ClockPolicy, LRUPolicy, PinTopPolicy)
 from repro.storage.pager import PageFile
+from repro.storage.wal import WriteAheadLog, wal_path_for
 
 _CL = struct.Struct("<B")
 _LT = struct.Struct("<iH")
@@ -226,6 +227,16 @@ class DiskSpineIndex:
     pintop_fraction:
         With ``policy="pintop"``: fraction of the buffer reserved for
         the top of the LT region (plus the tiny CL region).
+    wal_fsync:
+        Write-ahead-log fsync policy for extend records —
+        ``"always"`` (default: an acknowledged extend survives power
+        loss), ``"interval"`` (fsync every ``wal_fsync_interval``
+        appends), ``"off"`` (log without fsync), or ``None`` to
+        disable the WAL entirely.  Only persistent (``path`` given)
+        version-3 indexes keep a WAL; legacy files and in-memory
+        indexes ignore this.
+    wal_fsync_interval:
+        Appends between fsyncs under the ``interval`` policy.
     """
 
     #: Magic bytes of the metadata page (page 0) of a persisted index.
@@ -242,7 +253,9 @@ class DiskSpineIndex:
 
     def __init__(self, alphabet=None, path=None, page_size=4096,
                  buffer_pages=64, policy="lru", sync_writes=False,
-                 pintop_fraction=0.5, _defer_init=False, _format=None):
+                 pintop_fraction=0.5, wal_fsync="always",
+                 wal_fsync_interval=32, _defer_init=False,
+                 _format=None):
         if alphabet is None:
             # Canonical case-insensitive factory, matching SpineIndex's
             # default so both accept lowercase input out of the box.
@@ -285,8 +298,17 @@ class DiskSpineIndex:
         #: Continuation pages of each metadata slot (v3; grown on
         #: demand, reused checkpoint after checkpoint).
         self._meta_chains = {0: [], 1: []}
+        self._path = path
+        #: Write-ahead log of extend records (None when disabled).
+        self._wal = None
         if _defer_init:
             return
+        if path is not None and fmt >= 3 and wal_fsync is not None:
+            # A brand-new index starts from an empty log even when a
+            # stale sidecar exists at the same path.
+            self._wal = WriteAheadLog(
+                wal_path_for(path), fsync_policy=wal_fsync,
+                fsync_interval=wal_fsync_interval, fresh=True)
         if fmt >= 3:
             # Pages 0 and 1 are the two generational metadata slots:
             # generation g commits to slot g % 2, so a torn commit can
@@ -352,10 +374,30 @@ class DiskSpineIndex:
         """Last durable checkpoint generation (0 before the first)."""
         return self._generation
 
+    @property
+    def wal(self):
+        """The extend write-ahead log (``None`` when disabled)."""
+        return self._wal
+
     def abort(self):
-        """Release the file *without* flushing — the simulated-crash
-        path (and the cleanup path for a failed :meth:`open`)."""
+        """Roll back to the last checkpoint: release the file without
+        flushing and *discard* the write-ahead log, so a reopen serves
+        exactly the last durable generation.  Also the cleanup path
+        for a failed :meth:`open`.  To simulate a crash that keeps the
+        log (reopen-and-replay), use :meth:`crash`."""
         self.pagefile.close(sync=False)
+        if self._wal is not None:
+            self._wal.discard()
+            self._wal = None
+
+    def crash(self):
+        """Simulated ``kill -9``: drop every descriptor without
+        flushing, fsyncing or discarding anything — the on-disk bytes
+        (last checkpoint + WAL tail) are exactly what a restarted
+        process would find, so tests reopen and verify replay."""
+        self.pagefile.close(sync=False)
+        if self._wal is not None:
+            self._wal.close(sync=False)
 
     def _live_pages(self):
         live = set()
@@ -411,6 +453,12 @@ class DiskSpineIndex:
         self._generation = gen
         if self._ledger is not None:
             self._ledger.commit(self._live_pages())
+        if self._wal is not None:
+            # Every logged extend is now inside the durable
+            # checkpoint; cut the log only *after* the commit point so
+            # a crash in between replays nothing wrong (the stale
+            # records' stamps predate the recovered generation).
+            self._wal.truncate(gen)
 
     def _checkpoint_legacy(self):
         """The version-1/2 in-place layout (page 0 overwritten, not
@@ -444,7 +492,8 @@ class DiskSpineIndex:
 
     @classmethod
     def open(cls, path, alphabet=None, page_size=4096, buffer_pages=64,
-             policy="lru", sync_writes=False, pintop_fraction=0.5):
+             policy="lru", sync_writes=False, pintop_fraction=0.5,
+             wal_fsync="always", wal_fsync_interval=32):
         """Reopen an index persisted with :meth:`checkpoint`.
 
         ``alphabet`` may be omitted; the full identity (symbols,
@@ -461,6 +510,14 @@ class DiskSpineIndex:
         generation instead of loading garbage. A file with no intact
         generation raises a descriptive
         :class:`~repro.exceptions.StorageError`.
+
+        With ``wal_fsync`` non-``None`` (the default) a sidecar write-
+        ahead log is then scanned: its torn tail is truncated, and
+        every record stamped with the recovered generation is replayed
+        in order, restoring extends past the last checkpoint.  Pass
+        ``wal_fsync=None`` to leave the sidecar untouched and disabled
+        (legacy v1/v2 files always open that way — their format
+        predates the WAL).
         """
         if not os.path.exists(path):
             raise StorageError(f"{path}: no such index file")
@@ -480,7 +537,10 @@ class DiskSpineIndex:
                       policy=policy, sync_writes=sync_writes,
                       pintop_fraction=pintop_fraction)
         if version >= 3:
-            return cls._open_v3(path, size, alphabet, **common)
+            index = cls._open_v3(path, size, alphabet, **common)
+            if wal_fsync is not None:
+                index._attach_wal(wal_fsync, wal_fsync_interval)
+            return index
         return cls._open_legacy(version, path, size, alphabet, **common)
 
     @classmethod
@@ -557,6 +617,54 @@ class DiskSpineIndex:
         ledger.pending_free = []
         index._refresh_pintop_protection()
         return index
+
+    def _attach_wal(self, fsync_policy, fsync_interval=32):
+        """Open (or create) the sidecar WAL and replay its tail.
+
+        Replay is strict: records stamped with an older generation are
+        already inside the recovered checkpoint and are skipped;
+        records stamped with the recovered generation are applied in
+        order, each required to continue exactly at the current index
+        length.  The first record that breaks either rule — a stamp
+        from the future, an LSN discontinuity — ends the replay and is
+        physically truncated along with everything after it: a
+        questionable tail is dropped, never replayed wrong.
+        """
+        wal = WriteAheadLog(wal_path_for(self._path),
+                            fsync_policy=fsync_policy,
+                            fsync_interval=fsync_interval,
+                            base_generation=self._generation)
+        replayed_chars = 0
+        replayed_records = 0
+        kept_records = 0
+        kept_lsn = 0
+        cut_at = None
+        with self.pool.rwlock.write_locked():
+            for record in wal.recovered:
+                if record.generation < self._generation:
+                    kept_records += 1
+                    kept_lsn = record.lsn
+                    continue
+                if (record.generation > self._generation
+                        or record.lsn != self._n + len(record.payload)):
+                    cut_at = record.offset
+                    break
+                for c in record.payload:
+                    self._append_code(c)
+                replayed_records += 1
+                replayed_chars += len(record.payload)
+                kept_records += 1
+                kept_lsn = record.lsn
+        if cut_at is not None:
+            wal.rewind(cut_at, kept_records, kept_lsn)
+        wal.recovered = []
+        self._wal = wal
+        registry = get_registry()
+        if registry.enabled and replayed_records:
+            registry.counter("wal.replayed_records").inc(
+                replayed_records)
+            registry.counter("wal.replayed_chars").inc(replayed_chars)
+        return wal
 
     @classmethod
     def _read_meta_slot(cls, pagefile, slot):
@@ -814,8 +922,18 @@ class DiskSpineIndex:
             started = time.perf_counter()
         encode = self.alphabet.encode_char
         with self.pool.rwlock.write_locked():
-            for ch in text:
-                self._append_code(encode(ch))
+            if self._wal is not None and text:
+                # Write-ahead: the whole extend is framed and (policy
+                # permitting) fsynced before any page mutates, so a
+                # crash at any later point replays it on reopen.
+                codes = bytes(encode(ch) for ch in text)
+                self._wal.append(codes, self._generation,
+                                 self._n + len(codes))
+                for c in codes:
+                    self._append_code(c)
+            else:
+                for ch in text:
+                    self._append_code(encode(ch))
         if observing:
             registry.counter("disk.construction.chars").inc(len(text))
             registry.timer("disk.construction.extend.seconds").observe(
@@ -824,6 +942,11 @@ class DiskSpineIndex:
     def append_code(self, c):
         """Append one character code (the paper's APPEND, on disk)."""
         with self.pool.rwlock.write_locked():
+            if self._wal is not None:
+                if not 0 <= c < self._asize:
+                    raise ConstructionError(f"code {c} out of range")
+                self._wal.append(bytes((c,)), self._generation,
+                                 self._n + 1)
             self._append_code(c)
 
     def _append_code(self, c):
@@ -895,12 +1018,18 @@ class DiskSpineIndex:
             self.pool.flush()
 
     def close(self, checkpoint=False):
-        """Flush (optionally checkpoint) and close the page file."""
+        """Flush (optionally checkpoint) and close the page file.
+
+        Without ``checkpoint`` the WAL keeps its records, so a later
+        :meth:`open` replays any extends past the last checkpoint —
+        a clean close no longer silently drops them."""
         with self.pool.rwlock.write_locked():
             if checkpoint:
                 self._checkpoint()
             self.pool.flush()
             self.pagefile.close()
+            if self._wal is not None and not self._wal.closed:
+                self._wal.close()
 
     def __enter__(self):
         return self

@@ -70,6 +70,22 @@ def _buffer_health(pool):
     }
 
 
+def _wal_health(index):
+    """Aggregate WAL stats of one disk index (or ``None``)."""
+    wal = getattr(index, "wal", None)
+    if wal is None or wal.closed:
+        return None
+    stats = wal.stats()
+    return {
+        "fsync_policy": stats["fsync_policy"],
+        "records": stats["records"],
+        "last_lsn": stats["last_lsn"],
+        "bytes": stats["bytes"],
+        "base_generation": stats["base_generation"],
+        "pending_fsync": stats["pending_fsync"],
+    }
+
+
 def index_health(index):
     """JSON-ready health description of any traversal layer.
 
@@ -91,6 +107,9 @@ def index_health(index):
         doc["page_count"] = pagefile.page_count
         doc["page_size"] = pagefile.page_size
         doc["buffer"] = _buffer_health(pool)
+        wal = _wal_health(index)
+        if wal is not None:
+            doc["wal"] = wal
         return doc
     if hasattr(index, "shard_count") and hasattr(index, "stats"):
         stats = index.stats()
@@ -99,6 +118,21 @@ def index_health(index):
         doc["max_pattern_len"] = stats["max_pattern_len"]
         if stats.get("breakers") is not None:
             doc["breakers"] = stats["breakers"]
+        if stats.get("quarantined") is not None:
+            doc["quarantined_shards"] = stats["quarantined"]
+        wals = []
+        for shard in getattr(index, "_shards", ()):
+            wal = _wal_health(shard.index)
+            if wal is not None:
+                wals.append(wal)
+        if wals:
+            doc["wal"] = {
+                "records": sum(w["records"] for w in wals),
+                "bytes": sum(w["bytes"] for w in wals),
+                "pending_fsync": sum(w["pending_fsync"]
+                                     for w in wals),
+                "fsync_policy": wals[0]["fsync_policy"],
+            }
         buffers = []
         for shard in getattr(index, "_shards", ()):
             shard_pool = getattr(shard.index, "pool", None)
@@ -150,9 +184,18 @@ def update_health_gauges(registry, index):
     if "generation" in health:
         registry.gauge("disk.generation").set(health["generation"])
         registry.gauge("disk.page_count").set(health["page_count"])
+    wal = health.get("wal")
+    if wal is not None:
+        registry.gauge("wal.records").set(wal["records"])
+        registry.gauge("wal.bytes").set(wal["bytes"])
+        registry.gauge("wal.pending_fsync").set(wal["pending_fsync"])
+        if "last_lsn" in wal:
+            registry.gauge("wal.last_lsn").set(wal["last_lsn"])
     shards = health.get("shards")
     if shards is not None:
         registry.gauge("shard.count").set(len(shards))
+        registry.gauge("shard.quarantined").set(
+            len(health.get("quarantined_shards") or ()))
         for shard in shards:
             prefix = f"shard.{shard['id']}"
             registry.gauge(prefix + ".length").set(shard["local_len"])
@@ -258,16 +301,34 @@ class StatsServer:
         return render_prometheus(self.registry)
 
     def health(self):
-        """The ``/healthz`` payload: ``(doc, http_status)``."""
+        """The ``/healthz`` payload: ``(doc, http_status)``.
+
+        A sharded index with quarantined shards reports ``degraded``
+        with a reason but stays HTTP 200 — scatter-gather still
+        answers (partially), so load balancers must not eject the
+        instance while a repair is in flight.
+        """
         closed = bool(getattr(self.service, "closed", False))
+        quarantined = list(
+            getattr(self.index, "quarantined_shards", ()) or ())
+        if closed:
+            status = "closed"
+        elif quarantined:
+            status = "degraded"
+        else:
+            status = "ok"
         doc = {
-            "status": "closed" if closed else "ok",
+            "status": status,
             "layer": (type(self.index).__name__
                       if self.index is not None else None),
             "length": len(self.index) if self.index is not None else 0,
             "metrics_enabled": self.registry.enabled,
             "slow_log_enabled": self.slow_log.enabled,
         }
+        if quarantined:
+            doc["degraded_reason"] = (
+                f"shards {quarantined} quarantined, repair in "
+                "progress")
         return doc, (503 if closed else 200)
 
     def stats(self):

@@ -37,6 +37,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 
@@ -54,6 +55,74 @@ __all__ = ["ShardedSpineIndex"]
 
 _MANIFEST = "manifest.json"
 _MANIFEST_VERSION = 1
+
+
+class _SpanJournal:
+    """Durable copy of one disk shard's local text — the repair source.
+
+    A string index can always be rebuilt from the text it indexes; the
+    journal *keeps* that text (``shard-<i>.span`` next to the page
+    file, or an in-memory buffer for pathless shards) so
+    :meth:`ShardedSpineIndex.repair_shard` can reconstruct a shard
+    whose page file went bad without trusting any of its pages.
+    Appends mirror ``shard.index.extend`` calls exactly, journal
+    first — on a crash the journal may run slightly ahead of the
+    index, which :meth:`ShardedSpineIndex.load` reconciles.
+    """
+
+    __slots__ = ("path", "chars", "_fh", "_buf")
+
+    def __init__(self, path=None, fresh=False):
+        self.path = path
+        self.chars = 0
+        self._buf = None
+        self._fh = None
+        if path is None:
+            self._buf = []
+            return
+        self._fh = open(path, "wb+" if fresh else "ab+")
+        if not fresh:
+            self._fh.seek(0)
+            data = self._fh.read()
+            if data:
+                self.chars = len(data.decode("utf-8"))
+        self._fh.seek(0, 2)
+
+    def append(self, text):
+        if not text:
+            return
+        if self._fh is not None:
+            self._fh.write(text.encode("utf-8"))
+            self._fh.flush()
+        else:
+            self._buf.append(text)
+        self.chars += len(text)
+
+    def read(self):
+        """The full journalled text."""
+        if self._fh is None:
+            return "".join(self._buf)
+        self._fh.flush()
+        self._fh.seek(0)
+        data = self._fh.read()
+        self._fh.seek(0, 2)
+        return data.decode("utf-8")
+
+    def rewrite(self, text):
+        """Replace the journal contents wholesale (reconciliation)."""
+        if self._fh is None:
+            self._buf = [text]
+        else:
+            self._fh.seek(0)
+            self._fh.truncate(0)
+            self._fh.write(text.encode("utf-8"))
+            self._fh.flush()
+        self.chars = len(text)
+
+    def close(self):
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
 
 
 class _Shard:
@@ -109,6 +178,14 @@ class ShardedSpineIndex:
         self.split_threshold = split_threshold
         self._disk_options = disk_options or {}
         self._concurrent = False
+        #: Shard ids under quarantine: scatter-gather skips them
+        #: (degraded) or fails fast (strict) until repair completes.
+        self._quarantined = set()
+        #: Serializes repair publication against concurrent extends of
+        #: a quarantined shard.
+        self._repair_lock = threading.Lock()
+        #: ``{shard_id: _SpanJournal}`` repair sources (disk layer).
+        self._journals = {}
         #: Per-shard circuit breakers (``None`` until
         #: :meth:`enable_breakers`); aligned with ``self._shards``.
         self._breakers = None
@@ -219,9 +296,22 @@ class ShardedSpineIndex:
         index = cls(built, alphabet, max_pattern_len, layer, n,
                     path=path, split_threshold=split_threshold,
                     disk_options=disk_options)
+        if layer == "disk":
+            for i, spec in enumerate(specs):
+                journal = _SpanJournal(index._journal_path(i),
+                                       fresh=True)
+                journal.append(spec.text)
+                index._journals[i] = journal
         if path is not None and layer != "packed":
             index.save(path)
         return index
+
+    def _journal_path(self, shard_id):
+        """Span-journal path of one shard (``None`` keeps it in
+        memory, mirroring a pathless disk shard)."""
+        if self.path is None:
+            return None
+        return os.path.join(self.path, f"shard-{shard_id}.span")
 
     # -- basic protocol ------------------------------------------------
 
@@ -273,6 +363,142 @@ class ShardedSpineIndex:
             return None
         return self._breakers[shard_id]
 
+    @property
+    def breakers_enabled(self):
+        """True after :meth:`enable_breakers` (the self-healing gate:
+        the scrubber only quarantines when breakers are on, because
+        quarantine piggybacks on the same skip-the-shard machinery)."""
+        return self._breakers is not None
+
+    @property
+    def quarantined_shards(self):
+        """Sorted ids of shards currently quarantined for repair."""
+        return sorted(self._quarantined)
+
+    def quarantine(self, shard_id, reason=""):
+        """Take one shard out of the query fan-out.
+
+        Strict queries fail fast with
+        :class:`~repro.exceptions.CircuitOpenError`; degraded queries
+        skip the shard and report it in ``failed_shards`` — exactly an
+        open breaker's behaviour, but pinned until
+        :meth:`repair_shard` succeeds.  Extends aimed at a quarantined
+        shard land in its span journal only, so the rebuild picks them
+        up.  Idempotent.
+        """
+        if not 0 <= shard_id < len(self._shards):
+            raise SearchError(f"no shard {shard_id}")
+        self._quarantined.add(shard_id)
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("shard.quarantines").inc()
+            registry.gauge("shard.quarantined").set(
+                len(self._quarantined))
+        tracer = get_tracer()
+        if tracer.enabled:
+            span = tracer.begin("shard.quarantine", shard=shard_id,
+                                reason=reason)
+            tracer.finish(span, status="quarantined")
+
+    def repair_shard(self, shard_id):
+        """Rebuild a quarantined disk shard online and re-admit it.
+
+        The replacement index is constructed from the shard's **span
+        journal** — the durable copy of its local text, which never
+        trusts the corrupt page file — in a sidecar ``.rebuild`` page
+        file, caught up with any extends that arrived mid-rebuild,
+        atomically moved over the old file, and swapped in; only then
+        is the quarantine lifted (and the shard's breaker reset).
+        Queries keep running against the other shards the whole time —
+        in degraded mode they return ``PartialResult(complete=False)``
+        until the swap, complete answers after.
+
+        Raises :class:`~repro.exceptions.StorageError` (shard stays
+        quarantined) when no journal exists and the old index cannot
+        yield its text — repair then needs the original source data.
+        """
+        if self.layer != "disk":
+            raise StorageError(
+                f"repair_shard only applies to disk shards "
+                f"(layer={self.layer!r})")
+        if not 0 <= shard_id < len(self._shards):
+            raise SearchError(f"no shard {shard_id}")
+        from repro.disk import DiskSpineIndex
+
+        registry = get_registry()
+        started = time.perf_counter()
+        shard = self._shards[shard_id]
+        journal = self._journals.get(shard_id)
+        if journal is not None:
+            source = journal.read()
+        else:
+            # Best effort without a journal: the old index's CL region
+            # may still be readable when the corruption hit elsewhere.
+            try:
+                source = shard.index.text
+            except Exception as exc:
+                raise StorageError(
+                    f"shard {shard_id}: no span journal and the old "
+                    f"index cannot be read back ({exc}); repair needs "
+                    "the original source text") from exc
+        old_path = getattr(shard.index.pagefile, "_path", None)
+        build_path = (old_path + ".rebuild"
+                      if old_path is not None else None)
+        new_index = DiskSpineIndex(alphabet=self.alphabet,
+                                   path=build_path,
+                                   **self._disk_options)
+        try:
+            new_index.extend(source)
+            with self._repair_lock:
+                if journal is not None and journal.chars > len(new_index):
+                    # Extends that arrived while we were rebuilding.
+                    new_index.extend(journal.read()[len(new_index):])
+                if old_path is not None:
+                    new_index.close(checkpoint=True)
+                    shard.index.abort()
+                    os.replace(build_path, old_path)
+                    try:
+                        os.replace(build_path + ".wal",
+                                   old_path + ".wal")
+                    except FileNotFoundError:
+                        pass
+                    new_index = DiskSpineIndex.open(
+                        old_path, alphabet=self.alphabet,
+                        **self._disk_options)
+                else:
+                    new_index.checkpoint()
+                    shard.index.abort()
+                if self._concurrent:
+                    enable = getattr(new_index,
+                                     "enable_concurrent_reads", None)
+                    if enable is not None:
+                        enable()
+                shard.index = new_index
+                if self._breakers is not None:
+                    self._breakers[shard_id] = CircuitBreaker(
+                        f"shard-{shard_id}", **self._breaker_config)
+                self._quarantined.discard(shard_id)
+        except Exception:
+            # Leave the shard quarantined; drop the half-built file.
+            try:
+                new_index.abort()
+            except Exception:
+                pass
+            if build_path is not None and os.path.exists(build_path):
+                os.unlink(build_path)
+            raise
+        if registry.enabled:
+            registry.counter("shard.repairs").inc()
+            registry.gauge("shard.quarantined").set(
+                len(self._quarantined))
+            registry.timer("shard.repair.seconds").observe(
+                time.perf_counter() - started)
+        tracer = get_tracer()
+        if tracer.enabled:
+            span = tracer.begin("shard.repair", shard=shard_id,
+                                chars=len(new_index))
+            tracer.finish(span, status="repaired")
+
     def _guard(self, i, fn, degraded, failed):
         """Run one shard's query under its breaker.
 
@@ -284,6 +510,14 @@ class ShardedSpineIndex:
         nothing about shard health), and an open breaker's instant
         rejection never touches the shard at all.
         """
+        if i in self._quarantined:
+            exc = CircuitOpenError(
+                f"shard-{i} is quarantined for repair",
+                name=f"shard-{i}")
+            if degraded:
+                failed[i] = exc
+                return None
+            raise exc
         breaker = self._breakers[i] if self._breakers is not None \
             else None
         try:
@@ -633,18 +867,19 @@ class ShardedSpineIndex:
             self.alphabet.encode(text)
         n0 = self._len
         grown = len(text)
-        for shard in self._shards[:-1]:
+        for i, shard in enumerate(self._shards[:-1]):
             if shard.pending_overlap <= 0:
                 continue
-            want_from = shard.start + len(shard.index)
+            want_from = shard.start + self._local_len(i, shard)
             want_to = (shard.start + shard.owned_len + self.overlap)
             lo, hi = max(want_from, n0), min(want_to, n0 + grown)
             if lo < hi:
-                shard.index.extend(text[lo - n0:hi - n0])
-            shard.pending_overlap = want_to - (shard.start
-                                               + len(shard.index))
-        tail = self._shards[-1]
-        tail.index.extend(text)
+                self._feed(i, shard, text[lo - n0:hi - n0])
+            shard.pending_overlap = want_to - (
+                shard.start + self._local_len(i, shard))
+        tail_id = len(self._shards) - 1
+        tail = self._shards[tail_id]
+        self._feed(tail_id, tail, text)
         tail.owned_len += grown
         self._len = n0 + grown
         registry = get_registry()
@@ -653,6 +888,35 @@ class ShardedSpineIndex:
         if (self.split_threshold is not None
                 and tail.owned_len >= self.split_threshold):
             self._split_tail()
+
+    def _local_len(self, i, shard):
+        """Logical local length of shard ``i``: its index length, or —
+        while quarantined with a journal — the journal length (the
+        index stops receiving text then; the journal keeps growing so
+        the rebuild catches up)."""
+        journal = self._journals.get(i)
+        if journal is not None and i in self._quarantined:
+            return journal.chars
+        return len(shard.index)
+
+    def _feed(self, i, shard, piece):
+        """Append ``piece`` to one shard: journal first (it is the
+        repair source and must never lag), then the index — unless the
+        shard is quarantined, in which case the text lands in the
+        journal only and reaches the index via the rebuild."""
+        if not piece:
+            return
+        journal = self._journals.get(i)
+        if journal is not None and i in self._quarantined:
+            with self._repair_lock:
+                if i in self._quarantined:
+                    journal.append(piece)
+                    return
+            # Repair finished while we waited: fall through and feed
+            # the (rebuilt) index normally.
+        if journal is not None:
+            journal.append(piece)
+        shard.index.extend(piece)
 
     def _split_tail(self):
         """Seal the tail and start a fresh empty one after it."""
@@ -673,6 +937,9 @@ class ShardedSpineIndex:
 
             index = SpineIndex(alphabet=self.alphabet)
         shard = _Shard(index, new_start, 0)
+        if self.layer == "disk":
+            self._journals[new_id] = _SpanJournal(
+                self._journal_path(new_id), fresh=True)
         if self._concurrent:
             enable = getattr(index, "enable_concurrent_reads", None)
             if enable is not None:
@@ -699,6 +966,7 @@ class ShardedSpineIndex:
             "split_threshold": self.split_threshold,
             "breakers": ([b.snapshot() for b in self._breakers]
                          if self._breakers is not None else None),
+            "quarantined": self.quarantined_shards,
             "shards": [
                 {
                     "id": i,
@@ -706,6 +974,7 @@ class ShardedSpineIndex:
                     "owned_len": s.owned_len,
                     "local_len": len(s.index),
                     "pending_overlap": s.pending_overlap,
+                    "quarantined": i in self._quarantined,
                 }
                 for i, s in enumerate(self._shards)
             ],
@@ -823,17 +1092,50 @@ class ShardedSpineIndex:
             shards.append(_Shard(index, entry["start"],
                                  entry["owned_len"],
                                  entry.get("pending_overlap", 0)))
-        return cls(shards, alphabet, manifest["max_pattern_len"], want,
-                   manifest["length"], path=path,
-                   split_threshold=manifest.get("split_threshold"),
-                   disk_options=disk_options)
+        index = cls(shards, alphabet, manifest["max_pattern_len"],
+                    want, manifest["length"], path=path,
+                    split_threshold=manifest.get("split_threshold"),
+                    disk_options=disk_options)
+        if want == "disk":
+            # WAL replay can reopen a shard *ahead* of the saved
+            # manifest (extends since the last save() are durable
+            # now); fold the replayed text back into the shard map so
+            # lengths and overlap accounting stay consistent.
+            tail = index._shards[-1]
+            extra = len(tail.index) - tail.owned_len
+            if extra > 0:
+                tail.owned_len += extra
+                index._len += extra
+            for shard in index._shards[:-1]:
+                if shard.pending_overlap > 0:
+                    shard.pending_overlap = max(
+                        0, shard.owned_len + index.overlap
+                        - len(shard.index))
+            for i, shard in enumerate(index._shards):
+                jpath = index._journal_path(i)
+                if jpath is None or not os.path.exists(jpath):
+                    # Directories saved before span journals existed:
+                    # repair falls back to the shard's own text.
+                    continue
+                journal = _SpanJournal(jpath)
+                if journal.chars != len(shard.index):
+                    # The journal is appended before the index, so a
+                    # crash can leave it ahead (or a WAL-disabled
+                    # reopen behind); the reopened index is the
+                    # durable truth — resync the journal to it.
+                    journal.rewrite(shard.index.text)
+                index._journals[i] = journal
+        return index
 
     def close(self):
-        """Close disk shards (no-op on the in-memory layers)."""
+        """Close disk shards and span journals (no-op on the
+        in-memory layers)."""
         for shard in self._shards:
             closer = getattr(shard.index, "close", None)
             if closer is not None:
                 closer()
+        for journal in self._journals.values():
+            journal.close()
 
     def __enter__(self):
         return self

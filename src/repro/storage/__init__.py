@@ -18,7 +18,13 @@ building blocks:
   so the crash-safety of the layers above is provable by test;
 * :mod:`repro.storage.fsck` — offline integrity scan of a persisted
   disk index (metadata slots, generation chain, per-page CRCs, region
-  page-list sanity) behind the ``repro fsck`` CLI.
+  page-list sanity) behind the ``repro fsck`` CLI;
+* :mod:`repro.storage.wal` — append-only CRC32-framed write-ahead log
+  of extend records, so every ``extend()`` since the last checkpoint
+  survives a crash (replayed on reopen, truncated on checkpoint);
+* :mod:`repro.storage.scrub` — rate-limited background verification of
+  committed pages, with online quarantine-and-rebuild of corrupt
+  shards in a sharded index.
 """
 
 from repro.storage.disk import DiskModel
@@ -29,6 +35,9 @@ from repro.storage.metrics import IOMetrics
 from repro.storage.pager import PageFile
 from repro.storage.buffer import (
     BufferPool, ClockPolicy, LRUPolicy, PinTopPolicy, ReadWriteLock)
+from repro.storage.wal import (
+    WAL_SUFFIX, FSYNC_POLICIES, WriteAheadLog, scan_wal, wal_path_for)
+from repro.storage.scrub import Scrubber, scrub_index
 
 __all__ = [
     "DiskModel",
@@ -44,4 +53,11 @@ __all__ = [
     "fail_at",
     "failpoints_armed",
     "get_failpoints",
+    "WAL_SUFFIX",
+    "FSYNC_POLICIES",
+    "WriteAheadLog",
+    "scan_wal",
+    "wal_path_for",
+    "Scrubber",
+    "scrub_index",
 ]

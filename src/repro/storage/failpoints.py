@@ -28,6 +28,14 @@ pager.fsync     ``PageFile.fsync`` before the flush — the checkpoint
                 protocol's ordering boundaries (``oserror``, ``crash``)
 buffer.evict    ``BufferPool._evict_one`` before the victim write-back
                 (``oserror``, ``crash``)
+wal.append      ``WriteAheadLog.append`` before the frame write
+                (``torn``: half the frame lands then the process
+                "dies" — the tail truncates on reopen; ``short``: the
+                frame lands in two writes and survives; ``oserror``;
+                ``crash``)
+wal.fsync       ``WriteAheadLog._fsync`` before the flush (``oserror``,
+                ``crash`` — the frame is written but its durability
+                barrier never completes)
 ==============  ==========================================================
 
 Counting is deterministic: the ``nth`` call to a site fires the fault

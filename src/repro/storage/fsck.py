@@ -21,6 +21,7 @@ import zlib
 
 from repro.exceptions import CorruptPageError, StorageError
 from repro.storage.pager import PageFile
+from repro.storage.wal import scan_wal, wal_path_for
 
 _LEGACY = struct.Struct("<4sHq")
 _V3 = struct.Struct("<4sHHqqI")
@@ -98,10 +99,10 @@ def _check_free_lists(meta, report):
     """RT free lists must index in-range rows of existing RT pages and
     hold no duplicates."""
     regions = {r["name"]: r for r in meta["regions"]}
-    seen = set()
     for k, rows in meta["free_lists"].items():
         region = regions.get(f"rt{k}")
         npages = len(region["pages"]) if region else 0
+        seen = set()
         for row in rows:
             if row in seen:
                 report["errors"].append(
@@ -137,6 +138,7 @@ def fsck(path, page_size=4096):
         "pages_checked": 0,
         "corrupt_pages": [],
         "orphan_pages": 0,
+        "wal": None,
         "errors": [],
         "warnings": [],
         "ok": False,
@@ -180,9 +182,31 @@ def fsck(path, page_size=4096):
             "not a disk SPINE index (no valid metadata slot)")
         return report
     report["format"] = version
+    _fsck_wal(path, report)
     if version < 3:
         return _fsck_legacy(path, page_size, page_count, version, report)
     return _fsck_v3(path, page_size, page_count, report)
+
+
+def _fsck_wal(path, report):
+    """Scan the sidecar WAL into ``report["wal"]``.
+
+    Only warnings come out of here: a torn tail is what recovery
+    truncates by design, and a WAL-less file must keep the exact exit
+    semantics it had before WALs existed."""
+    scan = scan_wal(wal_path_for(path))
+    report["wal"] = scan.to_dict()
+    if not scan.exists:
+        return
+    if not scan.header_ok:
+        report["warnings"].append(
+            f"WAL header does not parse ({scan.torn_reason}); recovery "
+            "reinitializes it as an empty log")
+    elif scan.torn_reason is not None:
+        report["warnings"].append(
+            f"WAL tail torn after {len(scan.records)} valid record(s) "
+            f"at LSN {scan.last_lsn}: {scan.torn_reason} "
+            f"({scan.tail_bytes} bytes truncated on reopen)")
 
 
 def _fsck_v3(path, page_size, page_count, report):
@@ -215,6 +239,13 @@ def _fsck_v3(path, page_size, page_count, report):
                 "commit that recovery would fall back from)")
         gen, slot, blob, chains_of_winner = max(candidates)
         report["active_generation"] = gen
+        wal = report["wal"]
+        if (wal and wal["present"] and wal["header_ok"]
+                and wal["base_generation"] > gen):
+            report["warnings"].append(
+                f"WAL base generation {wal['base_generation']} is "
+                f"ahead of the active checkpoint {gen}; its records "
+                "will not be replayed")
         try:
             meta = _walk_blob(blob, 3)
         except (struct.error, UnicodeDecodeError) as exc:

@@ -1,0 +1,436 @@
+"""Write-ahead log of extend records for the disk-resident index.
+
+PR 4 made *checkpoints* crash-atomic, but every ``extend()`` since the
+last checkpoint still died with the process.  This module closes that
+gap: :class:`~repro.disk.spine_disk.DiskSpineIndex` appends each extend
+to a sidecar log (``<index path>.wal``) *before* mutating any page, so
+recovery-on-open replays the tail past the newest durable checkpoint
+generation and a crash loses at most the writes the fsync policy says
+it may lose.
+
+Log layout (all little-endian)::
+
+    header   <4sHHq>   magic b"SPWL", version, reserved,
+                       base generation (set by the last truncation)
+    record*  <IIqq>    CRC32, payload length, generation stamp, LSN
+             payload   the appended character codes, one byte each
+
+The CRC covers everything after itself (length, stamp, LSN, payload),
+so a record is valid iff its frame is complete *and* checksums — a
+torn tail fails one of the two and scanning stops there.
+
+Correctness rules, enforced by :meth:`WriteAheadLog.scan` +
+:meth:`~repro.disk.spine_disk.DiskSpineIndex.open`:
+
+* a record's **generation stamp** is the checkpoint generation that was
+  durable when it was appended; recovery replays exactly the records
+  stamped with the recovered generation (older stamps are already
+  inside the checkpoint, younger stamps cannot exist);
+* the **LSN** is the index length after applying the record; a replay
+  whose running length disagrees stops and truncates — a mismatched
+  tail is never replayed wrong;
+* a torn or corrupt tail is physically truncated at the last valid
+  frame on open, so the next append extends a clean log.
+
+Fsync policies (the durability/throughput dial benchmarked by
+``benchmarks/bench_wal.py``):
+
+==========  =========================================================
+policy      guarantee
+==========  =========================================================
+always      fsync after every append — an acknowledged ``extend`` is
+            durable (power-loss safe)
+interval    fsync every ``fsync_interval`` appends (and on
+            checkpoint/close) — bounded loss window
+off         never fsync from the append path — the OS decides; a
+            process crash loses nothing, power loss may lose the tail
+==========  =========================================================
+
+Failpoint sites (:mod:`repro.storage.failpoints`): ``wal.append``
+fires before each frame write (``torn`` lands half the frame then
+raises :class:`CrashInjected` — the write offset does not advance, so
+a surviving process overwrites the torn bytes on its next append;
+``short``, ``oserror``, ``crash``); ``wal.fsync`` fires before each
+log fsync.
+"""
+
+from __future__ import annotations
+
+import os
+import struct
+import zlib
+
+from repro.exceptions import StorageError
+from repro.obs import get_registry
+from repro.storage.failpoints import CrashInjected, get_failpoints
+
+__all__ = [
+    "WAL_SUFFIX",
+    "FSYNC_POLICIES",
+    "WalRecord",
+    "WalScan",
+    "WriteAheadLog",
+    "scan_wal",
+    "wal_path_for",
+]
+
+#: Sidecar suffix: the WAL of ``eco.spine`` is ``eco.spine.wal``.
+WAL_SUFFIX = ".wal"
+
+#: Recognised fsync policies, strictest first.
+FSYNC_POLICIES = ("always", "interval", "off")
+
+WAL_MAGIC = b"SPWL"
+WAL_VERSION = 1
+
+_HEADER = struct.Struct("<4sHHq")
+_FRAME = struct.Struct("<IIqq")
+
+_FAILPOINTS = get_failpoints()
+
+
+def wal_path_for(index_path):
+    """The sidecar WAL path of an index file."""
+    return os.fspath(index_path) + WAL_SUFFIX
+
+
+class WalRecord:
+    """One scanned log record (immutable)."""
+
+    __slots__ = ("offset", "generation", "lsn", "payload")
+
+    def __init__(self, offset, generation, lsn, payload):
+        self.offset = offset          # byte offset of the frame
+        self.generation = generation  # checkpoint stamp at append time
+        self.lsn = lsn                # index length after applying
+        self.payload = payload        # appended codes, one byte each
+
+    def __repr__(self):
+        return (f"WalRecord(gen={self.generation}, lsn={self.lsn}, "
+                f"chars={len(self.payload)})")
+
+
+class WalScan:
+    """Result of :func:`scan_wal` — also the fsck ``wal`` section."""
+
+    __slots__ = ("path", "exists", "header_ok", "base_generation",
+                 "records", "valid_bytes", "tail_bytes", "torn_reason")
+
+    def __init__(self, path, exists=False, header_ok=False,
+                 base_generation=0, records=(), valid_bytes=0,
+                 tail_bytes=0, torn_reason=None):
+        self.path = path
+        self.exists = exists
+        self.header_ok = header_ok
+        self.base_generation = base_generation
+        self.records = list(records)
+        self.valid_bytes = valid_bytes   # header + intact frames
+        self.tail_bytes = tail_bytes     # torn/garbage bytes past that
+        self.torn_reason = torn_reason
+
+    @property
+    def last_lsn(self):
+        """LSN of the newest intact record (0 for an empty log)."""
+        return self.records[-1].lsn if self.records else 0
+
+    def to_dict(self):
+        """JSON-ready summary (payloads omitted)."""
+        return {
+            "path": self.path,
+            "present": self.exists,
+            "header_ok": self.header_ok,
+            "base_generation": self.base_generation,
+            "records": len(self.records),
+            "chars": sum(len(r.payload) for r in self.records),
+            "last_lsn": self.last_lsn,
+            "valid_bytes": self.valid_bytes,
+            "tail_bytes": self.tail_bytes,
+            "torn_reason": self.torn_reason,
+        }
+
+
+def scan_wal(path):
+    """Scan a WAL file without touching it.
+
+    Reads frames sequentially, stopping at the first incomplete or
+    CRC-failing frame; everything from there on counts as the torn
+    tail.  A missing file scans as ``exists=False`` (an index without
+    a WAL is simply one with nothing to replay), and an unreadable
+    header as an empty log with a diagnosis — never an exception, so
+    ``fsck`` and recovery share one code path.
+    """
+    path = os.fspath(path)
+    if not os.path.exists(path):
+        return WalScan(path)
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if len(data) < _HEADER.size:
+        return WalScan(path, exists=True, tail_bytes=len(data),
+                       torn_reason="file shorter than the WAL header")
+    magic, version, _reserved, base_gen = _HEADER.unpack_from(data)
+    if magic != WAL_MAGIC:
+        return WalScan(path, exists=True, tail_bytes=len(data),
+                       torn_reason="bad WAL magic")
+    if version != WAL_VERSION:
+        return WalScan(path, exists=True, tail_bytes=len(data),
+                       torn_reason=f"unsupported WAL version {version}")
+    records = []
+    offset = _HEADER.size
+    torn = None
+    while offset < len(data):
+        if offset + _FRAME.size > len(data):
+            torn = "incomplete frame header at end of log"
+            break
+        crc, length, gen, lsn = _FRAME.unpack_from(data, offset)
+        end = offset + _FRAME.size + length
+        if end > len(data):
+            torn = "frame payload extends past end of log"
+            break
+        body = data[offset + 4:end]
+        if zlib.crc32(body) != crc:
+            torn = "frame CRC mismatch"
+            break
+        records.append(WalRecord(offset, gen, lsn,
+                                 data[offset + _FRAME.size:end]))
+        offset = end
+    return WalScan(path, exists=True, header_ok=True,
+                   base_generation=base_gen, records=records,
+                   valid_bytes=offset, tail_bytes=len(data) - offset,
+                   torn_reason=torn)
+
+
+class WriteAheadLog:
+    """Append-only, CRC32-framed extend log with a durable truncate.
+
+    Parameters
+    ----------
+    path:
+        The log file; created (with a fresh header) when absent.
+    fsync_policy:
+        ``"always"`` / ``"interval"`` / ``"off"`` — see the module
+        docstring.
+    fsync_interval:
+        Appends between fsyncs under the ``interval`` policy.
+    base_generation:
+        Checkpoint generation stamped into a freshly created header.
+    fresh:
+        Start from an empty log even when a file exists — the path a
+        brand-new index takes so it cannot inherit a stale sidecar
+        from a previous index built at the same path.
+
+    Opening an existing log scans it and **physically truncates** any
+    torn tail, so the object always appends after the last valid
+    frame.  The scanned records are left in :attr:`recovered` for the
+    owner to replay.
+    """
+
+    def __init__(self, path, fsync_policy="always", fsync_interval=32,
+                 base_generation=0, fresh=False):
+        if fsync_policy not in FSYNC_POLICIES:
+            raise StorageError(
+                f"unknown WAL fsync policy {fsync_policy!r}; expected "
+                f"one of {FSYNC_POLICIES}")
+        if fsync_interval < 1:
+            raise StorageError("fsync_interval must be >= 1")
+        self.path = os.fspath(path)
+        self.fsync_policy = fsync_policy
+        self.fsync_interval = fsync_interval
+        self._appends_since_sync = 0
+        self._closed = False
+        scan = (WalScan(self.path) if fresh else scan_wal(self.path))
+        registry = get_registry()
+        if scan.exists and scan.header_ok:
+            self._fh = open(self.path, "r+b")
+            if scan.tail_bytes:
+                # Clean truncation of the torn tail: the next append
+                # must start at a frame boundary or the whole log
+                # after the tear would be unreadable.
+                self._fh.truncate(scan.valid_bytes)
+                self._fh.flush()
+                os.fsync(self._fh.fileno())
+                if registry.enabled:
+                    registry.counter("wal.torn_tail_bytes").inc(
+                        scan.tail_bytes)
+            self.base_generation = scan.base_generation
+            self._offset = scan.valid_bytes
+            self.records = len(scan.records)
+            self.last_lsn = scan.last_lsn
+            self.recovered = scan.records
+        else:
+            # Absent — or present but unreadable from the first byte
+            # (a crash mid-truncation): either way the only safe
+            # content is an empty log.
+            self._fh = open(self.path, "w+b")
+            self._write_header(base_generation)
+            self.base_generation = base_generation
+            self._offset = _HEADER.size
+            self.records = 0
+            self.last_lsn = 0
+            self.recovered = []
+            if scan.exists and registry.enabled:
+                registry.counter("wal.torn_tail_bytes").inc(
+                    scan.tail_bytes)
+
+    # -- internals -----------------------------------------------------
+
+    def _write_header(self, base_generation):
+        self._fh.seek(0)
+        self._fh.write(_HEADER.pack(WAL_MAGIC, WAL_VERSION, 0,
+                                    base_generation))
+        self._fh.flush()
+
+    def _fsync(self):
+        if _FAILPOINTS.active:
+            _FAILPOINTS.fire("wal.fsync", path=self.path)
+        os.fsync(self._fh.fileno())
+        self._appends_since_sync = 0
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("wal.fsyncs").inc()
+
+    # -- the write path ------------------------------------------------
+
+    def append(self, payload, generation, lsn):
+        """Durably frame one extend record.
+
+        ``payload`` is the appended character codes as bytes, ``lsn``
+        the index length after applying them.  The write offset only
+        advances once the whole frame landed: a torn write (injected
+        or real) leaves the offset on the last valid frame, so a
+        surviving process overwrites the damage with its next append
+        while a crashed one truncates it on reopen.
+        """
+        if self._closed:
+            raise StorageError(f"{self.path}: WAL is closed")
+        payload = bytes(payload)
+        body = struct.pack("<Iqq", len(payload), generation, lsn)
+        frame = _FRAME.pack(zlib.crc32(body + payload), len(payload),
+                            generation, lsn) + payload
+        mode = None
+        if _FAILPOINTS.active:
+            mode = _FAILPOINTS.fire("wal.append", path=self.path,
+                                    lsn=lsn)
+        self._fh.seek(self._offset)
+        if mode == "torn":
+            # Half the frame lands, then the process "dies".  The
+            # offset stays put: to a reopened process the half-frame
+            # is a CRC-failing tail (truncated), to this process the
+            # next append overwrites it.
+            self._fh.write(frame[:max(1, len(frame) // 2)])
+            self._fh.flush()
+            raise CrashInjected(
+                f"simulated torn WAL append at lsn {lsn}")
+        if mode == "short":
+            # First write truncated; the loop below completes it —
+            # the append must succeed transparently.
+            cut = max(1, len(frame) // 2)
+            self._fh.write(frame[:cut])
+            self._fh.write(frame[cut:])
+        else:
+            self._fh.write(frame)
+        self._fh.flush()
+        self._offset += len(frame)
+        self.records += 1
+        self.last_lsn = lsn
+        self._appends_since_sync += 1
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("wal.appends").inc()
+            registry.counter("wal.bytes").inc(len(frame))
+        if self.fsync_policy == "always":
+            self._fsync()
+        elif (self.fsync_policy == "interval"
+              and self._appends_since_sync >= self.fsync_interval):
+            self._fsync()
+
+    def sync(self):
+        """Force the log to stable storage (any policy)."""
+        if not self._closed:
+            self._fsync()
+
+    def truncate(self, generation):
+        """Durably empty the log after checkpoint ``generation``.
+
+        Every logged record is now inside the checkpoint; the file is
+        cut back to a fresh header stamped with the new base
+        generation and fsynced.  A crash mid-truncation leaves either
+        the old records (skipped on replay — their stamps predate the
+        recovered generation) or an unreadable header (reinitialised
+        as empty on reopen); both recover correctly.
+        """
+        if self._closed:
+            raise StorageError(f"{self.path}: WAL is closed")
+        self._fh.truncate(_HEADER.size)
+        self._write_header(generation)
+        self.base_generation = generation
+        self._offset = _HEADER.size
+        self.records = 0
+        self.last_lsn = 0
+        self._fsync()
+        registry = get_registry()
+        if registry.enabled:
+            registry.counter("wal.truncations").inc()
+
+    def rewind(self, offset, records, last_lsn):
+        """Physically cut the log at ``offset`` (a frame boundary from
+        a scan), keeping ``records`` intact frames.  The recovery path
+        for valid-looking frames that must never be replayed — a
+        generation stamp from the future or an LSN discontinuity."""
+        if self._closed:
+            raise StorageError(f"{self.path}: WAL is closed")
+        if not _HEADER.size <= offset <= self._offset:
+            raise StorageError(
+                f"{self.path}: rewind offset {offset} outside the log")
+        self._fh.truncate(offset)
+        self._offset = offset
+        self.records = records
+        self.last_lsn = last_lsn
+        self._fsync()
+
+    # -- lifecycle -----------------------------------------------------
+
+    def discard(self):
+        """Delete the log — the deliberate roll-back-to-checkpoint
+        path (``DiskSpineIndex.abort``), *not* a crash simulation."""
+        self.close(sync=False)
+        try:
+            os.unlink(self.path)
+        except FileNotFoundError:
+            pass
+
+    def close(self, sync=True):
+        """Release the descriptor; ``sync=False`` skips the final
+        fsync (the simulated-crash path keeps the file as-is)."""
+        if self._closed:
+            return
+        if sync:
+            try:
+                self._fsync()
+            finally:
+                self._closed = True
+                self._fh.close()
+        else:
+            self._closed = True
+            self._fh.close()
+
+    @property
+    def closed(self):
+        return self._closed
+
+    def stats(self):
+        """JSON-ready live counters for health/CLI reporting."""
+        return {
+            "path": self.path,
+            "fsync_policy": self.fsync_policy,
+            "fsync_interval": self.fsync_interval,
+            "base_generation": self.base_generation,
+            "records": self.records,
+            "last_lsn": self.last_lsn,
+            "bytes": self._offset,
+            "pending_fsync": self._appends_since_sync,
+        }
+
+    def __repr__(self):
+        state = "closed" if self._closed else "open"
+        return (f"WriteAheadLog({self.path!r}, {state}, "
+                f"records={self.records}, policy={self.fsync_policy})")

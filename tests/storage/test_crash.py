@@ -274,3 +274,99 @@ class TestBufferEvictionFaults:
         assert len(pool) == 2
         pool.get(2, load=False)
         assert len(pool) == 2
+
+
+class TestWalChaosMatrix:
+    """ISSUE satellite: every failpoint mode × extend ordinal on the
+    WAL write path → replay or clean truncation, never a wrong answer.
+
+    The harness plays both processes: the writer (extends until a
+    fault "kills" it) and the restarted one (reopens and must see
+    exactly the extends that were acknowledged — byte-identical to
+    either the pre-crash state or the last durable prefix)."""
+
+    EXTENDS = ["ACGTACGT", "TTGGAACC", "CACGTTGG", "GGTTAACC"]
+    PATTERNS = ("ACGT", "GGT", "TTA", "CAC", "AACC")
+
+    def _start(self, path):
+        ix = DiskSpineIndex(alphabet=dna_alphabet(), path=path,
+                            buffer_pages=8)
+        ix.extend(TEXT_A)
+        ix.checkpoint()
+        return ix
+
+    def _check_exact(self, path, expected_text):
+        from repro.core.index import SpineIndex
+
+        reopened = DiskSpineIndex.open(path, buffer_pages=8)
+        assert reopened.text == expected_text
+        oracle = SpineIndex(expected_text, alphabet=dna_alphabet())
+        for pattern in self.PATTERNS:
+            assert sorted(reopened.find_all(pattern)) == \
+                sorted(oracle.find_all(pattern))
+        reopened.close()
+
+    @pytest.mark.parametrize("mode", ["torn", "crash", "oserror",
+                                      "short", "stall"])
+    @pytest.mark.parametrize("nth", [1, 2, 3, 4])
+    def test_append_fault_leaves_durable_prefix(self, tmp_path, mode,
+                                                nth):
+        path = str(tmp_path / f"wal-{mode}-{nth}.spine")
+        ix = self._start(path)
+        kwargs = {"delay": 0.01} if mode == "stall" else {}
+        fail_at("wal.append", mode=mode, nth=nth, count=100, **kwargs)
+        applied = 0
+        try:
+            for piece in self.EXTENDS:
+                ix.extend(piece)
+                applied += 1
+        except (CrashInjected, OSError, StorageError):
+            pass
+        finally:
+            clear_failpoints()
+        if mode in ("short", "stall"):
+            # Not crashes: every extend must have succeeded.
+            assert applied == len(self.EXTENDS)
+        else:
+            assert applied == nth - 1
+        ix.crash()
+        # The durable prefix is exactly the acknowledged extends.
+        self._check_exact(
+            path, TEXT_A + "".join(self.EXTENDS[:applied]))
+
+    @pytest.mark.parametrize("mode", ["crash", "oserror"])
+    @pytest.mark.parametrize("nth", [1, 2, 3, 4])
+    def test_fsync_fault_keeps_framed_record(self, tmp_path, mode,
+                                             nth):
+        # wal.fsync fires after the frame landed: the faulted extend
+        # raised to its caller but its record is on disk, so replay
+        # includes it — the durable state is extends 1..nth exactly.
+        path = str(tmp_path / f"fsync-{mode}-{nth}.spine")
+        ix = self._start(path)
+        fail_at("wal.fsync", mode=mode, nth=nth, count=100)
+        applied = 0
+        try:
+            for piece in self.EXTENDS:
+                ix.extend(piece)
+                applied += 1
+        except (CrashInjected, OSError):
+            pass
+        finally:
+            clear_failpoints()
+        assert applied == nth - 1
+        ix.crash()
+        self._check_exact(path, TEXT_A + "".join(self.EXTENDS[:nth]))
+
+    def test_torn_append_is_self_healing_in_survivor(self, tmp_path):
+        # A torn append leaves the offset on the last valid frame;
+        # the *same* process (harness role: an application that caught
+        # the fault) overwrites the damage with its next append.
+        path = str(tmp_path / "heal.spine")
+        ix = self._start(path)
+        fail_at("wal.append", mode="torn", nth=1, count=1)
+        with pytest.raises(CrashInjected):
+            ix.extend("ACGTACGT")
+        clear_failpoints()
+        ix.extend("TTGGAACC")       # overwrites the half frame
+        ix.crash()
+        self._check_exact(path, TEXT_A + "TTGGAACC")
